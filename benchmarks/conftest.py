@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures at the
+``QUICK`` profile (see ``repro.experiments.profiles``): the same code paths as
+the paper-scale experiment, scaled down so a full ``pytest benchmarks/
+--benchmark-only`` run finishes in minutes on a laptop.  The generated
+rows/series are printed so the run doubles as a reproduction report; the
+paper-vs-measured comparison is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiment drivers train many neural networks, so repeated rounds
+    would multiply minutes of work for no extra statistical value; a single
+    timed round per benchmark keeps the harness usable.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the substrate components plus the IPM-choice ablation.
+
+These are not paper tables; they document the cost of the main building blocks
+(herding, Sinkhorn-Wasserstein, a training epoch) and the DESIGN.md ablation of
+the IPM choice (Wasserstein vs MMD), so regressions in the substrate are easy
+to spot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.balance import ipm_distance
+from repro.core import BaselineCausalModel, ModelConfig
+from repro.data import SyntheticDomainGenerator
+from repro.experiments import QUICK
+from repro.memory import herding_selection
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def representations():
+    rng = np.random.default_rng(0)
+    treated = rng.normal(size=(256, 32)) + 0.5
+    control = rng.normal(size=(256, 32))
+    return Tensor(treated), Tensor(control)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_herding_selection(benchmark):
+    """Herding 500 exemplars out of 5000 32-d representations."""
+    rng = np.random.default_rng(1)
+    features = rng.normal(size=(5000, 32))
+    selected = benchmark(herding_selection, features, 500)
+    assert selected.shape == (500,)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_sinkhorn_wasserstein(benchmark, representations):
+    """Sinkhorn-Wasserstein between two 256-unit batches (training-time cost)."""
+    treated, control = representations
+    value = benchmark(
+        lambda: ipm_distance(treated, control, kind="wasserstein", num_iters=20).item()
+    )
+    assert value > 0
+
+
+@pytest.mark.benchmark(group="components")
+@pytest.mark.parametrize("kind", ["wasserstein", "mmd_linear", "mmd_rbf"])
+def test_bench_ipm_choice_ablation(benchmark, representations, kind):
+    """DESIGN.md ablation: relative cost of the IPM choices."""
+    treated, control = representations
+    value = benchmark(lambda: ipm_distance(treated, control, kind=kind).item())
+    assert np.isfinite(value)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_baseline_training_epoch(benchmark):
+    """One epoch of the baseline learner on a quick-profile synthetic domain."""
+    generator = SyntheticDomainGenerator(QUICK.synthetic_config(n_units=1000), seed=0)
+    dataset = generator.generate_domain(0)
+    config = ModelConfig(
+        representation_dim=32,
+        encoder_hidden=(64,),
+        outcome_hidden=(32,),
+        epochs=1,
+        batch_size=128,
+        seed=0,
+    )
+
+    def one_epoch():
+        model = BaselineCausalModel(dataset.n_features, config)
+        model.fit(dataset, epochs=1)
+        return model
+
+    model = benchmark.pedantic(one_epoch, rounds=1, iterations=1)
+    assert len(model.history) == 1

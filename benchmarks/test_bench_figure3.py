@@ -1,0 +1,93 @@
+"""Benchmark: regenerate Figure 3 (memory-budget curves, hyper-parameter sweeps)
+and the in-text cosine-normalisation ablation.
+
+Paper protocol: five sequential synthetic domains; CERL with memory budgets
+M in {1000, 5000, 10000} versus the ideal learner that keeps all raw data
+(panels a/b); sensitivity of alpha and delta (panels c/d); cosine-norm
+ablation on the five-domain stream (Sec. IV-C in-text numbers).
+The quick profile uses fewer domains/units so the full benchmark run stays in
+the minutes range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    QUICK,
+    run_cosine_ablation_stream,
+    run_figure3_memory,
+    run_figure3_sensitivity,
+)
+
+#: Domains used for the stream benches (paper: 5; reduced for runtime).
+N_DOMAINS = 3
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_bench_figure3_memory_budget_curves(benchmark, once):
+    """Panels (a)/(b): per-stage metrics for several memory budgets vs the ideal."""
+    base = QUICK.synthetic_units
+    result = once(
+        benchmark,
+        run_figure3_memory,
+        QUICK,
+        memory_budgets=[base // 10, base // 2, base],
+        n_domains=N_DOMAINS,
+        include_ideal=True,
+        seed=0,
+    )
+    print()
+    print(result.report())
+    # Larger budgets should not be worse than the smallest budget at the final stage.
+    final = {label: stages[-1]["sqrt_pehe"] for label, stages in result.curves.items()}
+    smallest = final[f"CERL (M={base // 10})"]
+    largest = final[f"CERL (M={base})"]
+    assert largest <= smallest * 1.25
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_bench_figure3_alpha_sensitivity(benchmark, once):
+    """Panel (c): sensitivity of the IPM weight alpha."""
+    result = once(
+        benchmark,
+        run_figure3_sensitivity,
+        "alpha",
+        [0.1, 0.5, 1.0, 2.0],
+        QUICK,
+        n_domains=2,
+        seed=0,
+    )
+    print()
+    print(result.report())
+    # The paper reports stability over a large range; allow a generous factor.
+    assert result.relative_spread < 2.0
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_bench_figure3_delta_sensitivity(benchmark, once):
+    """Panel (d): sensitivity of the transformation weight delta."""
+    result = once(
+        benchmark,
+        run_figure3_sensitivity,
+        "delta",
+        [0.1, 0.5, 1.0, 2.0],
+        QUICK,
+        n_domains=2,
+        seed=0,
+    )
+    print()
+    print(result.report())
+    assert result.relative_spread < 2.0
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_bench_cosine_norm_ablation_stream(benchmark, once):
+    """In-text ablation: cosine normalisation on the multi-domain stream."""
+    outcomes = once(
+        benchmark, run_cosine_ablation_stream, QUICK, n_domains=N_DOMAINS, seed=0
+    )
+    print()
+    for label, metrics in outcomes.items():
+        print(f"{label}: sqrt_pehe={metrics['sqrt_pehe']:.3f} ate_error={metrics['ate_error']:.3f}")
+    assert set(outcomes) == {"CERL", "CERL (w/o cosine norm)"}

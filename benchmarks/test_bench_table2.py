@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table II (synthetic two-domain comparison + ablations).
+
+Paper protocol: two sequential synthetic domains (100 covariates with the
+Figure 2 roles, partially linear outcomes), memory budget M = 10000, strategies
+CFR-A / CFR-B / CFR-C / CERL plus the three CERL ablations (w/o FRT,
+w/o herding, w/o cosine norm), averaged over 10 repetitions.  The quick profile
+scales units, dimensionality and repetitions down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK, TABLE2_ABLATIONS, TABLE2_STRATEGIES, run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_bench_table2_strategies_and_ablations(benchmark, once):
+    """All Table II rows: the four strategies and the three CERL ablations."""
+    result = once(
+        benchmark,
+        run_table2,
+        QUICK,
+        strategies=TABLE2_STRATEGIES,
+        ablations=TABLE2_ABLATIONS,
+        seed=0,
+        repetitions=1,
+    )
+    print()
+    print(result.report())
+
+    cerl = result.get("CERL")
+    cfr_a = result.get("CFR-A")
+    cfr_b = result.get("CFR-B")
+    # Reproduction shape (Table II): CFR-A degrades on new data, CFR-B shows
+    # catastrophic forgetting on previous data; CERL improves on both failure
+    # modes simultaneously.
+    assert cerl.get("new_sqrt_pehe") < 1.1 * cfr_a.get("new_sqrt_pehe")
+    assert cerl.get("prev_sqrt_pehe") < 1.1 * cfr_b.get("prev_sqrt_pehe")

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""News benchmark: compare all adaptation strategies under domain shift.
+
+Regenerates a scaled-down slice of the paper's Table I: the News benchmark
+with two sequential domains built from disjoint topic ranges (substantial
+shift), comparing CFR-A (frozen), CFR-B (fine-tune), CFR-C (retrain on all raw
+data) and CERL.
+
+Run with:  python examples/news_domain_shift.py [--scale 0.1] [--shift substantial]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.data import NewsBenchmark
+from repro.experiments import QUICK, run_two_domain_comparison, summarize_two_domain_results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.16,
+        help=(
+            "fraction of the paper-scale corpus (1.0 = 5000 units). Values below ~0.15 "
+            "leave too few units per domain for the comparison to be stable."
+        ),
+    )
+    parser.add_argument(
+        "--shift",
+        choices=("substantial", "moderate", "none"),
+        default="substantial",
+        help="domain-shift scenario between the two sequential datasets",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Building the News benchmark (scale={args.scale}, shift={args.shift}) ...")
+    benchmark = NewsBenchmark(scale=args.scale, seed=args.seed)
+    first_domain, second_domain = benchmark.generate_domain_pair(args.shift)
+    print(f"  domain 1: {len(first_domain)} news items, {first_domain.n_features} word features")
+    print(f"  domain 2: {len(second_domain)} news items")
+    print(f"  population summary: {benchmark.population_summary()}")
+
+    print("Training CFR-A / CFR-B / CFR-C / CERL sequentially ...")
+    results = run_two_domain_comparison(
+        first_domain,
+        second_domain,
+        strategies=("CFR-A", "CFR-B", "CFR-C", "CERL"),
+        model_config=QUICK.model_config(seed=args.seed),
+        continual_config=QUICK.continual_config(memory_budget=QUICK.memory_budget_table1),
+        seed=args.seed,
+    )
+
+    print()
+    print(
+        summarize_two_domain_results(
+            results, title=f"News, {args.shift} shift (Table I protocol, quick profile)"
+        )
+    )
+    print()
+    print("Expected shape: CFR-A degrades on new data, CFR-B on previous data,")
+    print("CFR-C is near-ideal on both, and CERL tracks CFR-C without storing raw data.")
+
+
+if __name__ == "__main__":
+    main()

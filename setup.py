@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment used for the reproduction has no network access and an older
+setuptools without PEP 660 editable-install support, so this ``setup.py``
+enables the legacy ``pip install -e . --no-build-isolation --no-use-pep517``
+path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

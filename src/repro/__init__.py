@@ -1,0 +1,45 @@
+"""CERL reproduction: continual causal effect estimation from incremental observational data.
+
+Public API highlights
+---------------------
+* :class:`repro.core.CERL` — the continual causal-effect learner (the paper's contribution).
+* :class:`repro.core.BaselineCausalModel` — the CFR-style selective & balanced learner.
+* :func:`repro.core.make_strategy` — build CFR-A / CFR-B / CFR-C / CERL by name.
+* :mod:`repro.data` — News, BlogCatalog and synthetic multi-domain benchmarks.
+* :mod:`repro.experiments` — drivers that regenerate the paper's tables and figures.
+"""
+
+from .core import (
+    CERL,
+    BaselineCausalModel,
+    ContinualConfig,
+    ModelConfig,
+    make_strategy,
+)
+from .data import (
+    CausalDataset,
+    DomainStream,
+    NewsBenchmark,
+    BlogCatalogBenchmark,
+    SyntheticDomainGenerator,
+)
+from .metrics import EffectEstimate, ate_error, sqrt_pehe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CERL",
+    "BaselineCausalModel",
+    "ContinualConfig",
+    "ModelConfig",
+    "make_strategy",
+    "CausalDataset",
+    "DomainStream",
+    "NewsBenchmark",
+    "BlogCatalogBenchmark",
+    "SyntheticDomainGenerator",
+    "EffectEstimate",
+    "ate_error",
+    "sqrt_pehe",
+    "__version__",
+]

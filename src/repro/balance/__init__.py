@@ -1,0 +1,17 @@
+"""Integral probability metrics used to balance treated/control representations."""
+
+from .ipm import (
+    ipm_distance,
+    mmd2_linear,
+    mmd2_rbf,
+    sinkhorn_wasserstein,
+    wasserstein_1d_exact,
+)
+
+__all__ = [
+    "ipm_distance",
+    "mmd2_linear",
+    "mmd2_rbf",
+    "sinkhorn_wasserstein",
+    "wasserstein_1d_exact",
+]

@@ -1,0 +1,41 @@
+"""Core causal-effect learners: the baseline model, CFR strategies and CERL."""
+
+from .config import ContinualConfig, ModelConfig
+from .representation import RepresentationNetwork
+from .outcome import OutcomeHeads
+from .transform import FeatureTransform
+from .baseline import BaselineCausalModel, TrainingHistory
+from .cerl import CERL
+from .strategies import (
+    STRATEGY_NAMES,
+    CFRStrategyA,
+    CFRStrategyB,
+    CFRStrategyC,
+    ContinualEstimator,
+    make_strategy,
+)
+from .classic import LogisticPropensityModel, RidgeTLearner, ipw_ate, naive_ate
+from .persistence import load_cerl, save_cerl
+
+__all__ = [
+    "LogisticPropensityModel",
+    "RidgeTLearner",
+    "ipw_ate",
+    "naive_ate",
+    "save_cerl",
+    "load_cerl",
+    "ModelConfig",
+    "ContinualConfig",
+    "RepresentationNetwork",
+    "OutcomeHeads",
+    "FeatureTransform",
+    "BaselineCausalModel",
+    "TrainingHistory",
+    "CERL",
+    "STRATEGY_NAMES",
+    "CFRStrategyA",
+    "CFRStrategyB",
+    "CFRStrategyC",
+    "ContinualEstimator",
+    "make_strategy",
+]

@@ -1,0 +1,318 @@
+"""Baseline causal-effect learning model (Sec. III-A.1).
+
+This is the learner CERL uses for the *first* domain, and it also serves as
+the CFR-style baseline that the three adaptation strategies (Sec. IV-B) are
+built on.  It combines:
+
+* the selective representation network ``g_w`` with elastic-net feature
+  selection and cosine normalisation (:class:`RepresentationNetwork`),
+* the Wasserstein IPM between treated and control representations (Eq. 3),
+* the two-headed factual-outcome regression (Eq. 4),
+
+trained jointly with the objective of Eq. (5):
+``L = L_Y + alpha * Wass(P, Q) + lambda * L_w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..balance import ipm_distance
+from ..data.dataset import CausalDataset, minibatches
+from ..metrics import EffectEstimate, evaluate_effect_estimate
+from ..nn import Adam, Tensor, clip_grad_norm, mse_loss, no_grad
+from ..utils import Standardizer
+from .config import ModelConfig
+from .outcome import OutcomeHeads
+from .representation import RepresentationNetwork
+
+__all__ = ["BaselineCausalModel", "TrainingHistory", "EarlyStopping"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss traces recorded during training."""
+
+    total: List[float] = field(default_factory=list)
+    factual: List[float] = field(default_factory=list)
+    ipm: List[float] = field(default_factory=list)
+    regularization: List[float] = field(default_factory=list)
+    validation: List[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    def append(self, total: float, factual: float, ipm: float, regularization: float) -> None:
+        """Record one epoch's average loss components."""
+        self.total.append(total)
+        self.factual.append(factual)
+        self.ipm.append(ipm)
+        self.regularization.append(regularization)
+
+    def __len__(self) -> int:
+        return len(self.total)
+
+
+class EarlyStopping:
+    """Validation-loss early stopping with best-state restoration.
+
+    Tracks the best validation loss seen so far; :meth:`should_stop` returns
+    ``True`` once no improvement larger than ``min_delta`` has been observed
+    for ``patience`` consecutive epochs.  The best parameter snapshot of all
+    monitored modules can then be restored with :meth:`restore`.
+    """
+
+    def __init__(self, modules: List, patience: int, min_delta: float) -> None:
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        self._modules = list(modules)
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_loss = float("inf")
+        self._epochs_without_improvement = 0
+        self._best_states: Optional[List[dict]] = None
+
+    def update(self, validation_loss: float) -> None:
+        """Record the latest validation loss and snapshot on improvement."""
+        if validation_loss < self.best_loss - self.min_delta:
+            self.best_loss = validation_loss
+            self._epochs_without_improvement = 0
+            self._best_states = [module.state_dict() for module in self._modules]
+        else:
+            self._epochs_without_improvement += 1
+
+    def should_stop(self) -> bool:
+        """Whether the patience budget has been exhausted."""
+        return self._epochs_without_improvement >= self.patience
+
+    def restore(self) -> None:
+        """Load the best snapshot back into the monitored modules."""
+        if self._best_states is None:
+            return
+        for module, state in zip(self._modules, self._best_states):
+            module.load_state_dict(state)
+
+
+class BaselineCausalModel:
+    """Selective & balanced representation learner for a single data source.
+
+    Parameters
+    ----------
+    n_features:
+        Covariate dimensionality.
+    config:
+        Model hyper-parameters (Eq. 5 weights, architecture, optimisation).
+    """
+
+    def __init__(self, n_features: int, config: Optional[ModelConfig] = None) -> None:
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        self.config = config if config is not None else ModelConfig()
+        self.n_features = n_features
+        rng = np.random.default_rng(self.config.seed)
+        self.encoder = RepresentationNetwork(
+            in_features=n_features,
+            representation_dim=self.config.representation_dim,
+            hidden_sizes=self.config.encoder_hidden,
+            activation=self.config.activation,
+            use_cosine_norm=self.config.use_cosine_norm,
+            standardize=self.config.standardize_covariates,
+            l1_ratio=self.config.elastic_net_l1_ratio,
+            rng=rng,
+        )
+        self.heads = OutcomeHeads(
+            representation_dim=self.config.representation_dim,
+            hidden_sizes=self.config.outcome_hidden,
+            activation=self.config.activation,
+            rng=rng,
+        )
+        self.outcome_scaler = Standardizer()
+        self.history = TrainingHistory()
+        self._rng = rng
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        dataset: CausalDataset,
+        epochs: Optional[int] = None,
+        val_dataset: Optional[CausalDataset] = None,
+    ) -> TrainingHistory:
+        """Train the model from scratch on ``dataset`` (objective of Eq. 5).
+
+        When ``val_dataset`` is given, training stops once the validation
+        factual loss stops improving and the best parameters are restored.
+        """
+        self._validate_dataset(dataset)
+        self.encoder.fit_scaler(dataset.covariates)
+        if self.config.standardize_outcomes:
+            self.outcome_scaler.fit(dataset.outcomes)
+        self._fitted = True
+        return self._train(dataset, epochs=epochs, val_dataset=val_dataset)
+
+    def fine_tune(
+        self,
+        dataset: CausalDataset,
+        epochs: Optional[int] = None,
+        val_dataset: Optional[CausalDataset] = None,
+    ) -> TrainingHistory:
+        """Continue training on new data only (adaptation strategy CFR-B).
+
+        The covariate and outcome scalers fitted on the original data are
+        kept, so the model is genuinely updated rather than re-initialised —
+        which is exactly what exposes it to catastrophic forgetting.
+        """
+        if not self._fitted:
+            raise RuntimeError("fine_tune called before fit")
+        self._validate_dataset(dataset)
+        return self._train(dataset, epochs=epochs, val_dataset=val_dataset)
+
+    def _train(
+        self,
+        dataset: CausalDataset,
+        epochs: Optional[int],
+        val_dataset: Optional[CausalDataset] = None,
+    ) -> TrainingHistory:
+        config = self.config
+        epochs = epochs if epochs is not None else config.epochs
+        inputs = self.encoder.prepare_inputs(dataset.covariates)
+        outcomes = self._scale_outcomes(dataset.outcomes)
+        treatments = dataset.treatments
+
+        parameters = self.encoder.parameters() + self.heads.parameters()
+        optimizer = Adam(parameters, lr=config.learning_rate, weight_decay=config.weight_decay)
+        stopper = None
+        if val_dataset is not None:
+            stopper = EarlyStopping(
+                [self.encoder, self.heads],
+                patience=config.early_stopping_patience,
+                min_delta=config.early_stopping_min_delta,
+            )
+
+        for _ in range(epochs):
+            epoch_total, epoch_factual, epoch_ipm, epoch_reg, n_batches = 0.0, 0.0, 0.0, 0.0, 0
+            for batch in minibatches(len(dataset), config.batch_size, rng=self._rng):
+                losses = self._batch_losses(inputs[batch], outcomes[batch], treatments[batch])
+                loss, factual_value, ipm_value, reg_value = losses
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(parameters, config.grad_clip)
+                optimizer.step()
+                epoch_total += loss.item()
+                epoch_factual += factual_value
+                epoch_ipm += ipm_value
+                epoch_reg += reg_value
+                n_batches += 1
+            self.history.append(
+                epoch_total / n_batches,
+                epoch_factual / n_batches,
+                epoch_ipm / n_batches,
+                epoch_reg / n_batches,
+            )
+            if stopper is not None:
+                val_loss = self.validation_loss(val_dataset)
+                self.history.validation.append(val_loss)
+                stopper.update(val_loss)
+                if stopper.should_stop():
+                    self.history.stopped_early = True
+                    break
+        if stopper is not None:
+            stopper.restore()
+        return self.history
+
+    def validation_loss(self, dataset: CausalDataset) -> float:
+        """Factual mean squared error (on the standardised outcome scale)."""
+        self._check_fitted()
+        representations = self.encoder.encode(dataset.covariates, track_gradients=False)
+        with no_grad():
+            predictions = self.heads.factual(representations, dataset.treatments)
+        target = self._scale_outcomes(dataset.outcomes)
+        return float(np.mean((predictions.numpy() - target) ** 2))
+
+    def _batch_losses(
+        self, inputs: np.ndarray, outcomes: np.ndarray, treatments: np.ndarray
+    ):
+        """Compute the Eq. (5) loss for one minibatch."""
+        config = self.config
+        x = Tensor(inputs)
+        y = Tensor(outcomes)
+        representations = self.encoder.forward(x)
+        predictions = self.heads.factual(representations, treatments)
+        factual = mse_loss(predictions, y)
+
+        treated_idx = np.flatnonzero(treatments == 1)
+        control_idx = np.flatnonzero(treatments == 0)
+        if config.alpha > 0.0 and treated_idx.size > 1 and control_idx.size > 1:
+            imbalance = ipm_distance(
+                representations[treated_idx],
+                representations[control_idx],
+                kind=config.ipm_kind,
+                epsilon=config.sinkhorn_epsilon,
+                num_iters=config.sinkhorn_iterations,
+            )
+        else:
+            imbalance = Tensor(0.0)
+
+        regularization = self.encoder.elastic_net()
+        loss = factual + config.alpha * imbalance + config.lambda_reg * regularization
+        return loss, factual.item(), float(imbalance.item()), float(regularization.item())
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def predict(self, covariates: np.ndarray) -> EffectEstimate:
+        """Predict both potential outcomes for raw covariates."""
+        self._check_fitted()
+        representations = self.encoder.encode(covariates, track_gradients=False)
+        y0, y1 = self.heads.potential_outcomes(representations)
+        return EffectEstimate(
+            y0_hat=self._unscale_outcomes(y0), y1_hat=self._unscale_outcomes(y1)
+        )
+
+    def extract_representations(self, covariates: np.ndarray) -> np.ndarray:
+        """Return the learned representations ``g_w(x)`` of raw covariates."""
+        self._check_fitted()
+        return self.encoder.representations(covariates)
+
+    def evaluate(self, dataset: CausalDataset) -> Dict[str, float]:
+        """Evaluate sqrt(PEHE), ATE error and factual RMSE on a dataset."""
+        self._check_fitted()
+        if not dataset.has_counterfactuals:
+            raise ValueError("evaluation requires a dataset with true potential outcomes")
+        estimate = self.predict(dataset.covariates)
+        return evaluate_effect_estimate(
+            estimate,
+            dataset.true_ite,
+            treatments=dataset.treatments,
+            factual_outcomes=dataset.outcomes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _scale_outcomes(self, outcomes: np.ndarray) -> np.ndarray:
+        if self.config.standardize_outcomes:
+            return self.outcome_scaler.transform(outcomes)
+        return np.asarray(outcomes, dtype=np.float64)
+
+    def _unscale_outcomes(self, outcomes: np.ndarray) -> np.ndarray:
+        if self.config.standardize_outcomes:
+            return self.outcome_scaler.inverse_transform(outcomes)
+        return outcomes
+
+    def _validate_dataset(self, dataset: CausalDataset) -> None:
+        if dataset.n_features != self.n_features:
+            raise ValueError(
+                f"dataset has {dataset.n_features} covariates, model expects {self.n_features}"
+            )
+        if len(dataset) < 4:
+            raise ValueError("dataset too small to train on")
+        if dataset.n_treated == 0 or dataset.n_control == 0:
+            raise ValueError("training data must contain both treated and control units")
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("model used before fit()")

@@ -1,0 +1,166 @@
+"""Classical (non-neural) treatment-effect estimators used as sanity baselines.
+
+These estimators are not part of the paper's method, but a production causal
+library needs cheap reference points: a naive difference-in-means estimator,
+an inverse-propensity-weighting (IPW) ATE estimator, and a closed-form ridge
+T-learner for heterogeneous effects.  The test suite and examples use them to
+verify that the representation learners beat (or at least match) much simpler
+alternatives, and they give downstream users a fast first answer on new data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import CausalDataset
+from ..metrics import EffectEstimate
+from ..utils import Standardizer
+
+__all__ = ["naive_ate", "ipw_ate", "RidgeTLearner", "LogisticPropensityModel"]
+
+
+def naive_ate(dataset: CausalDataset) -> float:
+    """Difference in mean observed outcomes between treated and control units.
+
+    Biased under selection bias; included as the zero-effort reference point.
+    """
+    if dataset.n_treated == 0 or dataset.n_control == 0:
+        raise ValueError("naive ATE requires both treated and control units")
+    treated_mean = dataset.outcomes[dataset.treatments == 1].mean()
+    control_mean = dataset.outcomes[dataset.treatments == 0].mean()
+    return float(treated_mean - control_mean)
+
+
+class LogisticPropensityModel:
+    """L2-regularised logistic regression for propensity scores e(x) = P(T=1|x).
+
+    Fitted with full-batch Newton/IRLS iterations; sufficient for the modest
+    covariate dimensionalities of the benchmarks and dependency-free.
+    """
+
+    def __init__(self, l2: float = 1.0, max_iterations: int = 50, tol: float = 1e-6) -> None:
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        self.l2 = l2
+        self.max_iterations = max_iterations
+        self.tol = tol
+        self.coefficients_: Optional[np.ndarray] = None
+        self._scaler = Standardizer()
+
+    def fit(self, covariates: np.ndarray, treatments: np.ndarray) -> "LogisticPropensityModel":
+        """Fit the propensity model on raw covariates and binary treatments."""
+        covariates = np.asarray(covariates, dtype=np.float64)
+        treatments = np.asarray(treatments, dtype=np.float64).ravel()
+        if covariates.ndim != 2 or covariates.shape[0] != treatments.shape[0]:
+            raise ValueError("covariates must be (n, p) and match treatments length")
+        features = self._design(self._scaler.fit(covariates).transform(covariates))
+        n, p = features.shape
+        beta = np.zeros(p)
+        regularizer = self.l2 * np.eye(p)
+        regularizer[-1, -1] = 0.0  # do not penalise the intercept
+        for _ in range(self.max_iterations):
+            logits = features @ beta
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            gradient = features.T @ (probabilities - treatments) + regularizer @ beta
+            weights = np.maximum(probabilities * (1.0 - probabilities), 1e-6)
+            hessian = (features * weights[:, None]).T @ features + regularizer
+            step = np.linalg.solve(hessian, gradient)
+            beta = beta - step
+            if np.linalg.norm(step) < self.tol:
+                break
+        self.coefficients_ = beta
+        return self
+
+    def predict_proba(self, covariates: np.ndarray) -> np.ndarray:
+        """Return estimated propensity scores for raw covariates."""
+        if self.coefficients_ is None:
+            raise RuntimeError("LogisticPropensityModel used before fit()")
+        features = self._design(self._scaler.transform(np.asarray(covariates, dtype=np.float64)))
+        return 1.0 / (1.0 + np.exp(-(features @ self.coefficients_)))
+
+    @staticmethod
+    def _design(covariates: np.ndarray) -> np.ndarray:
+        return np.hstack([covariates, np.ones((covariates.shape[0], 1))])
+
+
+def ipw_ate(
+    dataset: CausalDataset,
+    propensity_model: Optional[LogisticPropensityModel] = None,
+    clip: float = 0.05,
+) -> float:
+    """Inverse-propensity-weighted (Horvitz-Thompson) ATE estimate.
+
+    Parameters
+    ----------
+    dataset:
+        Observational data.
+    propensity_model:
+        Optional pre-fitted propensity model; a default logistic model is
+        fitted on the dataset when omitted.
+    clip:
+        Propensity scores are clipped to ``[clip, 1 - clip]`` to bound the
+        weights (standard practice to control variance under near-positivity
+        violations).
+    """
+    if not 0.0 <= clip < 0.5:
+        raise ValueError("clip must lie in [0, 0.5)")
+    if propensity_model is None:
+        propensity_model = LogisticPropensityModel().fit(dataset.covariates, dataset.treatments)
+    propensity = np.clip(propensity_model.predict_proba(dataset.covariates), clip, 1.0 - clip)
+    treated = dataset.treatments == 1
+    weights_treated = 1.0 / propensity[treated]
+    weights_control = 1.0 / (1.0 - propensity[~treated])
+    treated_mean = np.sum(dataset.outcomes[treated] * weights_treated) / np.sum(weights_treated)
+    control_mean = np.sum(dataset.outcomes[~treated] * weights_control) / np.sum(weights_control)
+    return float(treated_mean - control_mean)
+
+
+class RidgeTLearner:
+    """T-learner with closed-form ridge regression per treatment arm.
+
+    Fits one ridge regression on the treated units and one on the control
+    units; the ITE estimate is the difference of the two predictions.  Fast,
+    deterministic and a meaningful lower bar for the representation learners.
+    """
+
+    def __init__(self, l2: float = 1.0) -> None:
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+        self._weights: dict[int, np.ndarray] = {}
+        self._scaler = Standardizer()
+
+    def fit(self, dataset: CausalDataset) -> "RidgeTLearner":
+        """Fit both arm-specific ridge regressions."""
+        if dataset.n_treated < 2 or dataset.n_control < 2:
+            raise ValueError("RidgeTLearner needs at least two units per treatment arm")
+        covariates = self._scaler.fit(dataset.covariates).transform(dataset.covariates)
+        for arm in (0, 1):
+            mask = dataset.treatments == arm
+            features = self._design(covariates[mask])
+            targets = dataset.outcomes[mask]
+            gram = features.T @ features + self.l2 * np.eye(features.shape[1])
+            self._weights[arm] = np.linalg.solve(gram, features.T @ targets)
+        return self
+
+    def predict(self, covariates: np.ndarray) -> EffectEstimate:
+        """Predict both potential outcomes for raw covariates."""
+        if not self._weights:
+            raise RuntimeError("RidgeTLearner used before fit()")
+        features = self._design(self._scaler.transform(np.asarray(covariates, dtype=np.float64)))
+        return EffectEstimate(
+            y0_hat=features @ self._weights[0],
+            y1_hat=features @ self._weights[1],
+        )
+
+    def estimate_ate(self, covariates: np.ndarray) -> float:
+        """Average treatment effect over the given population."""
+        return self.predict(covariates).ate_hat
+
+    @staticmethod
+    def _design(covariates: np.ndarray) -> np.ndarray:
+        return np.hstack([covariates, np.ones((covariates.shape[0], 1))])

@@ -1,0 +1,147 @@
+"""Checkpointing of CERL learners between domains.
+
+In the deployment scenario the paper motivates (data arrive over days or from
+different subsidiaries), the learner must be persisted between arrivals: the
+whole point of CERL is that *only* the model and the representation memory are
+kept, never the raw data.  This module serialises exactly that state — the
+configurations, the current encoder/heads parameters, the covariate/outcome
+scalers and the memory buffer — into a single ``.npz`` archive, and restores a
+fully functional :class:`~repro.core.cerl.CERL` from it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..memory import MemoryBuffer
+from ..utils import Standardizer
+from .cerl import CERL
+from .config import ContinualConfig, ModelConfig
+from .outcome import OutcomeHeads
+from .representation import RepresentationNetwork
+
+__all__ = ["save_cerl", "load_cerl"]
+
+_FORMAT_VERSION = 1
+
+
+def _flatten_state(prefix: str, state: dict) -> dict:
+    return {f"{prefix}{name}": value for name, value in state.items()}
+
+
+def save_cerl(learner: CERL, path: Union[str, Path]) -> Path:
+    """Serialise a fitted CERL learner to ``path`` (``.npz`` archive).
+
+    Raises
+    ------
+    RuntimeError
+        If the learner has not observed any domain yet.
+    """
+    if learner.domains_seen == 0 or learner.encoder is None or learner.heads is None:
+        raise RuntimeError("cannot save a CERL learner that has not observed any domain")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "n_features": learner.n_features,
+        "domains_seen": learner.domains_seen,
+        "model_config": asdict(learner.model_config),
+        "continual_config": asdict(learner.continual_config),
+    }
+    arrays = {
+        "meta_json": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    }
+    arrays.update(_flatten_state("encoder/", learner.encoder.state_dict()))
+    arrays.update(_flatten_state("heads/", learner.heads.state_dict()))
+
+    if learner.encoder.scaler.is_fitted:
+        arrays["scaler/covariates/mean"] = learner.encoder.scaler.mean_
+        arrays["scaler/covariates/std"] = learner.encoder.scaler.std_
+    if learner.outcome_scaler.is_fitted:
+        arrays["scaler/outcomes/mean"] = learner.outcome_scaler.mean_
+        arrays["scaler/outcomes/std"] = learner.outcome_scaler.std_
+
+    if learner.memory is not None and len(learner.memory):
+        arrays["memory/representations"] = learner.memory.representations
+        arrays["memory/outcomes"] = learner.memory.outcomes
+        arrays["memory/treatments"] = learner.memory.treatments
+
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_cerl(path: Union[str, Path]) -> CERL:
+    """Restore a CERL learner saved with :func:`save_cerl`.
+
+    The restored learner can continue observing new domains and predicting for
+    all previously seen domains, exactly as the original instance could.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {meta.get('format_version')!r}; "
+                f"expected {_FORMAT_VERSION}"
+            )
+        model_config = ModelConfig(**meta["model_config"])
+        continual_config = ContinualConfig(**meta["continual_config"])
+        learner = CERL(meta["n_features"], model_config, continual_config)
+
+        rng = np.random.default_rng(model_config.seed)
+        encoder = RepresentationNetwork(
+            in_features=meta["n_features"],
+            representation_dim=model_config.representation_dim,
+            hidden_sizes=model_config.encoder_hidden,
+            activation=model_config.activation,
+            use_cosine_norm=model_config.use_cosine_norm,
+            standardize=model_config.standardize_covariates,
+            l1_ratio=model_config.elastic_net_l1_ratio,
+            rng=rng,
+        )
+        heads = OutcomeHeads(
+            representation_dim=model_config.representation_dim,
+            hidden_sizes=model_config.outcome_hidden,
+            activation=model_config.activation,
+            rng=rng,
+        )
+        encoder.load_state_dict(_extract(archive, "encoder/"))
+        heads.load_state_dict(_extract(archive, "heads/"))
+
+        if "scaler/covariates/mean" in archive:
+            encoder.scaler.mean_ = archive["scaler/covariates/mean"]
+            encoder.scaler.std_ = archive["scaler/covariates/std"]
+        outcome_scaler = Standardizer()
+        if "scaler/outcomes/mean" in archive:
+            outcome_scaler.mean_ = archive["scaler/outcomes/mean"]
+            outcome_scaler.std_ = archive["scaler/outcomes/std"]
+
+        memory = None
+        if "memory/representations" in archive:
+            memory = MemoryBuffer(
+                archive["memory/representations"],
+                archive["memory/outcomes"],
+                archive["memory/treatments"],
+            )
+
+    learner.encoder = encoder
+    learner.heads = heads
+    learner.outcome_scaler = outcome_scaler
+    learner.memory = memory
+    learner.domains_seen = int(meta["domains_seen"])
+    return learner
+
+
+def _extract(archive, prefix: str) -> dict:
+    return {
+        key[len(prefix):]: archive[key]
+        for key in archive.files
+        if key.startswith(prefix)
+    }

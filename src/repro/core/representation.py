@@ -1,0 +1,131 @@
+"""Selective & balanced representation network ``g_w : X -> R`` (Sec. III-A.1).
+
+The encoder is an MLP whose final layer is cosine-normalised (Eq. 2) so the
+representation magnitude is independent of covariate magnitudes, and whose
+dense weights receive an elastic-net penalty (Eq. 1) that performs deep
+feature selection by shrinking weights of irrelevant covariates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import MLP, Module, Tensor, elastic_net_penalty, no_grad
+from ..utils import Standardizer
+
+__all__ = ["RepresentationNetwork"]
+
+
+class RepresentationNetwork(Module):
+    """Encoder mapping covariates to the balanced representation space.
+
+    Parameters
+    ----------
+    in_features:
+        Covariate dimensionality.
+    representation_dim:
+        Dimensionality of the representation space ``R``.
+    hidden_sizes:
+        Hidden layer widths of the encoder MLP.
+    use_cosine_norm:
+        Whether the final layer applies cosine normalisation (Eq. 2) and the
+        representation rows are L2-normalised.  The normalisation makes the
+        cosine-distance distillation/transformation losses (Eq. 6/7) equal to
+        half the squared Euclidean distance, which is the identity the paper
+        relies on.  The "w/o cosine norm" ablation sets this to ``False``.
+    standardize:
+        Whether covariates are standardised with statistics fitted on the
+        domain the encoder is trained on.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        representation_dim: int,
+        hidden_sizes: Sequence[int] = (64,),
+        activation: str = "elu",
+        use_cosine_norm: bool = True,
+        standardize: bool = True,
+        l1_ratio: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.representation_dim = representation_dim
+        self.use_cosine_norm = use_cosine_norm
+        self.l1_ratio = l1_ratio
+        self._standardize = standardize
+        self.scaler = Standardizer()
+        self.network = MLP(
+            in_features=in_features,
+            hidden_sizes=hidden_sizes,
+            out_features=representation_dim,
+            activation=activation,
+            output_activation="identity",
+            cosine_output=use_cosine_norm,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    # data preparation
+    # ------------------------------------------------------------------ #
+    def fit_scaler(self, covariates: np.ndarray) -> "RepresentationNetwork":
+        """Fit the covariate standardiser (no-op when standardisation is off)."""
+        if self._standardize:
+            self.scaler.fit(covariates)
+        return self
+
+    def prepare_inputs(self, covariates: np.ndarray) -> np.ndarray:
+        """Standardise raw covariates into network inputs."""
+        covariates = np.asarray(covariates, dtype=np.float64)
+        if covariates.ndim != 2:
+            raise ValueError("covariates must be a 2-D array")
+        if covariates.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected {self.in_features} covariates per unit, got {covariates.shape[1]}"
+            )
+        if self._standardize:
+            if not self.scaler.is_fitted:
+                raise RuntimeError("fit_scaler must be called before encoding")
+            return self.scaler.transform(covariates)
+        return covariates
+
+    # ------------------------------------------------------------------ #
+    # forward passes
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: Tensor) -> Tensor:
+        """Encode already-prepared inputs into representations."""
+        representations = self.network(inputs)
+        if self.use_cosine_norm:
+            representations = representations / representations.norm(axis=1, keepdims=True)
+        return representations
+
+    def encode(self, covariates: np.ndarray, track_gradients: bool = False) -> Tensor:
+        """Encode raw covariates into representations.
+
+        With ``track_gradients=False`` (the default) the computation graph is
+        not recorded, which is what memory extraction and evaluation need.
+        """
+        prepared = Tensor(self.prepare_inputs(covariates))
+        if track_gradients:
+            return self.forward(prepared)
+        with no_grad():
+            return self.forward(prepared)
+
+    def representations(self, covariates: np.ndarray) -> np.ndarray:
+        """Convenience wrapper returning representations as a NumPy array."""
+        return self.encode(covariates, track_gradients=False).numpy()
+
+    # ------------------------------------------------------------------ #
+    # regularisation
+    # ------------------------------------------------------------------ #
+    def elastic_net(self) -> Tensor:
+        """Elastic-net penalty over all dense weights of the encoder (Eq. 1)."""
+        weights = [
+            param
+            for name, param in self.named_parameters()
+            if name.endswith("weight")
+        ]
+        return elastic_net_penalty(weights, l1_ratio=self.l1_ratio)

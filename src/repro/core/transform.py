@@ -1,0 +1,89 @@
+"""Feature-representation transformation ``phi_{d-1 -> d}`` (Sec. III-A.3).
+
+Stored representations from the previous feature space are not compatible
+with the new encoder's space.  The transformation network maps old
+representations into the new space; it is trained with the cosine alignment
+loss of Eq. (7) on the *new* domain's data, for which both the old-encoder
+and new-encoder representations are available.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import MLP, Module, Tensor, no_grad
+
+__all__ = ["FeatureTransform"]
+
+
+class FeatureTransform(Module):
+    """MLP mapping representations from the previous space to the new space.
+
+    Parameters
+    ----------
+    representation_dim:
+        Dimensionality shared by the old and new representation spaces.
+    hidden_sizes:
+        Hidden widths of the transformation MLP.
+    normalize_output:
+        Whether to L2-normalise the transformed representations.  Enabled when
+        the encoders use cosine normalisation, so transformed old
+        representations live on the same (unit-norm) manifold as the new
+        representation space.
+    residual:
+        Whether the transformation is parameterised as ``r + MLP(r)`` instead
+        of ``MLP(r)``.  When the new encoder is warm-started from the old one
+        (the default in CERL), the true old-to-new map starts near the
+        identity; the residual parameterisation makes the transformation start
+        there too, so rehearsal on transformed memory is well-behaved from the
+        first epoch.
+    """
+
+    def __init__(
+        self,
+        representation_dim: int,
+        hidden_sizes: Sequence[int] = (64,),
+        activation: str = "elu",
+        normalize_output: bool = False,
+        residual: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if representation_dim <= 0:
+            raise ValueError("representation_dim must be positive")
+        self.representation_dim = representation_dim
+        self.normalize_output = normalize_output
+        self.residual = residual
+        self.network = MLP(
+            in_features=representation_dim,
+            hidden_sizes=hidden_sizes,
+            out_features=representation_dim,
+            activation=activation,
+            rng=rng,
+        )
+        if residual:
+            # Shrink the initial correction so phi starts close to the identity map.
+            for name, param in self.network.named_parameters():
+                param.data = param.data * 0.1
+
+    def forward(self, representations: Tensor) -> Tensor:
+        """Transform a batch of old-space representations into the new space."""
+        out = self.network(representations)
+        if self.residual:
+            out = representations + out
+        if self.normalize_output:
+            out = out / out.norm(axis=1, keepdims=True)
+        return out
+
+    def transform_array(self, representations: np.ndarray) -> np.ndarray:
+        """Transform a NumPy array of representations without recording gradients."""
+        representations = np.asarray(representations, dtype=np.float64)
+        if representations.ndim != 2 or representations.shape[1] != self.representation_dim:
+            raise ValueError(
+                f"expected representations of shape (n, {self.representation_dim})"
+            )
+        with no_grad():
+            out = self.forward(Tensor(representations))
+        return out.numpy().copy()

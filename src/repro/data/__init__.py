@@ -1,0 +1,44 @@
+"""Datasets: containers, streams, semi-synthetic benchmarks and the synthetic generator."""
+
+from .dataset import CausalDataset, train_val_test_split, minibatches
+from .streams import DomainSplit, DomainStream
+from .topics import TopicCorpus, TopicCorpusGenerator, TopicModel
+from .semisynthetic import (
+    SemiSyntheticBenchmark,
+    SemiSyntheticConfig,
+    ShiftScenario,
+    blogcatalog_config,
+    news_config,
+)
+from .news import NewsBenchmark, load_news_domain_pair
+from .blogcatalog import BlogCatalogBenchmark, load_blogcatalog_domain_pair
+from .synthetic import (
+    SyntheticConfig,
+    SyntheticDomainGenerator,
+    build_block_correlation,
+    hub_toeplitz_correlation,
+)
+
+__all__ = [
+    "CausalDataset",
+    "train_val_test_split",
+    "minibatches",
+    "DomainSplit",
+    "DomainStream",
+    "TopicCorpus",
+    "TopicCorpusGenerator",
+    "TopicModel",
+    "SemiSyntheticBenchmark",
+    "SemiSyntheticConfig",
+    "ShiftScenario",
+    "news_config",
+    "blogcatalog_config",
+    "NewsBenchmark",
+    "load_news_domain_pair",
+    "BlogCatalogBenchmark",
+    "load_blogcatalog_domain_pair",
+    "SyntheticConfig",
+    "SyntheticDomainGenerator",
+    "hub_toeplitz_correlation",
+    "build_block_correlation",
+]

@@ -1,0 +1,193 @@
+"""Dataset containers for observational causal-inference data.
+
+The central object is :class:`CausalDataset`, a unit-level container of
+covariates, binary treatments, factual outcomes and (when the data are
+synthetic or semi-synthetic) the true potential outcomes ``mu0``/``mu1`` used
+to evaluate PEHE and the ATE error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CausalDataset", "train_val_test_split", "minibatches"]
+
+
+@dataclass
+class CausalDataset:
+    """Observational dataset with (optionally) known potential outcomes.
+
+    Attributes
+    ----------
+    covariates:
+        Array ``(n, p)`` of observed covariates ``X``.
+    treatments:
+        Binary array ``(n,)`` of treatment assignments ``T``.
+    outcomes:
+        Array ``(n,)`` of factual outcomes ``Y`` (the outcome under the
+        received treatment).
+    mu0, mu1:
+        Noise-free potential outcomes under control / treatment.  Present for
+        synthetic and semi-synthetic data; ``None`` for purely observational
+        data, in which case PEHE cannot be computed.
+    domain:
+        Integer tag of the data source / domain the units came from.
+    name:
+        Human-readable dataset name (used in reports).
+    """
+
+    covariates: np.ndarray
+    treatments: np.ndarray
+    outcomes: np.ndarray
+    mu0: Optional[np.ndarray] = None
+    mu1: Optional[np.ndarray] = None
+    domain: int = 0
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.covariates = np.asarray(self.covariates, dtype=np.float64)
+        self.treatments = np.asarray(self.treatments, dtype=np.int64).ravel()
+        self.outcomes = np.asarray(self.outcomes, dtype=np.float64).ravel()
+        if self.covariates.ndim != 2:
+            raise ValueError("covariates must be a 2-D array (n, p)")
+        n = self.covariates.shape[0]
+        if self.treatments.shape[0] != n or self.outcomes.shape[0] != n:
+            raise ValueError("covariates, treatments and outcomes must agree on n")
+        unexpected = set(np.unique(self.treatments)) - {0, 1}
+        if unexpected and n > 0:
+            raise ValueError(f"treatments must be binary; found {sorted(unexpected)}")
+        for attr in ("mu0", "mu1"):
+            value = getattr(self, attr)
+            if value is not None:
+                value = np.asarray(value, dtype=np.float64).ravel()
+                if value.shape[0] != n:
+                    raise ValueError(f"{attr} must have length n={n}")
+                setattr(self, attr, value)
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.covariates.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of covariates per unit."""
+        return self.covariates.shape[1]
+
+    @property
+    def n_treated(self) -> int:
+        """Number of treated units."""
+        return int(np.sum(self.treatments == 1))
+
+    @property
+    def n_control(self) -> int:
+        """Number of control units."""
+        return int(np.sum(self.treatments == 0))
+
+    @property
+    def has_counterfactuals(self) -> bool:
+        """Whether the true potential outcomes are available."""
+        return self.mu0 is not None and self.mu1 is not None
+
+    @property
+    def true_ite(self) -> np.ndarray:
+        """True individual treatment effects ``mu1 - mu0``."""
+        if not self.has_counterfactuals:
+            raise ValueError("true ITE unavailable: dataset has no counterfactual outcomes")
+        return self.mu1 - self.mu0
+
+    @property
+    def true_ate(self) -> float:
+        """True average treatment effect."""
+        return float(np.mean(self.true_ite))
+
+    # ------------------------------------------------------------------ #
+    # indexing / combination
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "CausalDataset":
+        """Return the dataset restricted to ``indices`` (copy)."""
+        indices = np.asarray(indices)
+        return CausalDataset(
+            covariates=self.covariates[indices].copy(),
+            treatments=self.treatments[indices].copy(),
+            outcomes=self.outcomes[indices].copy(),
+            mu0=None if self.mu0 is None else self.mu0[indices].copy(),
+            mu1=None if self.mu1 is None else self.mu1[indices].copy(),
+            domain=self.domain,
+            name=name if name is not None else self.name,
+        )
+
+    def merge(self, other: "CausalDataset", name: Optional[str] = None) -> "CausalDataset":
+        """Concatenate two datasets (used by the CFR-C joint-retraining strategy)."""
+        if self.n_features != other.n_features:
+            raise ValueError(
+                f"cannot merge datasets with different covariate dims "
+                f"({self.n_features} vs {other.n_features})"
+            )
+        both_have_cf = self.has_counterfactuals and other.has_counterfactuals
+        return CausalDataset(
+            covariates=np.concatenate([self.covariates, other.covariates], axis=0),
+            treatments=np.concatenate([self.treatments, other.treatments]),
+            outcomes=np.concatenate([self.outcomes, other.outcomes]),
+            mu0=np.concatenate([self.mu0, other.mu0]) if both_have_cf else None,
+            mu1=np.concatenate([self.mu1, other.mu1]) if both_have_cf else None,
+            domain=self.domain,
+            name=name if name is not None else f"{self.name}+{other.name}",
+        )
+
+
+def train_val_test_split(
+    dataset: CausalDataset,
+    train_fraction: float = 0.6,
+    val_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[CausalDataset, CausalDataset, CausalDataset]:
+    """Random train/validation/test split following the paper's 60/20/20.
+
+    The split is performed uniformly at random over units; treatment
+    proportions are therefore approximately preserved in expectation.
+    """
+    if not 0.0 < train_fraction < 1.0 or not 0.0 <= val_fraction < 1.0:
+        raise ValueError("fractions must lie in (0, 1)")
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError("train_fraction + val_fraction must leave room for a test set")
+    rng = rng if rng is not None else np.random.default_rng()
+    n = len(dataset)
+    if n < 3:
+        raise ValueError("dataset too small to split into train/val/test")
+    permutation = rng.permutation(n)
+    n_train = max(1, int(round(train_fraction * n)))
+    n_val = max(1, int(round(val_fraction * n)))
+    n_train = min(n_train, n - 2)
+    n_val = min(n_val, n - n_train - 1)
+    train_idx = permutation[:n_train]
+    val_idx = permutation[n_train : n_train + n_val]
+    test_idx = permutation[n_train + n_val :]
+    return (
+        dataset.subset(train_idx, name=f"{dataset.name}/train"),
+        dataset.subset(val_idx, name=f"{dataset.name}/val"),
+        dataset.subset(test_idx, name=f"{dataset.name}/test"),
+    )
+
+
+def minibatches(
+    n: int,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = True,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in minibatches."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(n)
+    if shuffle:
+        rng = rng if rng is not None else np.random.default_rng()
+        indices = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        yield indices[start : start + batch_size]

@@ -1,0 +1,282 @@
+"""Semi-synthetic News / BlogCatalog style benchmark construction.
+
+Implements the outcome/treatment simulation of Sec. IV-A of the paper on top
+of the topic-model substrate in :mod:`repro.data.topics`:
+
+* units are documents represented by bag-of-words counts ``x``;
+* a topic model provides topic proportions ``z(x)``;
+* ``z_c1`` is the topic distribution of one randomly sampled document and
+  ``z_c0`` the average topic distribution of all documents;
+* outcomes are ``y(x) = C (z(x)·z_c0 + t · z(x)·z_c1) + eps`` with ``C = 60``
+  and ``eps ~ N(0, 1)``;
+* treatments are sampled from
+  ``p(t=1|x) = exp(k z·z_c1) / (exp(k z·z_c0) + exp(k z·z_c1))`` with ``k=10``;
+* sequential domains are built from ranges of topics: no overlap of dominant
+  topics → *substantial* shift, partial overlap → *moderate* shift, random
+  assignment → *no* shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Tuple
+
+import numpy as np
+
+from .dataset import CausalDataset
+from .topics import TopicCorpusGenerator, TopicModel
+
+__all__ = ["ShiftScenario", "SemiSyntheticConfig", "SemiSyntheticBenchmark", "news_config", "blogcatalog_config"]
+
+ShiftScenario = Literal["substantial", "moderate", "none"]
+
+_VALID_SCENARIOS: Tuple[str, ...] = ("substantial", "moderate", "none")
+
+
+@dataclass
+class SemiSyntheticConfig:
+    """Configuration of a semi-synthetic topic benchmark.
+
+    The defaults of :func:`news_config` and :func:`blogcatalog_config` follow
+    the paper's dataset sizes; the ``scale`` argument of those helpers shrinks
+    the corpus proportionally for quick runs.
+    """
+
+    name: str = "news"
+    n_units: int = 5000
+    vocab_size: int = 3477
+    n_topics: int = 50
+    doc_length: int = 120
+    outcome_scale: float = 60.0
+    selection_bias: float = 10.0
+    noise_std: float = 1.0
+    topic_model_iterations: int = 40
+    topic_concentration: float = 0.08
+    word_concentration: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.n_units < 10:
+            raise ValueError("n_units must be at least 10")
+        if self.n_topics < 4:
+            raise ValueError("n_topics must be at least 4")
+        if self.vocab_size < self.n_topics:
+            raise ValueError("vocab_size must be at least n_topics")
+        if self.outcome_scale <= 0:
+            raise ValueError("outcome_scale must be positive")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+
+
+def news_config(scale: float = 1.0) -> SemiSyntheticConfig:
+    """News benchmark configuration (5000 units, 3477 vocabulary, 50 topics)."""
+    return _scaled_config(
+        SemiSyntheticConfig(name="news", n_units=5000, vocab_size=3477, n_topics=50), scale
+    )
+
+
+def blogcatalog_config(scale: float = 1.0) -> SemiSyntheticConfig:
+    """BlogCatalog benchmark configuration (5196 units, 2160 vocabulary, 50 topics)."""
+    return _scaled_config(
+        SemiSyntheticConfig(name="blogcatalog", n_units=5196, vocab_size=2160, n_topics=50), scale
+    )
+
+
+def _scaled_config(config: SemiSyntheticConfig, scale: float) -> SemiSyntheticConfig:
+    if scale <= 0.0 or scale > 1.0:
+        raise ValueError("scale must lie in (0, 1]")
+    if scale == 1.0:
+        return config
+    return SemiSyntheticConfig(
+        name=config.name,
+        n_units=max(60, int(config.n_units * scale)),
+        vocab_size=max(40, int(config.vocab_size * scale)),
+        n_topics=max(10, int(config.n_topics * min(1.0, scale * 2))),
+        doc_length=config.doc_length,
+        outcome_scale=config.outcome_scale,
+        selection_bias=config.selection_bias,
+        noise_std=config.noise_std,
+        topic_model_iterations=config.topic_model_iterations,
+        topic_concentration=config.topic_concentration,
+        word_concentration=config.word_concentration,
+    )
+
+
+@dataclass
+class _SimulatedPopulation:
+    """Internal container for the simulated corpus-level quantities."""
+
+    counts: np.ndarray
+    topic_proportions: np.ndarray
+    dominant_topics: np.ndarray
+    mu0: np.ndarray
+    mu1: np.ndarray
+    treatments: np.ndarray
+    outcomes: np.ndarray
+    propensities: np.ndarray
+
+
+class SemiSyntheticBenchmark:
+    """Builds sequential-domain causal datasets from a topic-structured corpus.
+
+    Parameters
+    ----------
+    config:
+        Benchmark configuration (see :func:`news_config` / :func:`blogcatalog_config`).
+    seed:
+        Seed of the internal random generator; every derived quantity
+        (corpus, topic model, treatments, noise, splits) is reproducible.
+    """
+
+    def __init__(self, config: SemiSyntheticConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self._population: Optional[_SimulatedPopulation] = None
+
+    # ------------------------------------------------------------------ #
+    # population simulation
+    # ------------------------------------------------------------------ #
+    def _simulate_population(self) -> _SimulatedPopulation:
+        if self._population is not None:
+            return self._population
+        config = self.config
+        rng = np.random.default_rng(self.seed)
+
+        generator = TopicCorpusGenerator(
+            n_topics=config.n_topics,
+            vocab_size=config.vocab_size,
+            doc_length=config.doc_length,
+            topic_concentration=config.topic_concentration,
+            word_concentration=config.word_concentration,
+        )
+        corpus = generator.generate(config.n_units, rng)
+
+        topic_model = TopicModel(
+            n_topics=config.n_topics, n_iterations=config.topic_model_iterations
+        )
+        z = topic_model.fit_transform(corpus.counts, rng=rng)
+
+        # Centroids: z_c0 is the mean topic representation, z_c1 the topic
+        # representation of one randomly sampled document (Sec. IV-A).
+        centroid_control = z.mean(axis=0)
+        centroid_treated = z[rng.integers(0, z.shape[0])]
+
+        affinity_control = z @ centroid_control
+        affinity_treated = z @ centroid_treated
+
+        mu0 = config.outcome_scale * affinity_control
+        mu1 = config.outcome_scale * (affinity_control + affinity_treated)
+
+        k = config.selection_bias
+        logits = k * (affinity_treated - affinity_control)
+        propensities = 1.0 / (1.0 + np.exp(-logits))
+        treatments = (rng.random(config.n_units) < propensities).astype(np.int64)
+
+        noise = rng.normal(0.0, config.noise_std, size=config.n_units)
+        outcomes = np.where(treatments == 1, mu1, mu0) + noise
+
+        dominant = np.argmax(z, axis=1)
+        self._population = _SimulatedPopulation(
+            counts=corpus.counts,
+            topic_proportions=z,
+            dominant_topics=dominant,
+            mu0=mu0,
+            mu1=mu1,
+            treatments=treatments,
+            outcomes=outcomes,
+            propensities=propensities,
+        )
+        return self._population
+
+    # ------------------------------------------------------------------ #
+    # domain construction
+    # ------------------------------------------------------------------ #
+    def _topic_ranges(self, scenario: ShiftScenario) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the topic index sets defining the two domains."""
+        n_topics = self.config.n_topics
+        half = n_topics // 2
+        if scenario == "substantial":
+            first = np.arange(0, half)
+            second = np.arange(half, n_topics)
+        elif scenario == "moderate":
+            # Paper: topics 1-35 vs 16-50 out of 50, i.e. 70% of the range each
+            # with a 40% overlap in the middle.
+            upper_first = int(round(0.7 * n_topics))
+            lower_second = int(round(0.3 * n_topics))
+            first = np.arange(0, upper_first)
+            second = np.arange(lower_second, n_topics)
+        elif scenario == "none":
+            first = np.arange(0, n_topics)
+            second = np.arange(0, n_topics)
+        else:
+            raise ValueError(f"unknown shift scenario '{scenario}'; valid: {_VALID_SCENARIOS}")
+        return first, second
+
+    def generate_domain_pair(
+        self, scenario: ShiftScenario = "substantial"
+    ) -> Tuple[CausalDataset, CausalDataset]:
+        """Generate the two sequential domains for the given shift scenario.
+
+        Under *substantial* and *moderate* shift, units are assigned to a
+        domain according to their dominant topic (units whose dominant topic
+        is in the overlap are split at random).  Under *no* shift the units
+        are split uniformly at random, so both domains share one distribution.
+        """
+        population = self._simulate_population()
+        rng = np.random.default_rng(self.seed + 1)
+        n = len(population.outcomes)
+
+        if scenario == "none":
+            assignment = rng.random(n) < 0.5
+            first_idx = np.flatnonzero(assignment)
+            second_idx = np.flatnonzero(~assignment)
+        else:
+            first_topics, second_topics = self._topic_ranges(scenario)
+            in_first = np.isin(population.dominant_topics, first_topics)
+            in_second = np.isin(population.dominant_topics, second_topics)
+            overlap = in_first & in_second
+            only_first = in_first & ~in_second
+            only_second = in_second & ~in_first
+            # Units in the overlap region go to either domain with equal probability.
+            overlap_to_first = overlap & (rng.random(n) < 0.5)
+            first_mask = only_first | overlap_to_first
+            second_mask = only_second | (overlap & ~overlap_to_first)
+            first_idx = np.flatnonzero(first_mask)
+            second_idx = np.flatnonzero(second_mask)
+
+        return (
+            self._build_dataset(first_idx, domain=0, scenario=scenario),
+            self._build_dataset(second_idx, domain=1, scenario=scenario),
+        )
+
+    def _build_dataset(
+        self, indices: np.ndarray, domain: int, scenario: ShiftScenario
+    ) -> CausalDataset:
+        population = self._simulate_population()
+        if indices.size < 10:
+            raise ValueError(
+                "domain split produced fewer than 10 units; increase n_units or use a different seed"
+            )
+        return CausalDataset(
+            covariates=population.counts[indices],
+            treatments=population.treatments[indices],
+            outcomes=population.outcomes[indices],
+            mu0=population.mu0[indices],
+            mu1=population.mu1[indices],
+            domain=domain,
+            name=f"{self.config.name}/{scenario}/domain{domain + 1}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def population_summary(self) -> Dict[str, float]:
+        """Return summary statistics of the simulated population."""
+        population = self._simulate_population()
+        return {
+            "n_units": float(len(population.outcomes)),
+            "treated_fraction": float(np.mean(population.treatments)),
+            "true_ate": float(np.mean(population.mu1 - population.mu0)),
+            "outcome_mean": float(np.mean(population.outcomes)),
+            "outcome_std": float(np.std(population.outcomes)),
+            "mean_propensity": float(np.mean(population.propensities)),
+        }

@@ -1,0 +1,124 @@
+"""Domain streams: sequential availability of observational datasets.
+
+The continual-learning protocol of the paper (Figure 4) is that datasets
+``D_1, ..., D_d`` become available one at a time; when ``D_d`` arrives the
+raw data of ``D_1 ... D_{d-1}`` are no longer accessible.  :class:`DomainStream`
+packages that protocol: it holds the per-domain train/val/test splits, yields
+only the training data of the current domain to the learner, and keeps the
+held-out test sets around for evaluation of *all seen* domains (which the
+evaluation, unlike the learner, is allowed to use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import CausalDataset, train_val_test_split
+
+__all__ = ["DomainSplit", "DomainStream"]
+
+
+@dataclass
+class DomainSplit:
+    """Train/validation/test split of one domain."""
+
+    train: CausalDataset
+    val: CausalDataset
+    test: CausalDataset
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying domain dataset."""
+        return self.train.name
+
+
+class DomainStream:
+    """Sequence of domains made available one at a time.
+
+    Parameters
+    ----------
+    datasets:
+        The per-domain datasets, in arrival order.
+    train_fraction, val_fraction:
+        Split fractions applied to every domain (paper: 60/20/20).
+    seed:
+        Seed for the split randomisation.
+    """
+
+    def __init__(
+        self,
+        datasets: Sequence[CausalDataset],
+        train_fraction: float = 0.6,
+        val_fraction: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if not datasets:
+            raise ValueError("DomainStream requires at least one dataset")
+        dims = {d.n_features for d in datasets}
+        if len(dims) != 1:
+            raise ValueError(f"all domains must share the covariate dimension; got {sorted(dims)}")
+        rng = np.random.default_rng(seed)
+        self._splits: List[DomainSplit] = []
+        for dataset in datasets:
+            train, val, test = train_val_test_split(
+                dataset, train_fraction=train_fraction, val_fraction=val_fraction, rng=rng
+            )
+            self._splits.append(DomainSplit(train=train, val=val, test=test))
+
+    # ------------------------------------------------------------------ #
+    # sequence protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._splits)
+
+    def __iter__(self) -> Iterator[DomainSplit]:
+        return iter(self._splits)
+
+    def __getitem__(self, index: int) -> DomainSplit:
+        return self._splits[index]
+
+    @property
+    def n_features(self) -> int:
+        """Covariate dimensionality shared by all domains."""
+        return self._splits[0].train.n_features
+
+    # ------------------------------------------------------------------ #
+    # continual-learning protocol helpers
+    # ------------------------------------------------------------------ #
+    def train_data(self, domain_index: int) -> CausalDataset:
+        """Training data of the given domain (the only data the learner sees)."""
+        return self._splits[domain_index].train
+
+    def val_data(self, domain_index: int) -> CausalDataset:
+        """Validation data of the given domain."""
+        return self._splits[domain_index].val
+
+    def test_sets_seen(self, up_to_domain: int) -> List[CausalDataset]:
+        """Test sets of every domain seen so far (inclusive)."""
+        if not 0 <= up_to_domain < len(self):
+            raise IndexError(f"domain index {up_to_domain} out of range")
+        return [split.test for split in self._splits[: up_to_domain + 1]]
+
+    def previous_and_new_test(self, new_domain: int) -> Tuple[CausalDataset, CausalDataset]:
+        """Return (previous-domains test set, new-domain test set).
+
+        For the two-domain tables of the paper this is simply
+        ``(test of D1, test of D2)``; with more domains the previous test sets
+        are concatenated.
+        """
+        if new_domain <= 0:
+            raise ValueError("previous_and_new_test requires new_domain >= 1")
+        previous = self._splits[0].test
+        for split in self._splits[1:new_domain]:
+            previous = previous.merge(split.test)
+        return previous, self._splits[new_domain].test
+
+    def joint_training_data(self, up_to_domain: int) -> CausalDataset:
+        """Union of all training data up to a domain (used by CFR-C only)."""
+        merged = self._splits[0].train
+        for split in self._splits[1 : up_to_domain + 1]:
+            merged = merged.merge(split.train)
+        return merged

@@ -1,0 +1,48 @@
+"""Experiment drivers regenerating the paper's tables and figures."""
+
+from .profiles import PAPER, QUICK, SMOKE, ExperimentProfile
+from .runner import (
+    StrategyResult,
+    StreamResult,
+    cerl_variant,
+    run_stream,
+    run_two_domain_comparison,
+)
+from .reporting import format_series, format_table, summarize_two_domain_results
+from .table1 import TABLE1_SCENARIOS, TABLE1_STRATEGIES, Table1Result, run_table1
+from .table2 import TABLE2_ABLATIONS, TABLE2_STRATEGIES, Table2Result, run_table2
+from .figure3 import (
+    MemoryCurveResult,
+    SensitivityResult,
+    run_cosine_ablation_stream,
+    run_figure3_memory,
+    run_figure3_sensitivity,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "SMOKE",
+    "QUICK",
+    "PAPER",
+    "StrategyResult",
+    "StreamResult",
+    "cerl_variant",
+    "run_stream",
+    "run_two_domain_comparison",
+    "format_series",
+    "format_table",
+    "summarize_two_domain_results",
+    "Table1Result",
+    "run_table1",
+    "TABLE1_STRATEGIES",
+    "TABLE1_SCENARIOS",
+    "Table2Result",
+    "run_table2",
+    "TABLE2_STRATEGIES",
+    "TABLE2_ABLATIONS",
+    "MemoryCurveResult",
+    "SensitivityResult",
+    "run_figure3_memory",
+    "run_figure3_sensitivity",
+    "run_cosine_ablation_stream",
+]

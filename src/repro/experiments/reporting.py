@@ -1,0 +1,64 @@
+"""Plain-text reporting helpers for the experiment drivers.
+
+Every table/figure driver produces a list of row dictionaries; these helpers
+render them as aligned text tables (the same rows/series the paper reports) so
+benchmark runs and examples can print human-readable output without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "summarize_two_domain_results"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        raise ValueError("format_table requires at least one row")
+    columns = list(rows[0].keys())
+    rendered_rows = [[_format_value(row[col]) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(value.ljust(width) for value, width in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]], x_label: str, x_values: Sequence[object], title: str = ""
+) -> str:
+    """Render named metric series (one per line) over shared x values.
+
+    Used for the Figure 3 style outputs, e.g. sqrt(PEHE) after each domain for
+    several memory budgets.
+    """
+    rows = []
+    for x, *values in zip(x_values, *series.values()):
+        row = {x_label: x}
+        for name, value in zip(series.keys(), values):
+            row[name] = value
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def summarize_two_domain_results(results, title: str = "") -> str:
+    """Render :class:`~repro.experiments.runner.StrategyResult` rows as a table."""
+    return format_table([result.row() for result in results], title=title)

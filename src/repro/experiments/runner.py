@@ -1,0 +1,157 @@
+"""Shared experiment machinery: running strategies over domain streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.cerl import CERL
+from ..core.config import ContinualConfig, ModelConfig
+from ..core.strategies import ContinualEstimator, make_strategy
+from ..data.dataset import CausalDataset
+from ..data.streams import DomainStream
+
+__all__ = ["StrategyResult", "StreamResult", "run_two_domain_comparison", "run_stream", "cerl_variant"]
+
+
+@dataclass
+class StrategyResult:
+    """Result of one strategy on a two-domain experiment (one table row)."""
+
+    strategy: str
+    previous: Dict[str, float]
+    new: Dict[str, float]
+    needs_previous_raw_data: bool
+    stores_all_raw_data: bool
+
+    def row(self) -> Dict[str, float | str]:
+        """Flatten into a report row with the paper's column names."""
+        return {
+            "strategy": self.strategy,
+            "prev_sqrt_pehe": self.previous["sqrt_pehe"],
+            "prev_ate_error": self.previous["ate_error"],
+            "new_sqrt_pehe": self.new["sqrt_pehe"],
+            "new_ate_error": self.new["ate_error"],
+            "needs_previous_raw_data": self.needs_previous_raw_data,
+        }
+
+
+@dataclass
+class StreamResult:
+    """Result of one learner over a multi-domain stream (Figure 3 style)."""
+
+    strategy: str
+    #: ``per_stage[t]`` holds the metrics averaged over the test sets of all
+    #: domains seen after training on domain ``t``.
+    per_stage: List[Dict[str, float]] = field(default_factory=list)
+    #: ``per_domain[t][d]`` holds the metrics on domain ``d``'s test set after
+    #: training on domain ``t``.
+    per_domain: List[List[Dict[str, float]]] = field(default_factory=list)
+
+
+def _strategy_flags(name: str) -> tuple:
+    """Return (needs_previous_raw_data, stores_all_raw_data) for a strategy name."""
+    key = name.upper()
+    if key.startswith("CFR-C"):
+        return True, True
+    return False, False
+
+
+def cerl_variant(
+    variant: str,
+    n_features: int,
+    model_config: ModelConfig,
+    continual_config: ContinualConfig,
+) -> CERL:
+    """Build a CERL ablation variant by its paper name.
+
+    Supported variants: ``"CERL"``, ``"CERL (w/o FRT)"``, ``"CERL (w/o herding)"``,
+    ``"CERL (w/o cosine norm)"``.
+    """
+    key = variant.lower()
+    if "w/o frt" in key:
+        continual_config = continual_config.with_updates(use_feature_transformation=False)
+    if "w/o herding" in key:
+        continual_config = continual_config.with_updates(memory_strategy="random")
+    if "w/o cosine" in key:
+        model_config = model_config.with_updates(use_cosine_norm=False)
+    return CERL(n_features, model_config, continual_config)
+
+
+def _build(
+    name: str,
+    n_features: int,
+    model_config: ModelConfig,
+    continual_config: ContinualConfig,
+) -> ContinualEstimator:
+    if name.upper().startswith("CERL"):
+        return cerl_variant(name, n_features, model_config, continual_config)
+    return make_strategy(name, n_features, model_config, continual_config)
+
+
+def run_two_domain_comparison(
+    first_domain: CausalDataset,
+    second_domain: CausalDataset,
+    strategies: Sequence[str],
+    model_config: ModelConfig,
+    continual_config: ContinualConfig,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+) -> List[StrategyResult]:
+    """Run the Table I / Table II protocol: two sequential domains, several strategies.
+
+    Every strategy observes the training split of domain 1 and then of
+    domain 2, and is evaluated on the held-out test splits of both domains.
+    """
+    stream = DomainStream([first_domain, second_domain], seed=seed)
+    previous_test, new_test = stream.previous_and_new_test(1)
+
+    results: List[StrategyResult] = []
+    for name in strategies:
+        learner = _build(name, stream.n_features, model_config, continual_config)
+        learner.observe(stream.train_data(0), epochs=epochs, val_dataset=stream.val_data(0))
+        learner.observe(stream.train_data(1), epochs=epochs, val_dataset=stream.val_data(1))
+        needs_raw, stores_raw = _strategy_flags(name)
+        results.append(
+            StrategyResult(
+                strategy=name,
+                previous=learner.evaluate(previous_test),
+                new=learner.evaluate(new_test),
+                needs_previous_raw_data=needs_raw,
+                stores_all_raw_data=stores_raw,
+            )
+        )
+    return results
+
+
+def run_stream(
+    datasets: Sequence[CausalDataset],
+    strategy: str,
+    model_config: ModelConfig,
+    continual_config: ContinualConfig,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+) -> StreamResult:
+    """Run one learner over a multi-domain stream, evaluating after every domain.
+
+    After training on domain ``t`` the learner is evaluated on the test sets
+    of every domain seen so far; this is the protocol behind Figure 3 (a)/(b).
+    """
+    stream = DomainStream(datasets, seed=seed)
+    learner = _build(strategy, stream.n_features, model_config, continual_config)
+    result = StreamResult(strategy=strategy)
+    for domain_index in range(len(stream)):
+        learner.observe(
+            stream.train_data(domain_index),
+            epochs=epochs,
+            val_dataset=stream.val_data(domain_index),
+        )
+        seen_tests = stream.test_sets_seen(domain_index)
+        per_domain = [learner.evaluate(test_set) for test_set in seen_tests]
+        result.per_domain.append(per_domain)
+        averaged = {
+            key: float(sum(metrics[key] for metrics in per_domain) / len(per_domain))
+            for key in per_domain[0]
+        }
+        result.per_stage.append(averaged)
+    return result

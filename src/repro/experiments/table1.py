@@ -1,0 +1,112 @@
+"""Table I driver: News and BlogCatalog under three domain-shift scenarios.
+
+The paper's Table I reports sqrt(PEHE) and the ATE error on the *previous* and
+*new* test sets for the strategies CFR-A, CFR-B, CFR-C and CERL, on the News
+and BlogCatalog benchmarks, under substantial / moderate / no domain shift,
+with a memory budget of M = 500.
+
+:func:`run_table1` regenerates those rows (at a configurable profile scale)
+and returns both the structured results and a formatted text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.blogcatalog import BlogCatalogBenchmark
+from ..data.news import NewsBenchmark
+from ..data.semisynthetic import SemiSyntheticBenchmark, ShiftScenario
+from .profiles import ExperimentProfile, QUICK
+from .reporting import format_table
+from .runner import StrategyResult, run_two_domain_comparison
+
+__all__ = ["Table1Result", "run_table1", "TABLE1_STRATEGIES", "TABLE1_SCENARIOS"]
+
+TABLE1_STRATEGIES: Tuple[str, ...] = ("CFR-A", "CFR-B", "CFR-C", "CERL")
+TABLE1_SCENARIOS: Tuple[ShiftScenario, ...] = ("substantial", "moderate", "none")
+
+
+@dataclass
+class Table1Result:
+    """Structured Table I output."""
+
+    profile: str
+    #: results[(dataset, scenario)] -> list of per-strategy results
+    results: Dict[Tuple[str, str], List[StrategyResult]] = field(default_factory=dict)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flatten into report rows (one per dataset × scenario × strategy)."""
+        rows: List[Dict[str, object]] = []
+        for (dataset, scenario), strategy_results in self.results.items():
+            for result in strategy_results:
+                row: Dict[str, object] = {"dataset": dataset, "shift": scenario}
+                row.update(result.row())
+                rows.append(row)
+        return rows
+
+    def report(self) -> str:
+        """Formatted text table mirroring the paper's Table I layout."""
+        return format_table(
+            self.rows(), title=f"Table I — two sequential domains (profile: {self.profile})"
+        )
+
+    def get(self, dataset: str, scenario: str, strategy: str) -> StrategyResult:
+        """Look up one strategy's result for a dataset/scenario pair."""
+        for result in self.results[(dataset, scenario)]:
+            if result.strategy == strategy:
+                return result
+        raise KeyError(f"no result for strategy '{strategy}' on ({dataset}, {scenario})")
+
+
+def _benchmark(dataset: str, profile: ExperimentProfile, seed: int) -> SemiSyntheticBenchmark:
+    key = dataset.lower()
+    if key == "news":
+        return NewsBenchmark(scale=profile.corpus_scale, seed=seed)
+    if key == "blogcatalog":
+        return BlogCatalogBenchmark(scale=profile.corpus_scale, seed=seed)
+    raise ValueError(f"unknown Table I dataset '{dataset}' (expected 'news' or 'blogcatalog')")
+
+
+def run_table1(
+    profile: ExperimentProfile = QUICK,
+    datasets: Sequence[str] = ("news", "blogcatalog"),
+    scenarios: Sequence[ShiftScenario] = TABLE1_SCENARIOS,
+    strategies: Sequence[str] = TABLE1_STRATEGIES,
+    seed: int = 0,
+    memory_budget: Optional[int] = None,
+) -> Table1Result:
+    """Regenerate (a scaled version of) Table I.
+
+    Parameters
+    ----------
+    profile:
+        Scale/training profile; ``PAPER`` reproduces the paper's sizes.
+    datasets:
+        Subset of ``("news", "blogcatalog")`` to run.
+    scenarios:
+        Subset of the three shift scenarios.
+    strategies:
+        Strategy names (CFR-A/B/C, CERL).
+    seed:
+        Seed for data generation, splits and model initialisation.
+    memory_budget:
+        Memory budget M; defaults to the profile's Table I budget.
+    """
+    budget = memory_budget if memory_budget is not None else profile.memory_budget_table1
+    output = Table1Result(profile=profile.name)
+    for dataset in datasets:
+        benchmark = _benchmark(dataset, profile, seed)
+        for scenario in scenarios:
+            first_domain, second_domain = benchmark.generate_domain_pair(scenario)
+            model_config = profile.model_config(seed=seed)
+            continual_config = profile.continual_config(memory_budget=budget)
+            output.results[(dataset, scenario)] = run_two_domain_comparison(
+                first_domain,
+                second_domain,
+                strategies=strategies,
+                model_config=model_config,
+                continual_config=continual_config,
+                seed=seed,
+            )
+    return output

@@ -1,0 +1,134 @@
+"""Table II driver: synthetic two-domain comparison with CERL ablations.
+
+The paper's Table II evaluates CFR-A, CFR-B, CFR-C, CERL and three CERL
+ablations — without the feature-representation transformation (w/o FRT), with
+random memory instead of herding (w/o herding) and without cosine
+normalisation (w/o cosine norm) — on two sequential synthetic domains with a
+memory budget of M = 10000, averaged over repeated simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.synthetic import SyntheticConfig, SyntheticDomainGenerator
+from .profiles import ExperimentProfile, QUICK
+from .reporting import format_table
+from .runner import StrategyResult, run_two_domain_comparison
+
+__all__ = ["Table2Result", "run_table2", "TABLE2_STRATEGIES", "TABLE2_ABLATIONS"]
+
+TABLE2_STRATEGIES: Tuple[str, ...] = ("CFR-A", "CFR-B", "CFR-C", "CERL")
+TABLE2_ABLATIONS: Tuple[str, ...] = (
+    "CERL (w/o FRT)",
+    "CERL (w/o herding)",
+    "CERL (w/o cosine norm)",
+)
+
+
+@dataclass
+class Table2Result:
+    """Structured Table II output (averaged over repetitions)."""
+
+    profile: str
+    repetitions: int
+    #: results[strategy] -> averaged metrics {"prev_sqrt_pehe", "prev_ate_error", ...}
+    results: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flatten into report rows, one per strategy/ablation."""
+        rows: List[Dict[str, object]] = []
+        for strategy, metrics in self.results.items():
+            row: Dict[str, object] = {"strategy": strategy}
+            row.update(metrics)
+            rows.append(row)
+        return rows
+
+    def report(self) -> str:
+        """Formatted text table mirroring the paper's Table II layout."""
+        return format_table(
+            self.rows(),
+            title=(
+                f"Table II — synthetic two-domain comparison "
+                f"(profile: {self.profile}, {self.repetitions} repetition(s))"
+            ),
+        )
+
+    def get(self, strategy: str) -> Dict[str, float]:
+        """Averaged metrics for one strategy."""
+        return self.results[strategy]
+
+
+def _average_results(per_rep: List[List[StrategyResult]]) -> Dict[str, Dict[str, float]]:
+    """Average per-repetition strategy results into one row per strategy."""
+    averaged: Dict[str, Dict[str, float]] = {}
+    strategies = [result.strategy for result in per_rep[0]]
+    for position, strategy in enumerate(strategies):
+        rows = [rep[position].row() for rep in per_rep]
+        averaged[strategy] = {
+            "prev_sqrt_pehe": float(np.mean([row["prev_sqrt_pehe"] for row in rows])),
+            "prev_ate_error": float(np.mean([row["prev_ate_error"] for row in rows])),
+            "new_sqrt_pehe": float(np.mean([row["new_sqrt_pehe"] for row in rows])),
+            "new_ate_error": float(np.mean([row["new_ate_error"] for row in rows])),
+        }
+    return averaged
+
+
+def run_table2(
+    profile: ExperimentProfile = QUICK,
+    strategies: Sequence[str] = TABLE2_STRATEGIES,
+    ablations: Sequence[str] = TABLE2_ABLATIONS,
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+    memory_budget: Optional[int] = None,
+    synthetic_config: Optional[SyntheticConfig] = None,
+) -> Table2Result:
+    """Regenerate (a scaled version of) Table II.
+
+    Parameters
+    ----------
+    profile:
+        Scale/training profile.
+    strategies, ablations:
+        Strategy names and CERL ablation names to include.
+    repetitions:
+        Number of independent simulation repetitions (defaults to the profile).
+    memory_budget:
+        Memory budget M (defaults to the profile's Table II budget).
+    synthetic_config:
+        Override of the synthetic generator configuration; the number of units
+        always comes from the profile unless explicitly set here.
+    """
+    repetitions = repetitions if repetitions is not None else profile.repetitions
+    budget = memory_budget if memory_budget is not None else profile.memory_budget_table2
+    all_names = list(strategies) + list(ablations)
+
+    if synthetic_config is None:
+        synthetic_config = profile.synthetic_config()
+
+    per_rep: List[List[StrategyResult]] = []
+    for repetition in range(repetitions):
+        generator = SyntheticDomainGenerator(synthetic_config, seed=seed)
+        first_domain = generator.generate_domain(0, repetition=repetition)
+        second_domain = generator.generate_domain(1, repetition=repetition)
+        model_config = profile.model_config(seed=seed + repetition)
+        continual_config = profile.continual_config(memory_budget=budget)
+        per_rep.append(
+            run_two_domain_comparison(
+                first_domain,
+                second_domain,
+                strategies=all_names,
+                model_config=model_config,
+                continual_config=continual_config,
+                seed=seed + repetition,
+            )
+        )
+
+    return Table2Result(
+        profile=profile.name,
+        repetitions=repetitions,
+        results=_average_results(per_rep),
+    )

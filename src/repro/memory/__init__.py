@@ -1,0 +1,6 @@
+"""Rehearsal memory: herding-based exemplar selection and representation buffers."""
+
+from .herding import herding_selection, random_selection
+from .buffer import MemoryBuffer
+
+__all__ = ["herding_selection", "random_selection", "MemoryBuffer"]

@@ -1,0 +1,163 @@
+"""Memory buffer of feature representations stored between domains.
+
+After the model finishes training on domain ``d``, CERL stores the memory set
+``M_d = {R_d, Y_d, T_d} ∪ φ_{d-1→d}(M_{d-1})`` reduced to a fixed budget by
+running the herding algorithm separately on the treatment and control groups
+(Sec. III-A.2 and III-B of the paper).  Raw covariates are never stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from .herding import herding_selection, random_selection
+
+__all__ = ["MemoryBuffer"]
+
+
+@dataclass
+class MemoryBuffer:
+    """Budget-limited store of representations with outcomes and treatments.
+
+    Attributes
+    ----------
+    representations:
+        Array of shape ``(m, d)`` with the stored feature representations.
+    outcomes:
+        Array of shape ``(m,)`` with the corresponding factual outcomes.
+    treatments:
+        Array of shape ``(m,)`` with binary treatment indicators.
+    """
+
+    representations: np.ndarray
+    outcomes: np.ndarray
+    treatments: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.representations = np.asarray(self.representations, dtype=np.float64)
+        self.outcomes = np.asarray(self.outcomes, dtype=np.float64).ravel()
+        self.treatments = np.asarray(self.treatments, dtype=np.int64).ravel()
+        if self.representations.ndim != 2:
+            raise ValueError("representations must be 2-D (n, d)")
+        n = self.representations.shape[0]
+        if self.outcomes.shape[0] != n or self.treatments.shape[0] != n:
+            raise ValueError(
+                "representations, outcomes and treatments must have matching first dimensions"
+            )
+        unexpected = set(np.unique(self.treatments)) - {0, 1}
+        if unexpected:
+            raise ValueError(f"treatments must be binary; found values {sorted(unexpected)}")
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.representations.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the stored representations."""
+        return self.representations.shape[1]
+
+    @property
+    def n_treated(self) -> int:
+        """Number of stored treated units."""
+        return int(np.sum(self.treatments == 1))
+
+    @property
+    def n_control(self) -> int:
+        """Number of stored control units."""
+        return int(np.sum(self.treatments == 0))
+
+    def group(self, treatment: int) -> "MemoryBuffer":
+        """Return the sub-buffer for one treatment arm."""
+        mask = self.treatments == treatment
+        return MemoryBuffer(
+            self.representations[mask], self.outcomes[mask], self.treatments[mask]
+        )
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def empty(dim: int) -> "MemoryBuffer":
+        """Return an empty buffer with representation dimensionality ``dim``."""
+        return MemoryBuffer(
+            np.zeros((0, dim), dtype=np.float64),
+            np.zeros((0,), dtype=np.float64),
+            np.zeros((0,), dtype=np.int64),
+        )
+
+    def merge(self, other: "MemoryBuffer") -> "MemoryBuffer":
+        """Return the concatenation of this buffer with ``other``."""
+        if len(self) and len(other) and self.dim != other.dim:
+            raise ValueError(
+                f"cannot merge buffers with different dims ({self.dim} vs {other.dim})"
+            )
+        return MemoryBuffer(
+            np.concatenate([self.representations, other.representations], axis=0),
+            np.concatenate([self.outcomes, other.outcomes]),
+            np.concatenate([self.treatments, other.treatments]),
+        )
+
+    def with_representations(self, representations: np.ndarray) -> "MemoryBuffer":
+        """Return a copy of the buffer with the representations replaced.
+
+        Used when the transformation ``φ_{d-1→d}`` maps stored representations
+        into the new feature space while outcomes/treatments are unchanged.
+        """
+        representations = np.asarray(representations, dtype=np.float64)
+        if representations.shape[0] != len(self):
+            raise ValueError("replacement representations must keep the number of rows")
+        return MemoryBuffer(representations, self.outcomes.copy(), self.treatments.copy())
+
+    # ------------------------------------------------------------------ #
+    # budget reduction
+    # ------------------------------------------------------------------ #
+    def reduce(
+        self,
+        budget: int,
+        strategy: Literal["herding", "random"] = "herding",
+        rng: Optional[np.random.Generator] = None,
+    ) -> "MemoryBuffer":
+        """Return a new buffer reduced to at most ``budget`` units.
+
+        The budget is split evenly between the treatment and control arms (as
+        in the paper, which stores the same number of exemplars per arm); if
+        one arm has too few units the remainder goes to the other arm.
+        """
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        if len(self) <= budget:
+            return MemoryBuffer(
+                self.representations.copy(), self.outcomes.copy(), self.treatments.copy()
+            )
+
+        treated_idx = np.flatnonzero(self.treatments == 1)
+        control_idx = np.flatnonzero(self.treatments == 0)
+        per_arm = budget // 2
+        n_treated = min(per_arm, treated_idx.size)
+        n_control = min(budget - n_treated, control_idx.size)
+        # Give any slack back to the treated arm if control ran out.
+        n_treated = min(budget - n_control, treated_idx.size)
+
+        def select(indices: np.ndarray, count: int) -> np.ndarray:
+            if count == 0 or indices.size == 0:
+                return np.zeros(0, dtype=np.int64)
+            feats = self.representations[indices]
+            if strategy == "herding":
+                chosen = herding_selection(feats, count)
+            elif strategy == "random":
+                chosen = random_selection(feats, count, rng=rng)
+            else:
+                raise ValueError(f"unknown selection strategy '{strategy}'")
+            return indices[chosen]
+
+        keep = np.concatenate([select(treated_idx, n_treated), select(control_idx, n_control)])
+        keep.sort()
+        return MemoryBuffer(
+            self.representations[keep], self.outcomes[keep], self.treatments[keep]
+        )

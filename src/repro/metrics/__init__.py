@@ -1,0 +1,23 @@
+"""Treatment-effect and continual-learning evaluation metrics."""
+
+from .errors import (
+    EffectEstimate,
+    ate_error,
+    average_over_domains,
+    evaluate_effect_estimate,
+    factual_rmse,
+    forgetting,
+    pehe,
+    sqrt_pehe,
+)
+
+__all__ = [
+    "EffectEstimate",
+    "ate_error",
+    "average_over_domains",
+    "evaluate_effect_estimate",
+    "factual_rmse",
+    "forgetting",
+    "pehe",
+    "sqrt_pehe",
+]

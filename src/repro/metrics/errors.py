@@ -1,0 +1,154 @@
+"""Evaluation metrics for treatment-effect estimation.
+
+The paper reports two metrics (Sec. IV-B):
+
+* ``sqrt(eps_PEHE)`` — the square root of the expected Precision in the
+  Estimation of Heterogeneous Effects, i.e. the RMSE between the true and
+  estimated individual treatment effects;
+* ``eps_ATE`` — the absolute error of the estimated average treatment effect.
+
+Additional helpers cover factual-outcome error and the continual-learning
+summary metrics (average accuracy over seen domains and forgetting), which
+are used by the Figure-3 style evaluation and the library's own reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "pehe",
+    "sqrt_pehe",
+    "ate_error",
+    "factual_rmse",
+    "EffectEstimate",
+    "evaluate_effect_estimate",
+    "forgetting",
+    "average_over_domains",
+]
+
+
+def _validate_pair(true: np.ndarray, estimated: np.ndarray) -> tuple:
+    true = np.asarray(true, dtype=np.float64).ravel()
+    estimated = np.asarray(estimated, dtype=np.float64).ravel()
+    if true.shape != estimated.shape:
+        raise ValueError(f"shape mismatch: {true.shape} vs {estimated.shape}")
+    if true.size == 0:
+        raise ValueError("metric inputs must be non-empty")
+    return true, estimated
+
+
+def pehe(true_ite: np.ndarray, estimated_ite: np.ndarray) -> float:
+    """Expected precision in estimating heterogeneous effects (mean squared ITE error)."""
+    true_ite, estimated_ite = _validate_pair(true_ite, estimated_ite)
+    return float(np.mean((true_ite - estimated_ite) ** 2))
+
+
+def sqrt_pehe(true_ite: np.ndarray, estimated_ite: np.ndarray) -> float:
+    """Square root of PEHE — the metric reported in the paper's tables."""
+    return float(np.sqrt(pehe(true_ite, estimated_ite)))
+
+
+def ate_error(true_ite: np.ndarray, estimated_ite: np.ndarray) -> float:
+    """Absolute difference between the true and estimated average treatment effect."""
+    true_ite, estimated_ite = _validate_pair(true_ite, estimated_ite)
+    return float(abs(np.mean(true_ite) - np.mean(estimated_ite)))
+
+
+def factual_rmse(true_outcomes: np.ndarray, predicted_outcomes: np.ndarray) -> float:
+    """Root mean squared error of factual-outcome predictions."""
+    true_outcomes, predicted_outcomes = _validate_pair(true_outcomes, predicted_outcomes)
+    return float(np.sqrt(np.mean((true_outcomes - predicted_outcomes) ** 2)))
+
+
+@dataclass
+class EffectEstimate:
+    """Predicted potential outcomes for a set of units.
+
+    Attributes
+    ----------
+    y0_hat, y1_hat:
+        Predicted potential outcomes under control / treatment.
+    """
+
+    y0_hat: np.ndarray
+    y1_hat: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.y0_hat = np.asarray(self.y0_hat, dtype=np.float64).ravel()
+        self.y1_hat = np.asarray(self.y1_hat, dtype=np.float64).ravel()
+        if self.y0_hat.shape != self.y1_hat.shape:
+            raise ValueError("y0_hat and y1_hat must have the same shape")
+
+    @property
+    def ite_hat(self) -> np.ndarray:
+        """Estimated individual treatment effects."""
+        return self.y1_hat - self.y0_hat
+
+    @property
+    def ate_hat(self) -> float:
+        """Estimated average treatment effect."""
+        return float(np.mean(self.ite_hat))
+
+    def factual_predictions(self, treatments: np.ndarray) -> np.ndarray:
+        """Predicted factual outcomes given the observed treatments."""
+        treatments = np.asarray(treatments).ravel()
+        if treatments.shape != self.y0_hat.shape:
+            raise ValueError("treatments must match the number of predictions")
+        return np.where(treatments == 1, self.y1_hat, self.y0_hat)
+
+
+def evaluate_effect_estimate(
+    estimate: EffectEstimate,
+    true_ite: np.ndarray,
+    treatments: Optional[np.ndarray] = None,
+    factual_outcomes: Optional[np.ndarray] = None,
+) -> Dict[str, float]:
+    """Compute the paper's metrics (and factual RMSE when outcomes are given)."""
+    metrics = {
+        "sqrt_pehe": sqrt_pehe(true_ite, estimate.ite_hat),
+        "pehe": pehe(true_ite, estimate.ite_hat),
+        "ate_error": ate_error(true_ite, estimate.ite_hat),
+        "ate_hat": estimate.ate_hat,
+        "ate_true": float(np.mean(np.asarray(true_ite, dtype=np.float64))),
+    }
+    if treatments is not None and factual_outcomes is not None:
+        metrics["factual_rmse"] = factual_rmse(
+            factual_outcomes, estimate.factual_predictions(treatments)
+        )
+    return metrics
+
+
+def forgetting(metric_history: Sequence[Sequence[float]]) -> float:
+    """Average forgetting of a lower-is-better metric across a domain stream.
+
+    ``metric_history[t][d]`` is the metric on domain ``d``'s test set after
+    training on domain ``t`` (``d <= t``).  Forgetting of domain ``d`` is the
+    increase of the metric at the end of training relative to the best value
+    observed for that domain; the average is over all but the final domain.
+    Positive values indicate catastrophic forgetting.
+    """
+    if not metric_history:
+        raise ValueError("metric_history must be non-empty")
+    final = metric_history[-1]
+    n_domains = len(final)
+    if n_domains <= 1:
+        return 0.0
+    losses = []
+    for d in range(n_domains - 1):
+        best = min(step[d] for step in metric_history if len(step) > d)
+        losses.append(final[d] - best)
+    return float(np.mean(losses))
+
+
+def average_over_domains(per_domain_metrics: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Average a list of per-domain metric dictionaries key-wise."""
+    if not per_domain_metrics:
+        raise ValueError("per_domain_metrics must be non-empty")
+    keys = set(per_domain_metrics[0])
+    for metrics in per_domain_metrics[1:]:
+        keys &= set(metrics)
+    return {key: float(np.mean([metrics[key] for metrics in per_domain_metrics])) for key in sorted(keys)}

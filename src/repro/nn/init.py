@@ -1,0 +1,35 @@
+"""Weight-initialisation schemes for the NumPy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "he_normal", "zeros", "normal"]
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def xavier_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier normal initialisation for a ``(fan_in, fan_out)`` matrix."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited to ReLU-family activations."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def normal(rng: np.random.Generator, shape: tuple, std: float = 0.01) -> np.ndarray:
+    """Plain Gaussian initialisation with configurable standard deviation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zeros initialisation (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,265 @@
+"""Layers for the NumPy neural-network substrate.
+
+Includes the standard dense layer plus the :class:`CosineNormLinear` layer
+that implements the cosine normalisation of Eq. (2) in the CERL paper: the
+pre-activation is the cosine similarity between the incoming weight vector and
+the input vector, which bounds it to ``[-1, 1]`` and controls the variance of
+the representation regardless of covariate magnitude differences between
+domains and treatment arms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "Linear",
+    "CosineNormLinear",
+    "ReLU",
+    "ELU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "make_activation",
+]
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features:
+        Input dimensionality.
+    out_features:
+        Output dimensionality.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        NumPy random generator used for weight initialisation; a default
+        generator is created when omitted (useful for ad-hoc tests).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform(rng, in_features, out_features), name="weight")
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+
+class CosineNormLinear(Module):
+    """Cosine-normalised dense layer (Eq. 2 of the paper).
+
+    Instead of the unbounded dot product ``w · x``, the pre-activation is
+    ``cos(w, x) = (w · x) / (|w| |x|)``, computed per output unit.  The output
+    is therefore bounded in ``[-1, 1]`` before the activation, which removes
+    the dependence on covariate magnitudes that differ between treatment and
+    control groups and between data domains.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("CosineNormLinear dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.eps = eps
+        self.weight = Parameter(init.xavier_normal(rng, in_features, out_features), name="weight")
+
+    def forward(self, x: Tensor) -> Tensor:
+        # Row norms of the input and column norms of the weights.
+        x_norm = x.norm(axis=1, keepdims=True, eps=self.eps)
+        w_norm = self.weight.norm(axis=0, keepdims=True, eps=self.eps)
+        dot = x @ self.weight
+        return dot / (x_norm @ w_norm)
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class ELU(Module):
+    """Exponential linear unit activation."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.elu(self.alpha)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Identity(Module):
+    """Pass-through module (used as a no-op activation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+def make_activation(name: str) -> Module:
+    """Build an activation module from its name (``relu``/``elu``/``tanh``/...)."""
+    registry: dict[str, Callable[[], Module]] = {
+        "relu": ReLU,
+        "elu": ELU,
+        "tanh": Tanh,
+        "sigmoid": Sigmoid,
+        "identity": Identity,
+        "linear": Identity,
+    }
+    key = name.lower()
+    if key not in registry:
+        raise ValueError(f"unknown activation '{name}'; valid: {sorted(registry)}")
+    return registry[key]()
+
+
+class Sequential(Module):
+    """Container applying child modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, layer in enumerate(layers):
+            self.register_module(f"layer{index}", layer)
+            self._layers.append(layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        """Append a layer to the end of the container."""
+        self.register_module(f"layer{len(self._layers)}", layer)
+        self._layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes and activation.
+
+    Parameters
+    ----------
+    in_features:
+        Input dimensionality.
+    hidden_sizes:
+        Sizes of the hidden layers, in order.
+    out_features:
+        Output dimensionality.
+    activation:
+        Name of the hidden activation (see :func:`make_activation`).
+    output_activation:
+        Name of the activation applied to the final layer output.
+    cosine_output:
+        If ``True`` the final layer is a :class:`CosineNormLinear` layer
+        (used by the CERL representation network, Eq. 2).
+    dropout:
+        Dropout probability applied after each hidden activation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        out_features: int,
+        activation: str = "elu",
+        output_activation: str = "identity",
+        cosine_output: bool = False,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        layers: List[Module] = []
+        previous = in_features
+        for width in hidden_sizes:
+            layers.append(Linear(previous, width, rng=rng))
+            layers.append(make_activation(activation))
+            if dropout > 0.0:
+                layers.append(Dropout(dropout, rng=rng))
+            previous = width
+        if cosine_output:
+            layers.append(CosineNormLinear(previous, out_features, rng=rng))
+        else:
+            layers.append(Linear(previous, out_features, rng=rng))
+        layers.append(make_activation(output_activation))
+        self.body = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)

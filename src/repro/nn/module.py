@@ -1,0 +1,151 @@
+"""Module/parameter abstractions for the NumPy neural-network substrate.
+
+:class:`Module` mirrors the familiar ``torch.nn.Module`` contract at the scale
+needed by the CERL reproduction: parameter registration and traversal, state
+(de)serialisation for checkpointing encoders between domains, train/eval mode
+flags, and parameter freezing (needed when the old encoder ``g_{w_{d-1}}`` is
+held fixed while the new encoder and the transformation ``phi`` are trained).
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a trainable model parameter."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; they are discovered automatically for optimisation, state
+    serialisation and freezing.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training: bool = True
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        """Explicitly register a child module under ``name``."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs for this module tree."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of the module tree as a flat list."""
+        return [param for _, param in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Return the total number of scalar parameters."""
+        return int(sum(param.size for param in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # gradient and mode management
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        """Reset gradients of every parameter in the tree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects e.g. dropout layers)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def freeze(self) -> "Module":
+        """Disable gradient accumulation for every parameter in the tree."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Re-enable gradient accumulation for every parameter in the tree."""
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # state (de)serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a name → array snapshot of all parameters (copies)."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values from :meth:`state_dict` output.
+
+        Raises
+        ------
+        KeyError
+            If ``state`` is missing a parameter of this module.
+        ValueError
+            If an array shape does not match the corresponding parameter.
+        """
+        own = dict(self.named_parameters())
+        for name, param in own.items():
+            if name not in state:
+                raise KeyError(f"state_dict is missing parameter '{name}'")
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    def clone(self) -> "Module":
+        """Return a deep copy of the module with independent parameters."""
+        return copy.deepcopy(self)
+
+    # ------------------------------------------------------------------ #
+    # call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

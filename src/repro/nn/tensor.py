@@ -1,0 +1,533 @@
+"""Reverse-mode automatic differentiation over dense NumPy arrays.
+
+This module is the lowest layer of the deep-learning substrate used by the
+CERL reproduction.  It provides a :class:`Tensor` wrapper around
+``numpy.ndarray`` with a dynamically built computation graph and reverse-mode
+gradient propagation, in the spirit of the define-by-run frameworks the paper
+relies on (PyTorch), but implemented from scratch on NumPy.
+
+Only the operations required by CERL and its baselines are implemented:
+matrix multiplication, broadcasting element-wise arithmetic, the usual
+activations, reductions, slicing/concatenation, and a handful of composite
+operations (cosine similarity, softmax, log-sum-exp) that are used by the
+balancing and distillation losses.
+
+Example
+-------
+>>> a = Tensor([[1.0, 2.0]], requires_grad=True)
+>>> b = Tensor([[3.0], [4.0]], requires_grad=True)
+>>> loss = (a @ b).sum()
+>>> loss.backward()
+>>> a.grad.tolist()
+[[3.0, 4.0]]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence[float], "Tensor"]
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "concatenate", "stack"]
+
+
+class _GradMode:
+    """Process-wide switch controlling whether graphs are recorded."""
+
+    enabled: bool = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Used for evaluation passes and for the envelope-style gradient of the
+    Sinkhorn transport plan, where the plan itself must be treated as a
+    constant with respect to the representation parameters.
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._previous = _GradMode.enabled
+        _GradMode.enabled = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _GradMode.enabled = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _GradMode.enabled
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo NumPy broadcasting.
+
+    Broadcasting in the forward pass corresponds to summation in the backward
+    pass over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Stored as ``float64`` for numerical robustness of
+        the small models used in the reproduction.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad: Optional[np.ndarray] = None
+        self._parents: tuple = tuple(_parents) if is_grad_enabled() else ()
+        self._backward = _backward if is_grad_enabled() else None
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying NumPy array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the scalar value; raises if the tensor is not size one."""
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a graph-free deep copy of the tensor."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction helper
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires and is_grad_enabled():
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other_t._accumulate(_unbroadcast(grad, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other_t._accumulate(_unbroadcast(-grad, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other_t.data, self.shape))
+            other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other_t.data, self.shape))
+            other_t._accumulate(
+                _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape)
+            )
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+        data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ other_t.data.T)
+            if other_t.requires_grad:
+                other_t._accumulate(self.data.T @ grad)
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        data = self.data.T
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.T)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad = np.asarray(grad)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad = np.asarray(grad)
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(data, axis)
+                grad = np.expand_dims(grad, axis)
+            else:
+                expanded = data
+            mask = (self.data == expanded).astype(np.float64)
+            mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate(mask * grad)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # element-wise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (self.data > 0.0))
+
+        return Tensor._make(data, (self,), backward)
+
+    def elu(self, alpha: float = 1.0) -> "Tensor":
+        data = np.where(self.data > 0.0, self.data, alpha * (np.exp(self.data) - 1.0))
+
+        def backward(grad: np.ndarray) -> None:
+            local = np.where(self.data > 0.0, 1.0, alpha * np.exp(self.data))
+            self._accumulate(grad * local)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - data ** 2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            inside = (self.data >= low) & (self.data <= high)
+            self._accumulate(grad * inside)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # composite operations used by CERL losses
+    # ------------------------------------------------------------------ #
+    def norm(self, axis: Optional[int] = None, keepdims: bool = False, eps: float = 1e-12) -> "Tensor":
+        """Euclidean norm along ``axis`` with an epsilon guard at zero."""
+        squared = (self * self).sum(axis=axis, keepdims=keepdims)
+        return (squared + eps).sqrt()
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        exps = shifted.exp()
+        return exps / exps.sum(axis=axis, keepdims=True)
+
+    def logsumexp(self, axis: int = -1, keepdims: bool = False) -> "Tensor":
+        max_const = Tensor(self.data.max(axis=axis, keepdims=True))
+        shifted = self - max_const
+        result = shifted.exp().sum(axis=axis, keepdims=True).log() + max_const
+        if not keepdims:
+            result = Tensor._squeeze(result, axis)
+        return result
+
+    @staticmethod
+    def _squeeze(tensor: "Tensor", axis: int) -> "Tensor":
+        shape = list(tensor.shape)
+        axis = axis % len(shape)
+        del shape[axis]
+        return tensor.reshape(tuple(shape))
+
+    # ------------------------------------------------------------------ #
+    # backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to ``1.0`` for scalar tensors; required
+            for non-scalar outputs.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar output")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+
+        def build(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            seen_on_stack = {id(node)}
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited and id(parent) not in seen_on_stack:
+                        stack.append((parent, iter(parent._parents)))
+                        seen_on_stack.add(id(parent))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    seen_on_stack.discard(id(current))
+                    if id(current) not in visited:
+                        visited.add(id(current))
+                        topo.append(current)
+
+        build(self)
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+# ---------------------------------------------------------------------- #
+# free functions
+# ---------------------------------------------------------------------- #
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing to each input."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("concatenate() requires at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing to each input."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("stack() requires at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(data, tensors, backward)

@@ -1,0 +1,5 @@
+"""Shared utilities: standardisation and seeding helpers."""
+
+from .scaling import Standardizer
+
+__all__ = ["Standardizer"]

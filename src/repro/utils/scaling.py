@@ -1,0 +1,69 @@
+"""Standardisation utilities shared by the causal-effect learners."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Standardizer"]
+
+
+class Standardizer:
+    """Column-wise standardiser with degenerate-column protection.
+
+    Each learner (the baseline model and each continual stage of CERL) fits
+    its own standardiser on the data it is allowed to see; the statistics are
+    part of the model state, never of the stored memory.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.mean_ is not None
+
+    def fit(self, values: np.ndarray) -> "Standardizer":
+        """Estimate column means and standard deviations."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.shape[0] == 0:
+            raise ValueError("cannot fit a standardizer on empty data")
+        self.mean_ = values.mean(axis=0)
+        std = values.std(axis=0)
+        # Constant columns carry no information; leave them centred at zero
+        # rather than dividing by ~0.
+        self.std_ = np.where(std < 1e-12, 1.0, std)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Standardise ``values`` using the fitted statistics."""
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64)
+        squeeze = values.ndim == 1
+        if squeeze:
+            values = values[:, None]
+        out = (values - self.mean_) / self.std_
+        return out.ravel() if squeeze else out
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        """Fit on ``values`` and return the standardised array."""
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        """Map standardised values back to the original scale."""
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64)
+        squeeze = values.ndim == 1
+        if squeeze:
+            values = values[:, None]
+        out = values * self.std_ + self.mean_
+        return out.ravel() if squeeze else out
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("Standardizer used before fit()")

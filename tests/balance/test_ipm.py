@@ -1,0 +1,162 @@
+"""Tests for the integral probability metrics used for representation balancing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance import (
+    ipm_distance,
+    mmd2_linear,
+    mmd2_rbf,
+    sinkhorn_wasserstein,
+    wasserstein_1d_exact,
+)
+from repro.nn import Tensor
+
+
+def make_groups(shift: float, n: int = 60, dim: int = 4, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    treated = rng.normal(0.0, 1.0, size=(n, dim)) + shift
+    control = rng.normal(0.0, 1.0, size=(n, dim))
+    return Tensor(treated), Tensor(control)
+
+
+class TestMMD:
+    def test_linear_mmd_zero_for_identical_samples(self):
+        treated, _ = make_groups(0.0)
+        assert mmd2_linear(treated, treated).item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_linear_mmd_grows_with_shift(self):
+        small = mmd2_linear(*make_groups(0.2)).item()
+        large = mmd2_linear(*make_groups(2.0)).item()
+        assert large > small
+
+    def test_linear_mmd_matches_mean_difference(self):
+        treated, control = make_groups(1.0)
+        expected = float(np.sum((treated.numpy().mean(0) - control.numpy().mean(0)) ** 2))
+        assert mmd2_linear(treated, control).item() == pytest.approx(expected)
+
+    def test_rbf_mmd_nonnegative_and_monotone_in_shift(self):
+        values = [mmd2_rbf(*make_groups(s)).item() for s in (0.0, 1.0, 3.0)]
+        assert all(v >= -1e-9 for v in values)
+        assert values[0] < values[1] < values[2]
+
+    def test_rbf_mmd_invalid_sigma(self):
+        treated, control = make_groups(0.5)
+        with pytest.raises(ValueError):
+            mmd2_rbf(treated, control, sigma=0.0)
+
+    def test_gradients_flow_through_mmd(self):
+        rng = np.random.default_rng(3)
+        treated = Tensor(rng.normal(size=(10, 3)), requires_grad=True)
+        control = Tensor(rng.normal(size=(12, 3)) + 1.0)
+        mmd2_linear(treated, control).backward()
+        assert treated.grad is not None
+        assert np.any(treated.grad != 0)
+
+
+class TestSinkhornWasserstein:
+    def test_identical_samples_much_smaller_than_shifted(self):
+        """Entropic OT carries a positive bias, so the self-distance is not exactly
+        zero; it must however be far below the distance between shifted groups."""
+        treated, control = make_groups(3.0)
+        self_distance = sinkhorn_wasserstein(treated, treated, epsilon=0.05).item()
+        cross_distance = sinkhorn_wasserstein(treated, control, epsilon=0.05).item()
+        assert self_distance < 0.2 * cross_distance
+
+    def test_grows_with_shift(self):
+        small = sinkhorn_wasserstein(*make_groups(0.2)).item()
+        large = sinkhorn_wasserstein(*make_groups(2.0)).item()
+        assert large > small
+
+    def test_approximates_exact_1d_distance(self):
+        """With a small epsilon and the non-squared cost, Sinkhorn should be close
+        to the exact 1-D Wasserstein distance."""
+        rng = np.random.default_rng(7)
+        a = rng.normal(0.0, 1.0, size=200)
+        b = rng.normal(1.5, 1.0, size=200)
+        exact = wasserstein_1d_exact(a, b)
+        approx = sinkhorn_wasserstein(
+            Tensor(a[:, None]), Tensor(b[:, None]), epsilon=0.01, num_iters=300, squared_cost=False
+        ).item()
+        assert approx == pytest.approx(exact, rel=0.15)
+
+    def test_gradients_flow_through_cost(self):
+        rng = np.random.default_rng(5)
+        treated = Tensor(rng.normal(size=(15, 4)), requires_grad=True)
+        control = Tensor(rng.normal(size=(20, 4)) + 2.0)
+        sinkhorn_wasserstein(treated, control).backward()
+        assert treated.grad is not None
+        assert np.any(np.abs(treated.grad) > 0)
+
+    def test_gradient_pulls_groups_together(self):
+        """A gradient step on the treated group should reduce the distance."""
+        rng = np.random.default_rng(9)
+        treated_value = rng.normal(size=(30, 3)) + 3.0
+        control = Tensor(rng.normal(size=(30, 3)))
+        treated = Tensor(treated_value, requires_grad=True)
+        loss = sinkhorn_wasserstein(treated, control)
+        loss.backward()
+        stepped = Tensor(treated_value - 0.5 * treated.grad)
+        new_loss = sinkhorn_wasserstein(stepped, control)
+        assert new_loss.item() < loss.item()
+
+    def test_invalid_arguments(self):
+        treated, control = make_groups(0.5)
+        with pytest.raises(ValueError):
+            sinkhorn_wasserstein(treated, control, epsilon=0.0)
+        with pytest.raises(ValueError):
+            sinkhorn_wasserstein(treated, control, num_iters=0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sinkhorn_wasserstein(Tensor(np.ones((3, 2))), Tensor(np.ones((3, 5))))
+
+    def test_empty_group_raises(self):
+        with pytest.raises(ValueError):
+            sinkhorn_wasserstein(Tensor(np.ones((0, 2))), Tensor(np.ones((3, 2))))
+
+
+class TestExact1D:
+    def test_known_value_for_point_masses(self):
+        assert wasserstein_1d_exact([0.0], [3.0]) == pytest.approx(3.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(11)
+        a, b = rng.normal(size=50), rng.normal(size=70) + 1.0
+        assert wasserstein_1d_exact(a, b) == pytest.approx(wasserstein_1d_exact(b, a))
+
+    def test_zero_for_identical(self):
+        values = np.arange(10.0)
+        assert wasserstein_1d_exact(values, values) == pytest.approx(0.0)
+
+    def test_translation_equals_shift(self):
+        rng = np.random.default_rng(13)
+        a = rng.normal(size=500)
+        assert wasserstein_1d_exact(a, a + 2.5) == pytest.approx(2.5, rel=1e-6)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            wasserstein_1d_exact([], [1.0])
+
+    @given(st.floats(0.0, 5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_distance_increases_with_translation(self, shift):
+        base = np.linspace(-1, 1, 50)
+        assert wasserstein_1d_exact(base, base + shift) == pytest.approx(shift, abs=1e-9)
+
+
+class TestDispatch:
+    def test_ipm_distance_dispatch(self):
+        treated, control = make_groups(1.0)
+        for kind in ("wasserstein", "mmd_linear", "mmd_rbf"):
+            value = ipm_distance(treated, control, kind=kind).item()
+            assert value > 0.0
+
+    def test_ipm_distance_unknown_kind(self):
+        treated, control = make_groups(1.0)
+        with pytest.raises(ValueError):
+            ipm_distance(treated, control, kind="total_variation")

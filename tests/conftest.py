@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ContinualConfig, ModelConfig
+from repro.data import CausalDataset, SyntheticConfig, SyntheticDomainGenerator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_synthetic_config() -> SyntheticConfig:
+    """Small synthetic-generator configuration used across core tests."""
+    return SyntheticConfig(
+        n_confounders=6,
+        n_instruments=3,
+        n_irrelevant=4,
+        n_adjustment=6,
+        n_units=160,
+        domain_mean_shift=1.5,
+        outcome_scale=5.0,
+    )
+
+
+@pytest.fixture
+def tiny_domains(tiny_synthetic_config) -> tuple:
+    """Two small sequential synthetic domains."""
+    generator = SyntheticDomainGenerator(tiny_synthetic_config, seed=7)
+    return generator.generate_domain(0), generator.generate_domain(1)
+
+
+@pytest.fixture
+def tiny_dataset(tiny_domains) -> CausalDataset:
+    """One small synthetic dataset."""
+    return tiny_domains[0]
+
+
+@pytest.fixture
+def fast_model_config() -> ModelConfig:
+    """Model configuration small/fast enough for unit tests."""
+    return ModelConfig(
+        representation_dim=8,
+        encoder_hidden=(16,),
+        outcome_hidden=(8,),
+        epochs=4,
+        batch_size=64,
+        sinkhorn_iterations=10,
+        seed=3,
+    )
+
+
+@pytest.fixture
+def fast_continual_config() -> ContinualConfig:
+    """Continual configuration small/fast enough for unit tests."""
+    return ContinualConfig(memory_budget=40, rehearsal_batch_size=32)

@@ -1,0 +1,157 @@
+"""Tests for the baseline causal-effect learning model (Eq. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BaselineCausalModel, ModelConfig
+from repro.data import DomainStream
+
+
+@pytest.fixture
+def split(tiny_dataset):
+    stream = DomainStream([tiny_dataset], seed=0)
+    return stream[0]
+
+
+class TestTraining:
+    def test_loss_decreases_over_training(self, tiny_dataset, fast_model_config):
+        model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        history = model.fit(tiny_dataset, epochs=10)
+        assert len(history) == 10
+        assert history.total[-1] < history.total[0]
+
+    def test_history_components_recorded(self, tiny_dataset, fast_model_config):
+        model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        history = model.fit(tiny_dataset, epochs=3)
+        assert len(history.factual) == 3
+        assert len(history.ipm) == 3
+        assert len(history.regularization) == 3
+        assert all(np.isfinite(history.total))
+
+    def test_ipm_term_skipped_when_alpha_zero(self, tiny_dataset, fast_model_config):
+        config = fast_model_config.with_updates(alpha=0.0)
+        model = BaselineCausalModel(tiny_dataset.n_features, config)
+        history = model.fit(tiny_dataset, epochs=2)
+        assert all(value == 0.0 for value in history.ipm)
+
+    def test_early_stopping_restores_best_state(self, split, fast_model_config):
+        config = fast_model_config.with_updates(epochs=40, early_stopping_patience=3)
+        model = BaselineCausalModel(split.train.n_features, config)
+        history = model.fit(split.train, val_dataset=split.val)
+        assert len(history.validation) == len(history)
+        # the restored model's validation loss equals the best recorded value
+        assert model.validation_loss(split.val) == pytest.approx(min(history.validation), rel=1e-6)
+
+    def test_early_stopping_can_stop_before_epoch_budget(self, split, fast_model_config):
+        config = fast_model_config.with_updates(epochs=200, early_stopping_patience=2)
+        model = BaselineCausalModel(split.train.n_features, config)
+        history = model.fit(split.train, val_dataset=split.val)
+        assert len(history) < 200
+        assert history.stopped_early
+
+    def test_fine_tune_continues_training(self, tiny_domains, fast_model_config):
+        first, second = tiny_domains
+        model = BaselineCausalModel(first.n_features, fast_model_config)
+        model.fit(first, epochs=3)
+        before = model.encoder.state_dict()
+        model.fine_tune(second, epochs=3)
+        after = model.encoder.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+    def test_fine_tune_before_fit_raises(self, tiny_dataset, fast_model_config):
+        model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        with pytest.raises(RuntimeError):
+            model.fine_tune(tiny_dataset)
+
+    def test_dataset_validation(self, tiny_dataset, fast_model_config):
+        model = BaselineCausalModel(tiny_dataset.n_features + 1, fast_model_config)
+        with pytest.raises(ValueError):
+            model.fit(tiny_dataset)
+
+    def test_single_arm_dataset_rejected(self, tiny_dataset, fast_model_config):
+        all_treated = tiny_dataset.subset(np.flatnonzero(tiny_dataset.treatments == 1))
+        model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        with pytest.raises(ValueError):
+            model.fit(all_treated)
+
+    def test_invalid_n_features(self, fast_model_config):
+        with pytest.raises(ValueError):
+            BaselineCausalModel(0, fast_model_config)
+
+
+class TestInference:
+    def test_predict_before_fit_raises(self, tiny_dataset, fast_model_config):
+        model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        with pytest.raises(RuntimeError):
+            model.predict(tiny_dataset.covariates)
+
+    def test_predict_shapes(self, tiny_dataset, fast_model_config):
+        model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        model.fit(tiny_dataset, epochs=2)
+        estimate = model.predict(tiny_dataset.covariates)
+        assert estimate.y0_hat.shape == (len(tiny_dataset),)
+        assert estimate.y1_hat.shape == (len(tiny_dataset),)
+
+    def test_predictions_on_outcome_scale(self, tiny_dataset, fast_model_config):
+        """Predictions must be un-standardised back to the raw outcome scale."""
+        model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        model.fit(tiny_dataset, epochs=8)
+        estimate = model.predict(tiny_dataset.covariates)
+        predicted_mean = estimate.factual_predictions(tiny_dataset.treatments).mean()
+        assert abs(predicted_mean - tiny_dataset.outcomes.mean()) < 2.0 * tiny_dataset.outcomes.std()
+
+    def test_evaluate_returns_paper_metrics(self, split, fast_model_config):
+        model = BaselineCausalModel(split.train.n_features, fast_model_config)
+        model.fit(split.train, epochs=4)
+        metrics = model.evaluate(split.test)
+        for key in ("sqrt_pehe", "ate_error", "factual_rmse", "ate_hat", "ate_true"):
+            assert key in metrics
+            assert np.isfinite(metrics[key])
+
+    def test_evaluate_requires_counterfactuals(self, tiny_dataset, fast_model_config):
+        from repro.data import CausalDataset
+
+        model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        model.fit(tiny_dataset, epochs=2)
+        stripped = CausalDataset(
+            tiny_dataset.covariates, tiny_dataset.treatments, tiny_dataset.outcomes
+        )
+        with pytest.raises(ValueError):
+            model.evaluate(stripped)
+
+    def test_extract_representations_shape_and_norm(self, tiny_dataset, fast_model_config):
+        model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        model.fit(tiny_dataset, epochs=2)
+        reps = model.extract_representations(tiny_dataset.covariates)
+        assert reps.shape == (len(tiny_dataset), fast_model_config.representation_dim)
+        np.testing.assert_allclose(np.linalg.norm(reps, axis=1), 1.0, atol=1e-8)
+
+    def test_training_learns_something(self, split):
+        """With enough epochs the learner should beat the best constant-effect
+        predictor on factual outcomes."""
+        config = ModelConfig(
+            representation_dim=16,
+            encoder_hidden=(32,),
+            outcome_hidden=(16,),
+            epochs=60,
+            batch_size=64,
+            sinkhorn_iterations=10,
+            seed=0,
+        )
+        model = BaselineCausalModel(split.train.n_features, config)
+        model.fit(split.train, val_dataset=split.val)
+        metrics = model.evaluate(split.train)
+        # predicting the training outcome mean would give RMSE == std of outcomes
+        assert metrics["factual_rmse"] < split.train.outcomes.std()
+
+    def test_reproducible_given_seed(self, tiny_dataset, fast_model_config):
+        model_a = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        model_a.fit(tiny_dataset, epochs=3)
+        model_b = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        model_b.fit(tiny_dataset, epochs=3)
+        np.testing.assert_allclose(
+            model_a.predict(tiny_dataset.covariates).ite_hat,
+            model_b.predict(tiny_dataset.covariates).ite_hat,
+        )

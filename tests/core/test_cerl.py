@@ -1,0 +1,226 @@
+"""Tests for the CERL continual learner (Algorithm 1, Eq. 6-9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CERL, ContinualConfig, ModelConfig
+from repro.data import DomainStream
+
+
+@pytest.fixture
+def stream(tiny_domains):
+    return DomainStream(list(tiny_domains), seed=0)
+
+
+def make_cerl(n_features, fast_model_config, fast_continual_config, **continual_overrides):
+    continual = fast_continual_config
+    if continual_overrides:
+        continual = continual.with_updates(**continual_overrides)
+    return CERL(n_features, fast_model_config, continual)
+
+
+class TestFirstDomain:
+    def test_fit_first_builds_memory_within_budget(
+        self, stream, fast_model_config, fast_continual_config
+    ):
+        cerl = make_cerl(stream.n_features, fast_model_config, fast_continual_config)
+        cerl.fit_first(stream.train_data(0))
+        assert cerl.domains_seen == 1
+        assert 0 < cerl.memory_size <= fast_continual_config.memory_budget
+        assert cerl.memory.dim == fast_model_config.representation_dim
+
+    def test_memory_contains_both_arms(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(stream.n_features, fast_model_config, fast_continual_config)
+        cerl.fit_first(stream.train_data(0))
+        assert cerl.memory.n_treated > 0
+        assert cerl.memory.n_control > 0
+
+    def test_observe_dispatches_to_first(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(stream.n_features, fast_model_config, fast_continual_config)
+        cerl.observe(stream.train_data(0))
+        assert cerl.domains_seen == 1
+
+    def test_fit_first_twice_raises(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(stream.n_features, fast_model_config, fast_continual_config)
+        cerl.fit_first(stream.train_data(0))
+        with pytest.raises(RuntimeError):
+            cerl.fit_first(stream.train_data(1))
+
+    def test_fit_next_before_first_raises(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(stream.n_features, fast_model_config, fast_continual_config)
+        with pytest.raises(RuntimeError):
+            cerl.fit_next(stream.train_data(0))
+
+    def test_predict_before_fit_raises(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(stream.n_features, fast_model_config, fast_continual_config)
+        with pytest.raises(RuntimeError):
+            cerl.predict(stream.train_data(0).covariates)
+
+
+class TestContinualStage:
+    def test_two_domain_flow(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(stream.n_features, fast_model_config, fast_continual_config)
+        cerl.observe(stream.train_data(0))
+        history = cerl.observe(stream.train_data(1))
+        assert cerl.domains_seen == 2
+        assert len(history) > 0
+        assert np.isfinite(history.total[-1])
+        assert cerl.memory_size <= fast_continual_config.memory_budget
+
+    def test_memory_mixes_domains_after_second_stage(
+        self, stream, fast_model_config, fast_continual_config
+    ):
+        """After the second domain the memory holds the herded union of the
+        transformed old memory and the new representations."""
+        budget = 30
+        cerl = make_cerl(
+            stream.n_features, fast_model_config, fast_continual_config, memory_budget=budget
+        )
+        cerl.observe(stream.train_data(0))
+        first_memory = cerl.memory.representations.copy()
+        cerl.observe(stream.train_data(1))
+        assert cerl.memory_size <= budget
+        assert cerl.memory.representations.shape[1] == first_memory.shape[1]
+
+    def test_evaluation_on_both_domains(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(stream.n_features, fast_model_config, fast_continual_config)
+        cerl.observe(stream.train_data(0))
+        cerl.observe(stream.train_data(1))
+        previous, new = stream.previous_and_new_test(1)
+        metrics_prev = cerl.evaluate(previous)
+        metrics_new = cerl.evaluate(new)
+        for metrics in (metrics_prev, metrics_new):
+            assert np.isfinite(metrics["sqrt_pehe"])
+            assert np.isfinite(metrics["ate_error"])
+
+    def test_evaluate_stream_helper(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(stream.n_features, fast_model_config, fast_continual_config)
+        cerl.observe(stream.train_data(0))
+        cerl.observe(stream.train_data(1))
+        results = cerl.evaluate_stream(stream.test_sets_seen(1))
+        assert len(results) == 2
+
+    def test_early_stopping_in_continual_stage(
+        self, stream, fast_model_config, fast_continual_config
+    ):
+        config = fast_model_config.with_updates(epochs=100, early_stopping_patience=2)
+        cerl = CERL(stream.n_features, config, fast_continual_config)
+        cerl.observe(stream.train_data(0), val_dataset=stream.val_data(0))
+        history = cerl.observe(stream.train_data(1), val_dataset=stream.val_data(1))
+        assert len(history) < 100
+
+    def test_three_domains(self, tiny_synthetic_config, fast_model_config, fast_continual_config):
+        from repro.data import SyntheticDomainGenerator
+
+        generator = SyntheticDomainGenerator(tiny_synthetic_config, seed=1)
+        datasets = generator.generate_stream(3)
+        stream = DomainStream(datasets, seed=0)
+        cerl = make_cerl(stream.n_features, fast_model_config, fast_continual_config)
+        for index in range(3):
+            cerl.observe(stream.train_data(index), epochs=3)
+        assert cerl.domains_seen == 3
+        results = cerl.evaluate_stream(stream.test_sets_seen(2))
+        assert len(results) == 3
+
+    def test_dimension_mismatch_rejected(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(stream.n_features + 3, fast_model_config, fast_continual_config)
+        with pytest.raises(ValueError):
+            cerl.observe(stream.train_data(0))
+
+
+class TestAblations:
+    def test_without_frt_skips_memory_rehearsal(
+        self, stream, fast_model_config, fast_continual_config
+    ):
+        cerl = make_cerl(
+            stream.n_features,
+            fast_model_config,
+            fast_continual_config,
+            use_feature_transformation=False,
+        )
+        cerl.observe(stream.train_data(0))
+        first_memory = cerl.memory.representations.copy()
+        cerl.observe(stream.train_data(1))
+        # without FRT the old memory is not transformed into the new space; the
+        # new memory is rebuilt from the new domain only
+        assert cerl.memory_size <= fast_continual_config.memory_budget
+        assert cerl.domains_seen == 2
+        assert first_memory.shape[1] == cerl.memory.representations.shape[1]
+
+    def test_random_memory_strategy(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(
+            stream.n_features, fast_model_config, fast_continual_config, memory_strategy="random"
+        )
+        cerl.observe(stream.train_data(0))
+        cerl.observe(stream.train_data(1))
+        assert cerl.memory_size <= fast_continual_config.memory_budget
+
+    def test_without_cosine_norm(self, stream, fast_continual_config, fast_model_config):
+        config = fast_model_config.with_updates(use_cosine_norm=False)
+        cerl = CERL(stream.n_features, config, fast_continual_config)
+        cerl.observe(stream.train_data(0))
+        cerl.observe(stream.train_data(1))
+        reps = cerl.memory.representations
+        assert not np.allclose(np.linalg.norm(reps, axis=1), 1.0, atol=1e-3)
+
+    def test_without_distillation(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(
+            stream.n_features, fast_model_config, fast_continual_config, use_distillation=False
+        )
+        cerl.observe(stream.train_data(0))
+        history = cerl.observe(stream.train_data(1))
+        assert np.isfinite(history.total[-1])
+
+    def test_cold_start_encoder(self, stream, fast_model_config, fast_continual_config):
+        cerl = make_cerl(
+            stream.n_features, fast_model_config, fast_continual_config, warm_start_encoder=False
+        )
+        cerl.observe(stream.train_data(0))
+        cerl.observe(stream.train_data(1))
+        assert cerl.domains_seen == 2
+
+
+class TestContinualBehaviour:
+    def test_cerl_forgets_less_than_fine_tuning(self, tiny_synthetic_config):
+        """The headline qualitative claim of the paper on a small scale: after
+        training on a shifted second domain, CERL's previous-domain error is
+        smaller than naive fine-tuning's (CFR-B)."""
+        from repro.core import CFRStrategyB
+        from repro.data import SyntheticDomainGenerator
+
+        config = ModelConfig(
+            representation_dim=16,
+            encoder_hidden=(32,),
+            outcome_hidden=(16,),
+            epochs=40,
+            batch_size=64,
+            sinkhorn_iterations=10,
+            seed=1,
+        )
+        continual = ContinualConfig(memory_budget=120, rehearsal_batch_size=64)
+        generator = SyntheticDomainGenerator(
+            tiny_synthetic_config.__class__(
+                n_confounders=6,
+                n_instruments=3,
+                n_irrelevant=4,
+                n_adjustment=6,
+                n_units=500,
+                domain_mean_shift=2.0,
+                outcome_scale=5.0,
+            ),
+            seed=3,
+        )
+        stream = DomainStream(generator.generate_stream(2), seed=0)
+        previous_test, _ = stream.previous_and_new_test(1)
+
+        cerl = CERL(stream.n_features, config, continual)
+        finetune = CFRStrategyB(stream.n_features, config)
+        for learner in (cerl, finetune):
+            learner.observe(stream.train_data(0), val_dataset=stream.val_data(0))
+            learner.observe(stream.train_data(1), val_dataset=stream.val_data(1))
+
+        cerl_prev = cerl.evaluate(previous_test)["sqrt_pehe"]
+        finetune_prev = finetune.evaluate(previous_test)["sqrt_pehe"]
+        assert cerl_prev < finetune_prev

@@ -1,0 +1,160 @@
+"""Tests for the classical baseline estimators and CERL checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CERL,
+    LogisticPropensityModel,
+    RidgeTLearner,
+    ipw_ate,
+    load_cerl,
+    naive_ate,
+    save_cerl,
+)
+from repro.data import CausalDataset, DomainStream
+
+
+def make_confounded_dataset(n: int = 600, seed: int = 0) -> CausalDataset:
+    """Dataset where the naive estimator is biased but IPW is not.
+
+    A single confounder drives both treatment probability and the outcome; the
+    true effect is exactly 1.
+    """
+    rng = np.random.default_rng(seed)
+    confounder = rng.normal(size=n)
+    noise_feature = rng.normal(size=n)
+    covariates = np.column_stack([confounder, noise_feature])
+    propensity = 1.0 / (1.0 + np.exp(-2.0 * confounder))
+    treatments = (rng.random(n) < propensity).astype(int)
+    mu0 = 2.0 * confounder
+    mu1 = mu0 + 1.0
+    outcomes = np.where(treatments == 1, mu1, mu0) + rng.normal(0, 0.2, n)
+    return CausalDataset(covariates, treatments, outcomes, mu0=mu0, mu1=mu1)
+
+
+class TestNaiveAndIPW:
+    def test_naive_is_biased_under_confounding(self):
+        dataset = make_confounded_dataset()
+        assert abs(naive_ate(dataset) - 1.0) > 0.5
+
+    def test_ipw_corrects_the_bias(self):
+        dataset = make_confounded_dataset()
+        estimate = ipw_ate(dataset)
+        assert abs(estimate - 1.0) < abs(naive_ate(dataset) - 1.0)
+        assert estimate == pytest.approx(1.0, abs=0.45)
+
+    def test_naive_requires_both_arms(self):
+        dataset = make_confounded_dataset(100)
+        treated_only = dataset.subset(np.flatnonzero(dataset.treatments == 1))
+        with pytest.raises(ValueError):
+            naive_ate(treated_only)
+
+    def test_ipw_clip_validation(self):
+        with pytest.raises(ValueError):
+            ipw_ate(make_confounded_dataset(100), clip=0.7)
+
+    def test_ipw_accepts_prefitted_model(self):
+        dataset = make_confounded_dataset()
+        model = LogisticPropensityModel().fit(dataset.covariates, dataset.treatments)
+        assert np.isfinite(ipw_ate(dataset, propensity_model=model))
+
+
+class TestLogisticPropensityModel:
+    def test_recovers_monotone_relationship(self):
+        dataset = make_confounded_dataset()
+        model = LogisticPropensityModel().fit(dataset.covariates, dataset.treatments)
+        scores = model.predict_proba(dataset.covariates)
+        assert np.all((scores > 0) & (scores < 1))
+        # higher confounder -> higher propensity
+        order = np.argsort(dataset.covariates[:, 0])
+        assert scores[order[-50:]].mean() > scores[order[:50]].mean()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticPropensityModel().predict_proba(np.ones((3, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LogisticPropensityModel().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LogisticPropensityModel(l2=-1.0)
+        with pytest.raises(ValueError):
+            LogisticPropensityModel(max_iterations=0)
+
+
+class TestRidgeTLearner:
+    def test_recovers_constant_effect(self):
+        dataset = make_confounded_dataset()
+        learner = RidgeTLearner(l2=1.0).fit(dataset)
+        estimate = learner.predict(dataset.covariates)
+        assert estimate.ate_hat == pytest.approx(1.0, abs=0.3)
+        assert learner.estimate_ate(dataset.covariates) == pytest.approx(estimate.ate_hat)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeTLearner().predict(np.ones((3, 2)))
+
+    def test_requires_units_in_both_arms(self):
+        dataset = make_confounded_dataset(200)
+        treated_only = dataset.subset(np.flatnonzero(dataset.treatments == 1))
+        with pytest.raises(ValueError):
+            RidgeTLearner().fit(treated_only)
+
+    def test_invalid_regularisation(self):
+        with pytest.raises(ValueError):
+            RidgeTLearner(l2=-0.1)
+
+
+class TestPersistence:
+    def test_round_trip_preserves_predictions_and_memory(
+        self, tiny_domains, fast_model_config, fast_continual_config, tmp_path
+    ):
+        stream = DomainStream(list(tiny_domains), seed=0)
+        learner = CERL(stream.n_features, fast_model_config, fast_continual_config)
+        learner.observe(stream.train_data(0))
+        learner.observe(stream.train_data(1))
+
+        checkpoint = save_cerl(learner, tmp_path / "cerl_checkpoint")
+        assert checkpoint.exists()
+        restored = load_cerl(checkpoint)
+
+        test_covariates = stream[1].test.covariates
+        np.testing.assert_allclose(
+            learner.predict(test_covariates).ite_hat,
+            restored.predict(test_covariates).ite_hat,
+        )
+        assert restored.domains_seen == learner.domains_seen
+        assert restored.memory_size == learner.memory_size
+        np.testing.assert_allclose(
+            restored.memory.representations, learner.memory.representations
+        )
+
+    def test_restored_learner_can_continue_training(
+        self, tiny_domains, fast_model_config, fast_continual_config, tmp_path
+    ):
+        stream = DomainStream(list(tiny_domains), seed=0)
+        learner = CERL(stream.n_features, fast_model_config, fast_continual_config)
+        learner.observe(stream.train_data(0))
+        restored = load_cerl(save_cerl(learner, tmp_path / "after_first"))
+        restored.observe(stream.train_data(1), epochs=2)
+        assert restored.domains_seen == 2
+        metrics = restored.evaluate(stream[1].test)
+        assert np.isfinite(metrics["sqrt_pehe"])
+
+    def test_saving_unfitted_learner_raises(
+        self, fast_model_config, fast_continual_config, tmp_path
+    ):
+        learner = CERL(10, fast_model_config, fast_continual_config)
+        with pytest.raises(RuntimeError):
+            save_cerl(learner, tmp_path / "nope")
+
+    def test_suffix_is_normalised(self, tiny_dataset, fast_model_config, fast_continual_config, tmp_path):
+        learner = CERL(tiny_dataset.n_features, fast_model_config, fast_continual_config)
+        learner.observe(tiny_dataset)
+        checkpoint = save_cerl(learner, tmp_path / "model.bin")
+        assert checkpoint.suffix == ".npz"

@@ -1,0 +1,187 @@
+"""Tests for the representation network, outcome heads and feature transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureTransform, OutcomeHeads, RepresentationNetwork
+from repro.core.config import ContinualConfig, ModelConfig
+from repro.nn import Tensor
+
+
+class TestRepresentationNetwork:
+    def make(self, use_cosine=True, standardize=True, in_features=10, dim=6):
+        return RepresentationNetwork(
+            in_features=in_features,
+            representation_dim=dim,
+            hidden_sizes=(12,),
+            use_cosine_norm=use_cosine,
+            standardize=standardize,
+            rng=np.random.default_rng(0),
+        )
+
+    def test_encode_shape(self, rng):
+        network = self.make()
+        network.fit_scaler(rng.normal(size=(30, 10)))
+        reps = network.representations(rng.normal(size=(8, 10)))
+        assert reps.shape == (8, 6)
+
+    def test_cosine_norm_gives_unit_rows(self, rng):
+        network = self.make(use_cosine=True)
+        network.fit_scaler(rng.normal(size=(30, 10)))
+        reps = network.representations(rng.normal(size=(20, 10)))
+        np.testing.assert_allclose(np.linalg.norm(reps, axis=1), np.ones(20), atol=1e-8)
+
+    def test_without_cosine_norm_rows_not_normalised(self, rng):
+        network = self.make(use_cosine=False)
+        network.fit_scaler(rng.normal(size=(30, 10)))
+        reps = network.representations(rng.normal(size=(20, 10)))
+        assert not np.allclose(np.linalg.norm(reps, axis=1), np.ones(20), atol=1e-3)
+
+    def test_scaler_required_before_encoding(self, rng):
+        network = self.make()
+        with pytest.raises(RuntimeError):
+            network.representations(rng.normal(size=(5, 10)))
+
+    def test_no_standardization_mode(self, rng):
+        network = self.make(standardize=False)
+        reps = network.representations(rng.normal(size=(5, 10)))
+        assert reps.shape == (5, 6)
+
+    def test_wrong_feature_count_raises(self, rng):
+        network = self.make()
+        network.fit_scaler(rng.normal(size=(20, 10)))
+        with pytest.raises(ValueError):
+            network.representations(rng.normal(size=(5, 7)))
+
+    def test_elastic_net_positive_and_differentiable(self, rng):
+        network = self.make()
+        penalty = network.elastic_net()
+        assert penalty.item() > 0
+        penalty.backward()
+        grads = [p.grad for _, p in network.named_parameters() if p.grad is not None]
+        assert grads
+
+    def test_encode_with_gradients(self, rng):
+        network = self.make()
+        network.fit_scaler(rng.normal(size=(20, 10)))
+        reps = network.encode(rng.normal(size=(4, 10)), track_gradients=True)
+        reps.sum().backward()
+        assert any(p.grad is not None for p in network.parameters())
+
+    def test_encode_without_gradients_records_nothing(self, rng):
+        network = self.make()
+        network.fit_scaler(rng.normal(size=(20, 10)))
+        reps = network.encode(rng.normal(size=(4, 10)), track_gradients=False)
+        assert not reps.requires_grad
+
+
+class TestOutcomeHeads:
+    def make(self, dim=6):
+        return OutcomeHeads(representation_dim=dim, hidden_sizes=(8,), rng=np.random.default_rng(1))
+
+    def test_factual_selects_correct_head(self, rng):
+        heads = self.make()
+        reps = Tensor(rng.normal(size=(10, 6)))
+        treatments = np.array([0, 1] * 5)
+        factual = heads.factual(reps, treatments).numpy()
+        y0, y1 = heads.potential_outcomes(reps)
+        np.testing.assert_allclose(factual, np.where(treatments == 1, y1, y0))
+
+    def test_forward_single_arm(self, rng):
+        heads = self.make()
+        reps = Tensor(rng.normal(size=(5, 6)))
+        treated = heads.forward(reps, treatment=1).numpy()
+        _, y1 = heads.potential_outcomes(reps)
+        np.testing.assert_allclose(treated, y1)
+
+    def test_factual_gradients_only_touch_observed_head(self, rng):
+        heads = self.make()
+        reps = Tensor(rng.normal(size=(6, 6)))
+        treatments = np.ones(6, dtype=int)  # all treated
+        loss = (heads.factual(reps, treatments) ** 2).sum()
+        loss.backward()
+        treated_grads = [p.grad for p in heads.treated_head.parameters() if p.grad is not None]
+        control_grads = [
+            np.abs(p.grad).max() if p.grad is not None else 0.0
+            for p in heads.control_head.parameters()
+        ]
+        assert treated_grads
+        assert all(g == 0.0 for g in control_grads)
+
+    def test_potential_outcomes_shapes(self, rng):
+        heads = self.make()
+        y0, y1 = heads.potential_outcomes(Tensor(rng.normal(size=(7, 6))))
+        assert y0.shape == (7,)
+        assert y1.shape == (7,)
+
+
+class TestFeatureTransform:
+    def test_residual_starts_near_identity(self, rng):
+        transform = FeatureTransform(8, residual=True, rng=np.random.default_rng(2))
+        reps = rng.normal(size=(10, 8))
+        out = transform.transform_array(reps)
+        relative_change = np.linalg.norm(out - reps) / np.linalg.norm(reps)
+        assert relative_change < 0.2
+
+    def test_non_residual_differs_from_identity(self, rng):
+        transform = FeatureTransform(8, residual=False, rng=np.random.default_rng(2))
+        reps = rng.normal(size=(10, 8))
+        out = transform.transform_array(reps)
+        assert not np.allclose(out, reps, atol=0.1)
+
+    def test_normalized_output_has_unit_rows(self, rng):
+        transform = FeatureTransform(6, normalize_output=True, rng=np.random.default_rng(3))
+        out = transform.transform_array(rng.normal(size=(12, 6)))
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), np.ones(12), atol=1e-8)
+
+    def test_transform_array_validates_shape(self, rng):
+        transform = FeatureTransform(6, rng=np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            transform.transform_array(rng.normal(size=(5, 4)))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            FeatureTransform(0)
+
+    def test_gradients_flow(self, rng):
+        transform = FeatureTransform(5, rng=np.random.default_rng(5))
+        out = transform.forward(Tensor(rng.normal(size=(4, 5))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in transform.parameters())
+
+
+class TestConfigs:
+    def test_model_config_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig(representation_dim=0)
+        with pytest.raises(ValueError):
+            ModelConfig(alpha=-1.0)
+        with pytest.raises(ValueError):
+            ModelConfig(epochs=0)
+        with pytest.raises(ValueError):
+            ModelConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            ModelConfig(early_stopping_patience=0)
+
+    def test_model_config_with_updates(self):
+        config = ModelConfig()
+        updated = config.with_updates(alpha=0.3, epochs=5)
+        assert updated.alpha == 0.3
+        assert updated.epochs == 5
+        assert config.alpha == 1.0  # original untouched
+
+    def test_continual_config_validation(self):
+        with pytest.raises(ValueError):
+            ContinualConfig(memory_budget=0)
+        with pytest.raises(ValueError):
+            ContinualConfig(beta=-0.1)
+        with pytest.raises(ValueError):
+            ContinualConfig(rehearsal_batch_size=0)
+
+    def test_continual_config_with_updates(self):
+        config = ContinualConfig()
+        updated = config.with_updates(memory_strategy="random")
+        assert updated.memory_strategy == "random"
+        assert config.memory_strategy == "herding"

@@ -1,0 +1,145 @@
+"""Tests for the CausalDataset container and split helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CausalDataset, minibatches, train_val_test_split
+
+
+def make_dataset(n: int = 50, p: int = 4, seed: int = 0, with_cf: bool = True) -> CausalDataset:
+    rng = np.random.default_rng(seed)
+    covariates = rng.normal(size=(n, p))
+    treatments = (rng.random(n) < 0.5).astype(int)
+    mu0 = covariates[:, 0]
+    mu1 = mu0 + 1.0
+    outcomes = np.where(treatments == 1, mu1, mu0) + rng.normal(0, 0.1, n)
+    return CausalDataset(
+        covariates,
+        treatments,
+        outcomes,
+        mu0=mu0 if with_cf else None,
+        mu1=mu1 if with_cf else None,
+        name="toy",
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        dataset = make_dataset(60, 5)
+        assert len(dataset) == 60
+        assert dataset.n_features == 5
+        assert dataset.n_treated + dataset.n_control == 60
+        assert dataset.has_counterfactuals
+
+    def test_true_effects(self):
+        dataset = make_dataset()
+        np.testing.assert_allclose(dataset.true_ite, np.ones(len(dataset)))
+        assert dataset.true_ate == pytest.approx(1.0)
+
+    def test_missing_counterfactuals(self):
+        dataset = make_dataset(with_cf=False)
+        assert not dataset.has_counterfactuals
+        with pytest.raises(ValueError):
+            _ = dataset.true_ite
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CausalDataset(np.zeros((5, 2)), np.zeros(4, dtype=int), np.zeros(5))
+        with pytest.raises(ValueError):
+            CausalDataset(np.zeros(5), np.zeros(5, dtype=int), np.zeros(5))
+        with pytest.raises(ValueError):
+            CausalDataset(np.zeros((5, 2)), np.array([0, 1, 2, 0, 1]), np.zeros(5))
+        with pytest.raises(ValueError):
+            CausalDataset(np.zeros((5, 2)), np.zeros(5, dtype=int), np.zeros(5), mu0=np.zeros(3), mu1=np.zeros(3))
+
+
+class TestSubsetMerge:
+    def test_subset_is_a_copy(self):
+        dataset = make_dataset()
+        subset = dataset.subset(np.arange(10))
+        subset.covariates[:] = 0.0
+        assert not np.allclose(dataset.covariates[:10], 0.0)
+
+    def test_subset_preserves_counterfactuals(self):
+        subset = make_dataset().subset(np.array([1, 3, 5]))
+        assert subset.has_counterfactuals
+        assert len(subset) == 3
+
+    def test_merge_lengths_and_name(self):
+        merged = make_dataset(20, seed=1).merge(make_dataset(30, seed=2), name="union")
+        assert len(merged) == 50
+        assert merged.name == "union"
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            make_dataset(10, p=3).merge(make_dataset(10, p=5))
+
+    def test_merge_drops_counterfactuals_if_either_missing(self):
+        merged = make_dataset(10).merge(make_dataset(10, with_cf=False))
+        assert not merged.has_counterfactuals
+
+
+class TestSplits:
+    def test_fractions_respected(self):
+        dataset = make_dataset(100)
+        train, val, test = train_val_test_split(dataset, 0.6, 0.2, rng=np.random.default_rng(0))
+        assert len(train) == 60
+        assert len(val) == 20
+        assert len(test) == 20
+
+    def test_splits_are_disjoint_and_cover(self):
+        dataset = make_dataset(80)
+        dataset.covariates[:, 0] = np.arange(80)  # unique marker per unit
+        train, val, test = train_val_test_split(dataset, rng=np.random.default_rng(1))
+        markers = np.concatenate(
+            [train.covariates[:, 0], val.covariates[:, 0], test.covariates[:, 0]]
+        )
+        assert sorted(markers.tolist()) == list(range(80))
+
+    def test_invalid_fractions(self):
+        dataset = make_dataset(30)
+        with pytest.raises(ValueError):
+            train_val_test_split(dataset, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_val_test_split(dataset, train_fraction=0.8, val_fraction=0.3)
+
+    def test_too_small_dataset(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(make_dataset(2))
+
+    def test_deterministic_given_rng_seed(self):
+        dataset = make_dataset(50)
+        a = train_val_test_split(dataset, rng=np.random.default_rng(5))[0]
+        b = train_val_test_split(dataset, rng=np.random.default_rng(5))[0]
+        np.testing.assert_array_equal(a.covariates, b.covariates)
+
+
+class TestMinibatches:
+    def test_covers_all_indices(self):
+        batches = list(minibatches(25, 10, rng=np.random.default_rng(0)))
+        combined = np.concatenate(batches)
+        assert sorted(combined.tolist()) == list(range(25))
+
+    def test_batch_sizes(self):
+        batches = list(minibatches(25, 10, shuffle=False))
+        assert [len(b) for b in batches] == [10, 10, 5]
+
+    def test_no_shuffle_is_ordered(self):
+        batches = list(minibatches(6, 2, shuffle=False))
+        np.testing.assert_array_equal(np.concatenate(batches), np.arange(6))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            list(minibatches(0, 5))
+        with pytest.raises(ValueError):
+            list(minibatches(10, 0))
+
+    @given(st.integers(1, 200), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_property_every_index_appears_once(self, n, batch_size):
+        combined = np.concatenate(list(minibatches(n, batch_size, rng=np.random.default_rng(0))))
+        assert sorted(combined.tolist()) == list(range(n))

@@ -1,0 +1,140 @@
+"""Tests for the News/BlogCatalog semi-synthetic benchmark construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BlogCatalogBenchmark,
+    NewsBenchmark,
+    SemiSyntheticBenchmark,
+    SemiSyntheticConfig,
+    blogcatalog_config,
+    load_news_domain_pair,
+    news_config,
+)
+
+
+@pytest.fixture(scope="module")
+def small_news() -> NewsBenchmark:
+    return NewsBenchmark(scale=0.03, seed=11)
+
+
+class TestConfigs:
+    def test_news_paper_scale_dimensions(self):
+        config = news_config()
+        assert config.n_units == 5000
+        assert config.vocab_size == 3477
+        assert config.n_topics == 50
+        assert config.outcome_scale == 60.0
+        assert config.selection_bias == 10.0
+
+    def test_blogcatalog_paper_scale_dimensions(self):
+        config = blogcatalog_config()
+        assert config.n_units == 5196
+        assert config.vocab_size == 2160
+
+    def test_scaling_shrinks_sizes(self):
+        config = news_config(scale=0.1)
+        assert config.n_units < 5000
+        assert config.vocab_size < 3477
+        assert config.n_units >= 60
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            news_config(scale=0.0)
+        with pytest.raises(ValueError):
+            news_config(scale=1.5)
+
+    def test_invalid_config_values(self):
+        with pytest.raises(ValueError):
+            SemiSyntheticConfig(n_units=5)
+        with pytest.raises(ValueError):
+            SemiSyntheticConfig(vocab_size=10, n_topics=20)
+        with pytest.raises(ValueError):
+            SemiSyntheticConfig(outcome_scale=0.0)
+
+
+class TestDomainPairs:
+    @pytest.mark.parametrize("scenario", ["substantial", "moderate", "none"])
+    def test_domain_pair_structure(self, small_news, scenario):
+        first, second = small_news.generate_domain_pair(scenario)
+        assert first.n_features == second.n_features
+        assert first.has_counterfactuals and second.has_counterfactuals
+        assert first.domain == 0 and second.domain == 1
+        assert len(first) + len(second) <= small_news.config.n_units
+        for dataset in (first, second):
+            assert dataset.n_treated > 0
+            assert dataset.n_control > 0
+
+    def test_unknown_scenario_raises(self, small_news):
+        with pytest.raises(ValueError):
+            small_news.generate_domain_pair("extreme")
+
+    def test_substantial_shift_has_larger_covariate_divergence_than_none(self, small_news):
+        def mean_gap(pair):
+            first, second = pair
+            gap = first.covariates.mean(axis=0) - second.covariates.mean(axis=0)
+            return float(np.linalg.norm(gap))
+
+        substantial = mean_gap(small_news.generate_domain_pair("substantial"))
+        none = mean_gap(small_news.generate_domain_pair("none"))
+        assert substantial > none
+
+    def test_no_shift_similar_outcome_distributions(self, small_news):
+        first, second = small_news.generate_domain_pair("none")
+        assert abs(first.outcomes.mean() - second.outcomes.mean()) < 0.25 * (
+            abs(first.outcomes.mean()) + 1.0
+        )
+
+    def test_outcomes_follow_potential_outcomes_plus_noise(self, small_news):
+        first, _ = small_news.generate_domain_pair("substantial")
+        factual = np.where(first.treatments == 1, first.mu1, first.mu0)
+        residual = first.outcomes - factual
+        assert np.abs(residual).max() < 6.0  # noise is N(0, 1)
+        assert abs(residual.mean()) < 0.5
+
+    def test_treatment_effect_is_nonnegative(self, small_news):
+        """mu1 - mu0 = C * z . z_c1 >= 0 because topic proportions are non-negative."""
+        first, second = small_news.generate_domain_pair("moderate")
+        assert np.all(first.true_ite >= -1e-9)
+        assert np.all(second.true_ite >= -1e-9)
+
+    def test_selection_bias_present(self, small_news):
+        """Treated units should have systematically higher treated-centroid affinity."""
+        first, _ = small_news.generate_domain_pair("none")
+        treated_ite = first.true_ite[first.treatments == 1].mean()
+        control_ite = first.true_ite[first.treatments == 0].mean()
+        assert treated_ite > control_ite
+
+    def test_reproducible_given_seed(self):
+        pair_a = load_news_domain_pair("substantial", scale=0.03, seed=3)
+        pair_b = load_news_domain_pair("substantial", scale=0.03, seed=3)
+        np.testing.assert_array_equal(pair_a[0].covariates, pair_b[0].covariates)
+        np.testing.assert_array_equal(pair_a[1].outcomes, pair_b[1].outcomes)
+
+    def test_different_seeds_differ(self):
+        pair_a = load_news_domain_pair("substantial", scale=0.03, seed=3)
+        pair_b = load_news_domain_pair("substantial", scale=0.03, seed=4)
+        assert pair_a[0].covariates.shape != pair_b[0].covariates.shape or not np.allclose(
+            pair_a[0].covariates[: len(pair_b[0])], pair_b[0].covariates[: len(pair_a[0])]
+        )
+
+
+class TestBenchmarkClasses:
+    def test_blogcatalog_small_scale(self):
+        benchmark = BlogCatalogBenchmark(scale=0.03, seed=5)
+        first, second = benchmark.generate_domain_pair("none")
+        assert first.n_features == benchmark.config.vocab_size
+        assert len(first) > 10 and len(second) > 10
+
+    def test_population_summary_keys(self, small_news):
+        summary = small_news.population_summary()
+        for key in ("n_units", "treated_fraction", "true_ate", "mean_propensity"):
+            assert key in summary
+        assert 0.0 < summary["treated_fraction"] < 1.0
+        assert 0.0 < summary["mean_propensity"] < 1.0
+
+    def test_population_cached(self, small_news):
+        assert small_news._simulate_population() is small_news._simulate_population()

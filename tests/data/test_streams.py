@@ -1,0 +1,74 @@
+"""Tests for the sequential domain stream."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DomainStream, SyntheticConfig, SyntheticDomainGenerator
+
+
+@pytest.fixture(scope="module")
+def three_domains():
+    config = SyntheticConfig(
+        n_confounders=4, n_instruments=2, n_irrelevant=3, n_adjustment=4, n_units=120
+    )
+    return SyntheticDomainGenerator(config, seed=2).generate_stream(3)
+
+
+class TestDomainStream:
+    def test_length_and_indexing(self, three_domains):
+        stream = DomainStream(three_domains, seed=0)
+        assert len(stream) == 3
+        assert stream[0].train.n_features == stream.n_features
+        assert [split.name for split in stream] == [d.name + "/train" for d in three_domains]
+
+    def test_split_sizes_follow_fractions(self, three_domains):
+        stream = DomainStream(three_domains, train_fraction=0.6, val_fraction=0.2, seed=0)
+        split = stream[0]
+        total = len(split.train) + len(split.val) + len(split.test)
+        assert total == len(three_domains[0])
+        assert len(split.train) == pytest.approx(0.6 * total, abs=2)
+        assert len(split.val) == pytest.approx(0.2 * total, abs=2)
+
+    def test_train_and_val_accessors(self, three_domains):
+        stream = DomainStream(three_domains, seed=0)
+        assert stream.train_data(1) is stream[1].train
+        assert stream.val_data(2) is stream[2].val
+
+    def test_test_sets_seen(self, three_domains):
+        stream = DomainStream(three_domains, seed=0)
+        assert len(stream.test_sets_seen(0)) == 1
+        assert len(stream.test_sets_seen(2)) == 3
+        with pytest.raises(IndexError):
+            stream.test_sets_seen(3)
+
+    def test_previous_and_new_test(self, three_domains):
+        stream = DomainStream(three_domains, seed=0)
+        previous, new = stream.previous_and_new_test(2)
+        assert len(previous) == len(stream[0].test) + len(stream[1].test)
+        assert len(new) == len(stream[2].test)
+        with pytest.raises(ValueError):
+            stream.previous_and_new_test(0)
+
+    def test_joint_training_data(self, three_domains):
+        stream = DomainStream(three_domains, seed=0)
+        joint = stream.joint_training_data(1)
+        assert len(joint) == len(stream[0].train) + len(stream[1].train)
+
+    def test_mixed_dimensions_rejected(self, three_domains):
+        other_config = SyntheticConfig(
+            n_confounders=3, n_instruments=2, n_irrelevant=2, n_adjustment=3, n_units=80
+        )
+        other = SyntheticDomainGenerator(other_config, seed=1).generate_domain(0)
+        with pytest.raises(ValueError):
+            DomainStream([three_domains[0], other])
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            DomainStream([])
+
+    def test_splits_deterministic_given_seed(self, three_domains):
+        a = DomainStream(three_domains, seed=4)
+        b = DomainStream(three_domains, seed=4)
+        np.testing.assert_array_equal(a[0].train.covariates, b[0].train.covariates)

@@ -1,0 +1,120 @@
+"""Tests for the topic-model substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import TopicCorpusGenerator, TopicModel
+
+
+class TestCorpusGenerator:
+    def test_shapes_and_counts(self, rng):
+        generator = TopicCorpusGenerator(n_topics=8, vocab_size=60, doc_length=50)
+        corpus = generator.generate(40, rng)
+        assert corpus.counts.shape == (40, 60)
+        assert corpus.true_topic_mixtures.shape == (40, 8)
+        assert corpus.topic_word.shape == (8, 60)
+        assert corpus.dominant_topics.shape == (40,)
+        assert corpus.n_documents == 40
+        assert corpus.vocab_size == 60
+        assert corpus.n_topics == 8
+
+    def test_counts_are_nonnegative_integers_with_reasonable_length(self, rng):
+        generator = TopicCorpusGenerator(n_topics=5, vocab_size=30, doc_length=80)
+        corpus = generator.generate(20, rng)
+        assert np.all(corpus.counts >= 0)
+        np.testing.assert_allclose(corpus.counts, np.round(corpus.counts))
+        lengths = corpus.counts.sum(axis=1)
+        assert np.all(lengths >= 10)
+        assert 40 < lengths.mean() < 120
+
+    def test_mixtures_are_distributions(self, rng):
+        corpus = TopicCorpusGenerator(n_topics=6, vocab_size=40).generate(15, rng)
+        np.testing.assert_allclose(corpus.true_topic_mixtures.sum(axis=1), np.ones(15))
+        np.testing.assert_allclose(corpus.topic_word.sum(axis=1), np.ones(6))
+
+    def test_dominant_topic_consistent_with_mixture(self, rng):
+        corpus = TopicCorpusGenerator(n_topics=6, vocab_size=40).generate(25, rng)
+        np.testing.assert_array_equal(
+            corpus.dominant_topics, np.argmax(corpus.true_topic_mixtures, axis=1)
+        )
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            TopicCorpusGenerator(n_topics=1, vocab_size=30)
+        with pytest.raises(ValueError):
+            TopicCorpusGenerator(n_topics=10, vocab_size=5)
+        with pytest.raises(ValueError):
+            TopicCorpusGenerator(n_topics=5, vocab_size=30, doc_length=0)
+        with pytest.raises(ValueError):
+            TopicCorpusGenerator(n_topics=5, vocab_size=30).generate(0, np.random.default_rng(0))
+
+
+class TestTopicModel:
+    def test_fit_transform_returns_distributions(self, rng):
+        corpus = TopicCorpusGenerator(n_topics=5, vocab_size=50, doc_length=100).generate(60, rng)
+        model = TopicModel(n_topics=5, n_iterations=30)
+        theta = model.fit_transform(corpus.counts, rng=rng)
+        assert theta.shape == (60, 5)
+        np.testing.assert_allclose(theta.sum(axis=1), np.ones(60), atol=1e-8)
+        assert np.all(theta >= 0)
+
+    def test_transform_new_documents(self, rng):
+        generator = TopicCorpusGenerator(n_topics=4, vocab_size=40, doc_length=80)
+        corpus = generator.generate(50, rng)
+        model = TopicModel(n_topics=4, n_iterations=25).fit(corpus.counts, rng=rng)
+        new_corpus = generator.generate(10, rng)
+        theta = model.transform(new_corpus.counts, rng=rng)
+        assert theta.shape == (10, 4)
+        np.testing.assert_allclose(theta.sum(axis=1), np.ones(10), atol=1e-8)
+
+    def test_reconstruction_improves_over_uniform(self, rng):
+        """The fitted model should reconstruct word frequencies better than a
+        uniform topic model (a weak but meaningful recovery check)."""
+        corpus = TopicCorpusGenerator(n_topics=5, vocab_size=60, doc_length=150).generate(80, rng)
+        counts = corpus.counts
+        frequencies = counts / counts.sum(axis=1, keepdims=True)
+
+        model = TopicModel(n_topics=5, n_iterations=50)
+        theta = model.fit_transform(counts, rng=rng)
+        reconstruction = theta @ model.topic_word_
+        fitted_error = np.mean((reconstruction - frequencies) ** 2)
+        uniform_error = np.mean((frequencies.mean(axis=0)[None, :] - frequencies) ** 2)
+        assert fitted_error < uniform_error
+
+    def test_documents_dominated_by_distinct_topics_get_distinct_mixtures(self, rng):
+        """Documents generated from disjoint topics should receive clearly
+        different estimated topic distributions."""
+        generator = TopicCorpusGenerator(
+            n_topics=4, vocab_size=80, doc_length=200, topic_concentration=0.02
+        )
+        corpus = generator.generate(120, rng)
+        model = TopicModel(n_topics=4, n_iterations=50)
+        theta = model.fit_transform(corpus.counts, rng=rng)
+        group_a = corpus.dominant_topics == corpus.dominant_topics[0]
+        if group_a.sum() < 5 or (~group_a).sum() < 5:
+            pytest.skip("degenerate topic draw")
+        mean_a = theta[group_a].mean(axis=0)
+        mean_b = theta[~group_a].mean(axis=0)
+        assert np.linalg.norm(mean_a - mean_b) > 0.1
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TopicModel(n_topics=3).transform(np.ones((2, 10)))
+
+    def test_vocabulary_mismatch_raises(self, rng):
+        corpus = TopicCorpusGenerator(n_topics=3, vocab_size=30).generate(10, rng)
+        model = TopicModel(n_topics=3, n_iterations=10).fit(corpus.counts, rng=rng)
+        with pytest.raises(ValueError):
+            model.transform(np.ones((2, 17)))
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            TopicModel(n_topics=3).fit(-np.ones((4, 10)))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            TopicModel(n_topics=1)
+        with pytest.raises(ValueError):
+            TopicModel(n_topics=3, n_iterations=0)

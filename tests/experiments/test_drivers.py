@@ -1,0 +1,137 @@
+"""Tests for the Table I / Table II / Figure 3 experiment drivers (smoke scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SMOKE,
+    run_cosine_ablation_stream,
+    run_figure3_memory,
+    run_figure3_sensitivity,
+    run_table1,
+    run_table2,
+)
+
+
+class TestTable1Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(
+            SMOKE,
+            datasets=("news",),
+            scenarios=("substantial", "none"),
+            strategies=("CFR-A", "CERL"),
+            seed=0,
+        )
+
+    def test_rows_cover_all_cells(self, result):
+        rows = result.rows()
+        assert len(rows) == 2 * 2  # 2 scenarios x 2 strategies
+        datasets = {row["dataset"] for row in rows}
+        shifts = {row["shift"] for row in rows}
+        assert datasets == {"news"}
+        assert shifts == {"substantial", "none"}
+
+    def test_all_metrics_finite(self, result):
+        for row in result.rows():
+            for key in ("prev_sqrt_pehe", "prev_ate_error", "new_sqrt_pehe", "new_ate_error"):
+                assert np.isfinite(row[key])
+
+    def test_get_accessor(self, result):
+        cell = result.get("news", "substantial", "CERL")
+        assert cell.strategy == "CERL"
+        with pytest.raises(KeyError):
+            result.get("news", "substantial", "CFR-X")
+
+    def test_report_renders(self, result):
+        report = result.report()
+        assert "Table I" in report
+        assert "CERL" in report
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ValueError):
+            run_table1(SMOKE, datasets=("imdb",), scenarios=("none",), strategies=("CERL",))
+
+
+class TestTable2Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(
+            SMOKE,
+            strategies=("CFR-B", "CERL"),
+            ablations=("CERL (w/o herding)",),
+            seed=0,
+            repetitions=1,
+        )
+
+    def test_contains_requested_strategies(self, result):
+        assert set(result.results) == {"CFR-B", "CERL", "CERL (w/o herding)"}
+
+    def test_metrics_structure(self, result):
+        for metrics in result.results.values():
+            assert set(metrics) == {
+                "prev_sqrt_pehe",
+                "prev_ate_error",
+                "new_sqrt_pehe",
+                "new_ate_error",
+            }
+            assert all(np.isfinite(v) for v in metrics.values())
+
+    def test_report_and_accessor(self, result):
+        assert "Table II" in result.report()
+        assert "prev_sqrt_pehe" in result.get("CERL")
+
+    def test_multiple_repetitions_average(self):
+        result = run_table2(
+            SMOKE, strategies=("CFR-A",), ablations=(), seed=1, repetitions=2
+        )
+        assert result.repetitions == 2
+        assert np.isfinite(result.get("CFR-A")["new_sqrt_pehe"])
+
+
+class TestFigure3Driver:
+    def test_memory_curves_structure(self):
+        result = run_figure3_memory(
+            SMOKE, memory_budgets=[20, 60], n_domains=2, include_ideal=True, seed=0
+        )
+        assert result.n_domains == 2
+        assert set(result.curves) == {"CERL (M=20)", "CERL (M=60)", "Ideal (all data)"}
+        for stages in result.curves.values():
+            assert len(stages) == 2
+        series = result.series("sqrt_pehe")
+        assert all(len(values) == 2 for values in series.values())
+        assert "Figure 3(a)" in result.report()
+
+    def test_memory_curves_without_ideal(self):
+        result = run_figure3_memory(
+            SMOKE, memory_budgets=[30], n_domains=2, include_ideal=False, seed=0
+        )
+        assert list(result.curves) == ["CERL (M=30)"]
+
+    def test_sensitivity_alpha(self):
+        result = run_figure3_sensitivity("alpha", [0.1, 1.0], SMOKE, n_domains=2, seed=0)
+        assert result.parameter == "alpha"
+        assert len(result.values) == 2
+        assert all(np.isfinite(v) for v in result.sqrt_pehe)
+        assert result.relative_spread >= 1.0
+        assert "alpha" in result.report()
+
+    def test_sensitivity_delta(self):
+        result = run_figure3_sensitivity("delta", [0.5, 2.0], SMOKE, n_domains=2, seed=0)
+        assert result.parameter == "delta"
+        assert len(result.rows()) == 2
+
+    def test_sensitivity_invalid_parameter(self):
+        with pytest.raises(ValueError):
+            run_figure3_sensitivity("gamma", [0.1], SMOKE)
+        with pytest.raises(ValueError):
+            run_figure3_sensitivity("alpha", [], SMOKE)
+
+    def test_cosine_ablation_stream(self):
+        outcomes = run_cosine_ablation_stream(SMOKE, n_domains=2, seed=0)
+        assert set(outcomes) == {"CERL", "CERL (w/o cosine norm)"}
+        for metrics in outcomes.values():
+            assert np.isfinite(metrics["sqrt_pehe"])
+            assert np.isfinite(metrics["ate_error"])

@@ -1,0 +1,161 @@
+"""Tests for the experiment runner, reporting helpers and profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticDomainGenerator
+from repro.experiments import (
+    PAPER,
+    QUICK,
+    SMOKE,
+    ExperimentProfile,
+    cerl_variant,
+    format_series,
+    format_table,
+    run_stream,
+    run_two_domain_comparison,
+    summarize_two_domain_results,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_domains():
+    generator = SyntheticDomainGenerator(SMOKE.synthetic_config(), seed=0)
+    return generator.generate_domain(0), generator.generate_domain(1)
+
+
+class TestProfiles:
+    def test_paper_profile_matches_paper_parameters(self):
+        assert PAPER.synthetic_units == 10000
+        assert PAPER.memory_budget_table1 == 500
+        assert PAPER.memory_budget_table2 == 10000
+        assert PAPER.repetitions == 10
+        assert PAPER.corpus_scale == 1.0
+        assert PAPER.synthetic_blocks == (35, 10, 20, 35)
+
+    def test_model_config_round_trip(self):
+        config = QUICK.model_config(seed=7, alpha=0.5)
+        assert config.seed == 7
+        assert config.alpha == 0.5
+        assert config.epochs == QUICK.epochs
+
+    def test_continual_config_budget(self):
+        config = QUICK.continual_config(memory_budget=123, delta=2.0)
+        assert config.memory_budget == 123
+        assert config.delta == 2.0
+
+    def test_synthetic_config_blocks(self):
+        config = SMOKE.synthetic_config()
+        assert config.n_covariates == sum(SMOKE.synthetic_blocks)
+        assert config.n_units == SMOKE.synthetic_units
+
+    def test_synthetic_config_overrides(self):
+        config = SMOKE.synthetic_config(n_units=64)
+        assert config.n_units == 64
+
+    def test_custom_profile(self):
+        profile = ExperimentProfile(
+            name="custom",
+            corpus_scale=0.1,
+            synthetic_units=100,
+            epochs=2,
+            memory_budget_table1=10,
+            memory_budget_table2=20,
+            repetitions=1,
+        )
+        assert profile.model_config().epochs == 2
+
+
+class TestRunner:
+    def test_two_domain_comparison_rows(self, smoke_domains):
+        results = run_two_domain_comparison(
+            smoke_domains[0],
+            smoke_domains[1],
+            strategies=("CFR-A", "CERL"),
+            model_config=SMOKE.model_config(seed=0),
+            continual_config=SMOKE.continual_config(memory_budget=40),
+            seed=0,
+        )
+        assert [r.strategy for r in results] == ["CFR-A", "CERL"]
+        for result in results:
+            row = result.row()
+            assert np.isfinite(row["prev_sqrt_pehe"])
+            assert np.isfinite(row["new_ate_error"])
+        assert not results[0].needs_previous_raw_data
+
+    def test_cfr_c_flagged_as_needing_raw_data(self, smoke_domains):
+        results = run_two_domain_comparison(
+            smoke_domains[0],
+            smoke_domains[1],
+            strategies=("CFR-C",),
+            model_config=SMOKE.model_config(seed=0),
+            continual_config=SMOKE.continual_config(memory_budget=40),
+        )
+        assert results[0].needs_previous_raw_data
+        assert results[0].stores_all_raw_data
+
+    def test_run_stream_per_stage_structure(self, smoke_domains):
+        result = run_stream(
+            list(smoke_domains),
+            strategy="CERL",
+            model_config=SMOKE.model_config(seed=0),
+            continual_config=SMOKE.continual_config(memory_budget=40),
+        )
+        assert len(result.per_stage) == 2
+        assert len(result.per_domain[0]) == 1
+        assert len(result.per_domain[1]) == 2
+        assert "sqrt_pehe" in result.per_stage[0]
+
+    def test_cerl_variant_flags(self):
+        model_config = SMOKE.model_config(seed=0)
+        continual_config = SMOKE.continual_config(memory_budget=40)
+        no_frt = cerl_variant("CERL (w/o FRT)", 10, model_config, continual_config)
+        assert not no_frt.continual_config.use_feature_transformation
+        no_herding = cerl_variant("CERL (w/o herding)", 10, model_config, continual_config)
+        assert no_herding.continual_config.memory_strategy == "random"
+        no_cosine = cerl_variant("CERL (w/o cosine norm)", 10, model_config, continual_config)
+        assert not no_cosine.model_config.use_cosine_norm
+        plain = cerl_variant("CERL", 10, model_config, continual_config)
+        assert plain.continual_config.use_feature_transformation
+
+
+class TestReporting:
+    def test_format_table_alignment_and_values(self):
+        rows = [
+            {"strategy": "CERL", "sqrt_pehe": 1.23456, "ok": True},
+            {"strategy": "CFR-A", "sqrt_pehe": 2.0, "ok": False},
+        ]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "1.235" in text
+        assert "yes" in text and "no" in text
+        assert text.count("\n") == 4  # title + header + rule + 2 rows
+
+    def test_format_table_empty_raises(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+    def test_format_series(self):
+        text = format_series(
+            {"CERL": [1.0, 2.0], "ideal": [0.5, 0.6]},
+            x_label="domain",
+            x_values=[1, 2],
+            title="curve",
+        )
+        assert "curve" in text
+        assert "domain" in text
+        assert "0.600" in text
+
+    def test_summarize_two_domain_results(self, smoke_domains):
+        results = run_two_domain_comparison(
+            smoke_domains[0],
+            smoke_domains[1],
+            strategies=("CFR-A",),
+            model_config=SMOKE.model_config(seed=0),
+            continual_config=SMOKE.continual_config(memory_budget=40),
+        )
+        text = summarize_two_domain_results(results, title="Table")
+        assert "CFR-A" in text
+        assert "prev_sqrt_pehe" in text

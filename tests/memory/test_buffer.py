@@ -1,0 +1,134 @@
+"""Tests for the representation memory buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory import MemoryBuffer
+
+
+def make_buffer(n: int = 40, dim: int = 6, treated_fraction: float = 0.5, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    reps = rng.normal(size=(n, dim))
+    treatments = (rng.random(n) < treated_fraction).astype(int)
+    outcomes = rng.normal(size=n)
+    return MemoryBuffer(reps, outcomes, treatments)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        buffer = make_buffer(30, 5)
+        assert len(buffer) == 30
+        assert buffer.dim == 5
+        assert buffer.n_treated + buffer.n_control == 30
+
+    def test_empty_buffer(self):
+        buffer = MemoryBuffer.empty(8)
+        assert len(buffer) == 0
+        assert buffer.dim == 8
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            MemoryBuffer(np.zeros((5, 3)), np.zeros(4), np.zeros(5, dtype=int))
+
+    def test_non_binary_treatments_raise(self):
+        with pytest.raises(ValueError):
+            MemoryBuffer(np.zeros((3, 2)), np.zeros(3), np.array([0, 1, 2]))
+
+    def test_non_2d_representations_raise(self):
+        with pytest.raises(ValueError):
+            MemoryBuffer(np.zeros(5), np.zeros(5), np.zeros(5, dtype=int))
+
+    def test_group_filtering(self):
+        buffer = make_buffer(50)
+        treated = buffer.group(1)
+        assert treated.n_control == 0
+        assert len(treated) == buffer.n_treated
+
+
+class TestMergeAndTransform:
+    def test_merge_concatenates(self):
+        merged = make_buffer(10, seed=1).merge(make_buffer(15, seed=2))
+        assert len(merged) == 25
+
+    def test_merge_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            make_buffer(10, dim=4).merge(make_buffer(10, dim=6))
+
+    def test_merge_with_empty(self):
+        buffer = make_buffer(10, dim=4)
+        merged = buffer.merge(MemoryBuffer.empty(4))
+        assert len(merged) == 10
+
+    def test_with_representations_replaces_only_features(self):
+        buffer = make_buffer(12, dim=3)
+        new_reps = np.ones((12, 7))
+        replaced = buffer.with_representations(new_reps)
+        assert replaced.dim == 7
+        np.testing.assert_array_equal(replaced.outcomes, buffer.outcomes)
+        np.testing.assert_array_equal(replaced.treatments, buffer.treatments)
+
+    def test_with_representations_wrong_rows_raises(self):
+        with pytest.raises(ValueError):
+            make_buffer(12).with_representations(np.ones((10, 3)))
+
+
+class TestReduce:
+    def test_reduce_respects_budget(self):
+        buffer = make_buffer(100)
+        reduced = buffer.reduce(20)
+        assert len(reduced) == 20
+
+    def test_reduce_balances_arms(self):
+        buffer = make_buffer(200, treated_fraction=0.5, seed=3)
+        reduced = buffer.reduce(40)
+        assert reduced.n_treated == 20
+        assert reduced.n_control == 20
+
+    def test_reduce_handles_scarce_arm(self):
+        """When one arm has fewer units than its half-budget share, the other
+        arm absorbs the remainder."""
+        buffer = make_buffer(100, treated_fraction=0.05, seed=4)
+        reduced = buffer.reduce(60)
+        assert len(reduced) == min(60, len(buffer))
+        assert reduced.n_treated <= buffer.n_treated
+
+    def test_reduce_noop_when_under_budget(self):
+        buffer = make_buffer(10)
+        reduced = buffer.reduce(50)
+        assert len(reduced) == 10
+
+    def test_reduce_returns_copy(self):
+        buffer = make_buffer(10)
+        reduced = buffer.reduce(50)
+        reduced.representations[:] = 0.0
+        assert not np.allclose(buffer.representations, 0.0)
+
+    def test_reduce_random_strategy(self):
+        buffer = make_buffer(100, seed=5)
+        reduced = buffer.reduce(30, strategy="random", rng=np.random.default_rng(0))
+        assert len(reduced) == 30
+
+    def test_reduce_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            make_buffer(50).reduce(10, strategy="kmeans")
+
+    def test_reduce_invalid_budget_raises(self):
+        with pytest.raises(ValueError):
+            make_buffer(50).reduce(0)
+
+    def test_reduced_buffer_mean_close_to_full_mean(self):
+        """Herded memory preserves the (row-normalised) representation mean per arm."""
+        rng = np.random.default_rng(6)
+        reps = rng.normal(size=(300, 6)) + np.array([2.0, -1.0, 0.5, 0.0, 1.0, -0.5])
+        treatments = (rng.random(300) < 0.5).astype(int)
+        buffer = MemoryBuffer(reps, rng.normal(size=300), treatments)
+        reduced = buffer.reduce(60)
+        for arm in (0, 1):
+            full = buffer.group(arm).representations
+            kept = reduced.group(arm).representations
+            full = full / np.linalg.norm(full, axis=1, keepdims=True)
+            kept = kept / np.linalg.norm(kept, axis=1, keepdims=True)
+            error = np.linalg.norm(kept.mean(axis=0) - full.mean(axis=0))
+            assert error < 0.05

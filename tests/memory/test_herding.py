@@ -1,0 +1,97 @@
+"""Tests for the herding exemplar-selection algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import herding_selection, random_selection
+
+
+def mean_approximation_error(features: np.ndarray, indices: np.ndarray) -> float:
+    normalized = features / np.maximum(np.linalg.norm(features, axis=1, keepdims=True), 1e-12)
+    return float(np.linalg.norm(normalized[indices].mean(axis=0) - normalized.mean(axis=0)))
+
+
+class TestHerdingSelection:
+    def test_returns_requested_number_of_unique_indices(self, rng):
+        features = rng.normal(size=(50, 8))
+        selected = herding_selection(features, 20)
+        assert selected.shape == (20,)
+        assert len(set(selected.tolist())) == 20
+        assert np.all((selected >= 0) & (selected < 50))
+
+    def test_budget_larger_than_population_returns_everything(self, rng):
+        features = rng.normal(size=(10, 4))
+        selected = herding_selection(features, 50)
+        assert sorted(selected.tolist()) == list(range(10))
+
+    def test_herding_beats_random_subsampling_on_mean_error(self, rng):
+        """The iCaRL motivation: herded exemplars approximate the class mean
+        with fewer samples than uniform random selection."""
+        features = rng.normal(size=(400, 16)) + rng.normal(size=(1, 16)) * 2.0
+        budget = 20
+        herded = herding_selection(features, budget)
+        herded_error = mean_approximation_error(features, herded)
+        random_errors = [
+            mean_approximation_error(
+                features, random_selection(features, budget, rng=np.random.default_rng(seed))
+            )
+            for seed in range(10)
+        ]
+        assert herded_error < np.mean(random_errors)
+
+    def test_first_selected_is_closest_to_mean(self, rng):
+        features = rng.normal(size=(100, 5))
+        normalized = features / np.linalg.norm(features, axis=1, keepdims=True)
+        expected_first = int(
+            np.argmin(np.linalg.norm(normalized - normalized.mean(axis=0), axis=1))
+        )
+        assert herding_selection(features, 1)[0] == expected_first
+
+    def test_deterministic(self, rng):
+        features = rng.normal(size=(60, 6))
+        first = herding_selection(features, 15)
+        second = herding_selection(features, 15)
+        np.testing.assert_array_equal(first, second)
+
+    def test_without_normalization(self, rng):
+        features = rng.normal(size=(30, 4)) * 10
+        selected = herding_selection(features, 10, normalize=False)
+        assert selected.shape == (10,)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            herding_selection(rng.normal(size=(0, 3)), 5)
+        with pytest.raises(ValueError):
+            herding_selection(rng.normal(size=(10, 3)), 0)
+        with pytest.raises(ValueError):
+            herding_selection(rng.normal(size=10), 3)
+
+    @given(st.integers(1, 30), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_selection_size_never_exceeds_population(self, budget, dim):
+        features = np.random.default_rng(0).normal(size=(12, dim))
+        selected = herding_selection(features, budget)
+        assert selected.shape[0] == min(budget, 12)
+        assert len(set(selected.tolist())) == selected.shape[0]
+
+
+class TestRandomSelection:
+    def test_returns_unique_indices_within_range(self, rng):
+        features = rng.normal(size=(40, 3))
+        selected = random_selection(features, 15, rng=rng)
+        assert selected.shape == (15,)
+        assert len(set(selected.tolist())) == 15
+
+    def test_budget_clipped_to_population(self, rng):
+        features = rng.normal(size=(5, 3))
+        assert random_selection(features, 100, rng=rng).shape == (5,)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            random_selection(rng.normal(size=(0, 3)), 2)
+        with pytest.raises(ValueError):
+            random_selection(rng.normal(size=(5, 3)), 0)

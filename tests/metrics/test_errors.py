@@ -1,0 +1,174 @@
+"""Tests for the treatment-effect and continual-learning metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import (
+    EffectEstimate,
+    ate_error,
+    average_over_domains,
+    evaluate_effect_estimate,
+    factual_rmse,
+    forgetting,
+    pehe,
+    sqrt_pehe,
+)
+from repro.utils import Standardizer
+
+
+class TestPEHEAndATE:
+    def test_perfect_estimate_gives_zero(self):
+        ite = np.array([1.0, 2.0, 3.0])
+        assert pehe(ite, ite) == pytest.approx(0.0)
+        assert sqrt_pehe(ite, ite) == pytest.approx(0.0)
+        assert ate_error(ite, ite) == pytest.approx(0.0)
+
+    def test_known_values(self):
+        true = np.array([1.0, 1.0])
+        estimated = np.array([0.0, 3.0])
+        assert pehe(true, estimated) == pytest.approx((1 + 4) / 2)
+        assert sqrt_pehe(true, estimated) == pytest.approx(np.sqrt(2.5))
+        assert ate_error(true, estimated) == pytest.approx(0.5)
+
+    def test_ate_error_is_absolute(self):
+        assert ate_error(np.array([2.0]), np.array([5.0])) == ate_error(
+            np.array([5.0]), np.array([2.0])
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pehe(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            pehe(np.array([]), np.array([]))
+
+    def test_factual_rmse_known_value(self):
+        assert factual_rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    @given(
+        arrays(np.float64, st.integers(1, 50), elements=st.floats(-10, 10, allow_nan=False)),
+        st.floats(-5, 5, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_constant_bias_property(self, ite, bias):
+        """Adding a constant bias b to every ITE estimate gives ATE error |b|
+        and sqrt(PEHE) |b|."""
+        shifted = ite + bias
+        assert ate_error(ite, shifted) == pytest.approx(abs(bias), abs=1e-8)
+        assert sqrt_pehe(ite, shifted) == pytest.approx(abs(bias), abs=1e-8)
+
+    @given(
+        arrays(np.float64, st.integers(2, 40), elements=st.floats(-10, 10, allow_nan=False)),
+        arrays(np.float64, st.integers(2, 40), elements=st.floats(-10, 10, allow_nan=False)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pehe_dominates_squared_ate_error(self, true, estimated):
+        """PEHE >= (ATE error)^2 by Jensen's inequality."""
+        n = min(len(true), len(estimated))
+        true, estimated = true[:n], estimated[:n]
+        assert pehe(true, estimated) + 1e-9 >= ate_error(true, estimated) ** 2
+
+
+class TestEffectEstimate:
+    def test_ite_and_ate(self):
+        estimate = EffectEstimate(y0_hat=np.array([1.0, 2.0]), y1_hat=np.array([3.0, 5.0]))
+        np.testing.assert_allclose(estimate.ite_hat, [2.0, 3.0])
+        assert estimate.ate_hat == pytest.approx(2.5)
+
+    def test_factual_predictions_select_by_treatment(self):
+        estimate = EffectEstimate(y0_hat=np.array([1.0, 2.0]), y1_hat=np.array([10.0, 20.0]))
+        factual = estimate.factual_predictions(np.array([1, 0]))
+        np.testing.assert_allclose(factual, [10.0, 2.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            EffectEstimate(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            EffectEstimate(np.zeros(3), np.zeros(3)).factual_predictions(np.zeros(2))
+
+    def test_evaluate_effect_estimate_keys(self):
+        estimate = EffectEstimate(np.zeros(4), np.ones(4))
+        metrics = evaluate_effect_estimate(
+            estimate,
+            true_ite=np.ones(4),
+            treatments=np.array([0, 1, 0, 1]),
+            factual_outcomes=np.array([0.0, 1.0, 0.0, 1.0]),
+        )
+        assert metrics["sqrt_pehe"] == pytest.approx(0.0)
+        assert metrics["ate_error"] == pytest.approx(0.0)
+        assert metrics["factual_rmse"] == pytest.approx(0.0)
+        assert metrics["ate_true"] == pytest.approx(1.0)
+
+    def test_evaluate_without_outcomes_omits_factual_rmse(self):
+        estimate = EffectEstimate(np.zeros(4), np.ones(4))
+        metrics = evaluate_effect_estimate(estimate, true_ite=np.ones(4))
+        assert "factual_rmse" not in metrics
+
+
+class TestContinualMetrics:
+    def test_forgetting_positive_when_metric_worsens(self):
+        history = [[1.0], [1.5, 1.0]]
+        assert forgetting(history) == pytest.approx(0.5)
+
+    def test_forgetting_zero_for_single_domain(self):
+        assert forgetting([[1.0]]) == 0.0
+
+    def test_forgetting_uses_best_seen_value(self):
+        history = [[2.0], [1.0, 1.2], [1.8, 1.3, 1.1]]
+        # best for domain0 is 1.0, final is 1.8 -> 0.8; domain1 best 1.2, final 1.3 -> 0.1
+        assert forgetting(history) == pytest.approx((0.8 + 0.1) / 2)
+
+    def test_forgetting_empty_raises(self):
+        with pytest.raises(ValueError):
+            forgetting([])
+
+    def test_average_over_domains(self):
+        merged = average_over_domains([{"a": 1.0, "b": 2.0}, {"a": 3.0, "b": 4.0}])
+        assert merged == {"a": 2.0, "b": 3.0}
+
+    def test_average_over_domains_intersects_keys(self):
+        merged = average_over_domains([{"a": 1.0, "b": 2.0}, {"a": 3.0}])
+        assert merged == {"a": 2.0}
+
+    def test_average_over_domains_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_over_domains([])
+
+
+class TestStandardizer:
+    def test_round_trip(self, rng):
+        values = rng.normal(5.0, 3.0, size=(40, 3))
+        scaler = Standardizer().fit(values)
+        transformed = scaler.transform(values)
+        np.testing.assert_allclose(transformed.mean(axis=0), np.zeros(3), atol=1e-9)
+        np.testing.assert_allclose(transformed.std(axis=0), np.ones(3), atol=1e-9)
+        np.testing.assert_allclose(scaler.inverse_transform(transformed), values, atol=1e-9)
+
+    def test_one_dimensional_input(self, rng):
+        values = rng.normal(size=30)
+        scaler = Standardizer().fit(values)
+        out = scaler.transform(values)
+        assert out.shape == (30,)
+        np.testing.assert_allclose(scaler.inverse_transform(out), values, atol=1e-9)
+
+    def test_constant_column_is_safe(self):
+        values = np.column_stack([np.ones(10), np.arange(10.0)])
+        transformed = Standardizer().fit_transform(values)
+        assert np.all(np.isfinite(transformed))
+        np.testing.assert_allclose(transformed[:, 0], np.zeros(10))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.ones(3))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            Standardizer().fit(np.zeros((0, 3)))

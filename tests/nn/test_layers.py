@@ -1,0 +1,131 @@
+"""Tests for the neural-network layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    CosineNormLinear,
+    Dropout,
+    Linear,
+    MLP,
+    Sequential,
+    Tensor,
+    make_activation,
+)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert len(layer.parameters()) == 1
+
+    def test_linear_matches_manual_computation(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_invalid_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 3, rng=rng)
+
+
+class TestCosineNormLinear:
+    def test_output_bounded_in_unit_interval(self, rng):
+        layer = CosineNormLinear(10, 6, rng=rng)
+        x = rng.normal(size=(50, 10)) * 100.0
+        out = layer(Tensor(x)).numpy()
+        assert np.all(out <= 1.0 + 1e-9)
+        assert np.all(out >= -1.0 - 1e-9)
+
+    def test_scale_invariance_of_inputs(self, rng):
+        """Cosine normalisation removes the covariate-magnitude dependence (Eq. 2)."""
+        layer = CosineNormLinear(8, 4, rng=rng)
+        x = rng.normal(size=(5, 8))
+        out_small = layer(Tensor(x)).numpy()
+        out_large = layer(Tensor(x * 1000.0)).numpy()
+        np.testing.assert_allclose(out_small, out_large, atol=1e-9)
+
+    def test_gradients_flow_to_weights(self, rng):
+        layer = CosineNormLinear(4, 3, rng=rng)
+        layer(Tensor(rng.normal(size=(6, 4)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.any(layer.weight.grad != 0)
+
+    def test_invalid_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            CosineNormLinear(3, 0, rng=rng)
+
+
+class TestActivationsAndDropout:
+    @pytest.mark.parametrize("name", ["relu", "elu", "tanh", "sigmoid", "identity", "linear"])
+    def test_make_activation_known_names(self, name):
+        module = make_activation(name)
+        out = module(Tensor(np.array([-1.0, 0.0, 1.0])))
+        assert out.shape == (3,)
+
+    def test_make_activation_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_activation("swishish")
+
+    def test_dropout_inactive_in_eval_mode(self, rng):
+        dropout = Dropout(0.5, rng=rng)
+        dropout.eval()
+        x = np.ones((4, 4))
+        np.testing.assert_allclose(dropout(Tensor(x)).numpy(), x)
+
+    def test_dropout_masks_in_train_mode(self, rng):
+        dropout = Dropout(0.5, rng=rng)
+        out = dropout(Tensor(np.ones((200, 10)))).numpy()
+        dropped_fraction = np.mean(out == 0.0)
+        assert 0.3 < dropped_fraction < 0.7
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self, rng):
+        seq = Sequential(Linear(3, 5, rng=rng), make_activation("relu"), Linear(5, 2, rng=rng))
+        out = seq(Tensor(np.ones((4, 3))))
+        assert out.shape == (4, 2)
+        assert len(seq) == 3
+
+    def test_sequential_append(self, rng):
+        seq = Sequential(Linear(3, 3, rng=rng))
+        seq.append(Linear(3, 1, rng=rng))
+        assert seq(Tensor(np.ones((2, 3)))).shape == (2, 1)
+
+    def test_mlp_shapes_and_parameter_count(self, rng):
+        mlp = MLP(10, (16, 8), 4, rng=rng)
+        assert mlp(Tensor(np.ones((3, 10)))).shape == (3, 4)
+        expected = 10 * 16 + 16 + 16 * 8 + 8 + 8 * 4 + 4
+        assert mlp.num_parameters() == expected
+
+    def test_mlp_cosine_output_bounded(self, rng):
+        mlp = MLP(6, (12,), 5, cosine_output=True, rng=rng)
+        out = mlp(Tensor(rng.normal(size=(20, 6)) * 50)).numpy()
+        assert np.all(np.abs(out) <= 1.0 + 1e-9)
+
+    def test_mlp_no_hidden_layers(self, rng):
+        mlp = MLP(4, (), 2, rng=rng)
+        assert mlp(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_mlp_output_activation(self, rng):
+        mlp = MLP(4, (8,), 2, output_activation="sigmoid", rng=rng)
+        out = mlp(Tensor(rng.normal(size=(10, 4)))).numpy()
+        assert np.all((out > 0) & (out < 1))
+
+    def test_mlp_is_deterministic_given_seed(self):
+        mlp_a = MLP(4, (8,), 2, rng=np.random.default_rng(5))
+        mlp_b = MLP(4, (8,), 2, rng=np.random.default_rng(5))
+        x = Tensor(np.ones((2, 4)))
+        np.testing.assert_allclose(mlp_a(x).numpy(), mlp_b(x).numpy())

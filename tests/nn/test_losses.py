@@ -1,0 +1,142 @@
+"""Tests for loss functions and regularisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import (
+    Parameter,
+    Tensor,
+    binary_cross_entropy,
+    cosine_distance_loss,
+    cosine_similarity,
+    elastic_net_penalty,
+    mae_loss,
+    mse_loss,
+)
+
+
+class TestRegression:
+    def test_mse_known_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = Tensor(np.array([1.0, 0.0, 6.0]))
+        assert mse_loss(pred, target).item() == pytest.approx((0 + 4 + 9) / 3)
+
+    def test_mse_zero_at_perfect_prediction(self):
+        values = Tensor(np.arange(5.0))
+        assert mse_loss(values, values).item() == pytest.approx(0.0)
+
+    def test_mae_known_value(self):
+        pred = Tensor(np.array([1.0, -2.0]))
+        target = Tensor(np.array([0.0, 2.0]))
+        assert mae_loss(pred, target).item() == pytest.approx(2.5)
+
+    def test_mse_gradient_direction(self):
+        pred = Tensor(np.array([2.0]), requires_grad=True)
+        mse_loss(pred, Tensor(np.array([0.0]))).backward()
+        assert pred.grad[0] > 0  # moving prediction down reduces the loss
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        pred = Tensor(np.array([0.999, 0.001]))
+        target = Tensor(np.array([1.0, 0.0]))
+        assert binary_cross_entropy(pred, target).item() < 0.01
+
+    def test_worst_prediction_is_large(self):
+        pred = Tensor(np.array([0.001, 0.999]))
+        target = Tensor(np.array([1.0, 0.0]))
+        assert binary_cross_entropy(pred, target).item() > 3.0
+
+    def test_handles_exact_zero_and_one(self):
+        pred = Tensor(np.array([0.0, 1.0]))
+        target = Tensor(np.array([0.0, 1.0]))
+        value = binary_cross_entropy(pred, target).item()
+        assert np.isfinite(value)
+
+
+class TestElasticNet:
+    def test_combines_l1_and_l2(self):
+        param = Parameter(np.array([1.0, -2.0]))
+        value = elastic_net_penalty([param], l1_ratio=0.5).item()
+        l2 = 1.0 + 4.0
+        l1 = 1.0 + 2.0
+        assert value == pytest.approx(0.5 * l2 + 0.5 * l1)
+
+    def test_pure_lasso_and_ridge_limits(self):
+        param = Parameter(np.array([3.0]))
+        assert elastic_net_penalty([param], l1_ratio=1.0).item() == pytest.approx(3.0)
+        assert elastic_net_penalty([param], l1_ratio=0.0).item() == pytest.approx(9.0)
+
+    def test_zero_weights_give_zero_penalty(self):
+        assert elastic_net_penalty([Parameter(np.zeros(10))]).item() == pytest.approx(0.0)
+
+    def test_multiple_parameters_summed(self):
+        a = Parameter(np.array([1.0]))
+        b = Parameter(np.array([1.0]))
+        single = elastic_net_penalty([a]).item()
+        both = elastic_net_penalty([a, b]).item()
+        assert both == pytest.approx(2 * single)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            elastic_net_penalty([], l1_ratio=0.5)
+        with pytest.raises(ValueError):
+            elastic_net_penalty([Parameter(np.ones(2))], l1_ratio=2.0)
+
+    def test_gradient_flows(self):
+        param = Parameter(np.array([1.0, -1.0]))
+        elastic_net_penalty([param]).backward()
+        assert param.grad is not None
+
+
+class TestCosineLosses:
+    def test_identical_vectors_have_zero_distance(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(5, 8)))
+        assert cosine_distance_loss(a, a).item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_opposite_vectors_have_distance_two(self):
+        a = Tensor(np.ones((3, 4)))
+        b = Tensor(-np.ones((3, 4)))
+        assert cosine_distance_loss(a, b).item() == pytest.approx(2.0)
+
+    def test_orthogonal_vectors_have_distance_one(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 1.0]]))
+        assert cosine_distance_loss(a, b).item() == pytest.approx(1.0)
+
+    def test_similarity_scale_invariance(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(4, 6))
+        b = rng.normal(size=(4, 6))
+        sim = cosine_similarity(Tensor(a), Tensor(b)).numpy()
+        sim_scaled = cosine_similarity(Tensor(a * 7.0), Tensor(b * 0.1)).numpy()
+        np.testing.assert_allclose(sim, sim_scaled, atol=1e-6)
+
+    def test_distance_equals_half_squared_euclidean_for_unit_vectors(self):
+        """The identity the paper uses to justify Eq. 6: ||A-B||^2 = 2(1 - cos)."""
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(10, 5))
+        b = rng.normal(size=(10, 5))
+        a /= np.linalg.norm(a, axis=1, keepdims=True)
+        b /= np.linalg.norm(b, axis=1, keepdims=True)
+        cosine = cosine_distance_loss(Tensor(a), Tensor(b)).item()
+        euclidean = float(np.mean(np.sum((a - b) ** 2, axis=1)))
+        assert euclidean == pytest.approx(2.0 * cosine, rel=1e-9)
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 6), st.integers(2, 6)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_distance_always_in_zero_two(self, value):
+        other = np.roll(value, 1, axis=1) + 0.1
+        distance = cosine_distance_loss(Tensor(value), Tensor(other)).item()
+        assert -1e-6 <= distance <= 2.0 + 1e-6

@@ -1,0 +1,114 @@
+"""Tests for Module/Parameter registration, state handling and freezing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, MLP, Module, Parameter, Sequential, Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.layer = Linear(3, 2, rng=np.random.default_rng(0))
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.layer(x) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_includes_children(self):
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert "scale" in names
+        assert "layer.weight" in names
+        assert "layer.bias" in names
+
+    def test_parameters_flat_list(self):
+        toy = Toy()
+        assert len(toy.parameters()) == 3
+
+    def test_num_parameters_counts_scalars(self):
+        toy = Toy()
+        assert toy.num_parameters() == 3 * 2 + 2 + 2
+
+    def test_modules_traversal(self):
+        mlp = MLP(4, (8,), 2, rng=np.random.default_rng(0))
+        assert sum(1 for _ in mlp.modules()) > 3
+
+    def test_register_module_explicit(self):
+        container = Module()
+        container.register_module("child", Linear(2, 2, rng=np.random.default_rng(0)))
+        assert any(name.startswith("child.") for name, _ in container.named_parameters())
+
+
+class TestStateDict:
+    def test_round_trip_restores_values(self):
+        toy_a = Toy()
+        toy_b = Toy()
+        state = toy_a.state_dict()
+        toy_b.load_state_dict(state)
+        x = Tensor(np.ones((1, 3)))
+        np.testing.assert_allclose(toy_a(x).numpy(), toy_b(x).numpy())
+
+    def test_state_dict_is_a_copy(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["scale"][:] = 99.0
+        assert not np.allclose(toy.scale.data, 99.0)
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["scale"] = np.ones(5)
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+    def test_clone_is_independent(self):
+        toy = Toy()
+        clone = toy.clone()
+        clone.scale.data[:] = 42.0
+        assert not np.allclose(toy.scale.data, 42.0)
+
+
+class TestModes:
+    def test_freeze_unfreeze(self):
+        toy = Toy()
+        toy.freeze()
+        assert all(not p.requires_grad for p in toy.parameters())
+        toy.unfreeze()
+        assert all(p.requires_grad for p in toy.parameters())
+
+    def test_frozen_parameters_receive_no_gradient(self):
+        toy = Toy()
+        toy.freeze()
+        out = toy(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert all(p.grad is None for p in toy.parameters())
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2, rng=np.random.default_rng(0)))
+        seq.eval()
+        assert all(not module.training for module in seq.modules())
+        seq.train()
+        assert all(module.training for module in seq.modules())
+
+    def test_zero_grad_clears_all(self):
+        toy = Toy()
+        toy(Tensor(np.ones((2, 3)))).sum().backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor(np.ones(2)))

@@ -1,0 +1,295 @@
+"""Unit and property tests for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor, concatenate, is_grad_enabled, no_grad, stack
+
+
+def numerical_gradient(func, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar-valued function."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = func(x)
+        flat[i] = original - eps
+        lower = func(x)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, value: np.ndarray, atol: float = 1e-5) -> None:
+    """Compare autograd gradients against finite differences."""
+    tensor = Tensor(value.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    analytic = tensor.grad
+
+    def scalar(x: np.ndarray) -> float:
+        return build_loss(Tensor(x)).item()
+
+    numeric = numerical_gradient(scalar, value.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+class TestBasicOps:
+    def test_addition_and_scalar_broadcast(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+        out = (a + 1.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+
+    def test_subtraction_gradients(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 5.0], requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [-1.0, -1.0])
+
+    def test_multiplication_gradient(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_division_gradient(self):
+        check_gradient(lambda t: (t / 3.0).sum(), np.array([1.0, 2.0, 4.0]))
+        check_gradient(lambda t: (6.0 / t).sum(), np.array([1.0, 2.0, 4.0]))
+
+    def test_power_gradient(self):
+        check_gradient(lambda t: (t ** 3).sum(), np.array([1.0, -2.0, 0.5]))
+
+    def test_matmul_gradient(self):
+        rng = np.random.default_rng(0)
+        a_value = rng.normal(size=(3, 4))
+        b = Tensor(rng.normal(size=(4, 2)))
+        check_gradient(lambda t: (t @ b).sum(), a_value)
+
+    def test_matmul_right_operand_gradient(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(3, 4)))
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        ((a @ b) ** 2).sum().backward()
+        assert b.grad is not None
+        assert b.grad.shape == (4, 2)
+
+    def test_negation(self):
+        a = Tensor([1.0, -2.0], requires_grad=True)
+        (-a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, -1.0])
+
+    def test_radd_rsub_rmul(self):
+        a = Tensor([2.0], requires_grad=True)
+        assert (3.0 + a).item() == pytest.approx(5.0)
+        assert (3.0 - a).item() == pytest.approx(1.0)
+        assert (3.0 * a).item() == pytest.approx(6.0)
+
+    def test_pow_rejects_tensor_exponent(self):
+        a = Tensor([2.0])
+        with pytest.raises(TypeError):
+            a ** np.array([1.0, 2.0])
+
+
+class TestBroadcasting:
+    def test_row_vector_broadcast_gradient(self):
+        matrix = np.arange(6, dtype=np.float64).reshape(2, 3)
+        row = Tensor(np.array([[1.0, 2.0, 3.0]]), requires_grad=True)
+        (Tensor(matrix) * row).sum().backward()
+        np.testing.assert_allclose(row.grad, matrix.sum(axis=0, keepdims=True))
+
+    def test_column_vector_broadcast_gradient(self):
+        matrix = np.arange(6, dtype=np.float64).reshape(2, 3)
+        col = Tensor(np.array([[1.0], [2.0]]), requires_grad=True)
+        (Tensor(matrix) + col).sum().backward()
+        np.testing.assert_allclose(col.grad, [[3.0], [3.0]])
+
+    def test_scalar_tensor_broadcast(self):
+        scalar = Tensor(2.0, requires_grad=True)
+        matrix = Tensor(np.ones((3, 4)))
+        (matrix * scalar).sum().backward()
+        assert scalar.grad == pytest.approx(12.0)
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_gradient(self):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), np.arange(6.0).reshape(2, 3))
+
+    def test_mean_gradient(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_max_gradient_splits_ties(self):
+        a = Tensor(np.array([1.0, 3.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 0.5, 0.5])
+
+    def test_reshape_round_trip(self):
+        value = np.arange(6.0).reshape(2, 3)
+        check_gradient(lambda t: (t.reshape(3, 2) ** 2).sum(), value)
+
+    def test_transpose_gradient(self):
+        value = np.arange(6.0).reshape(2, 3)
+        check_gradient(lambda t: (t.T @ Tensor(np.ones((2, 1)))).sum(), value)
+
+    def test_getitem_gradient(self):
+        a = Tensor(np.arange(10.0), requires_grad=True)
+        a[np.array([1, 3, 3])].sum().backward()
+        expected = np.zeros(10)
+        expected[1] = 1.0
+        expected[3] = 2.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            a.backward()
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda t: t.exp().sum(),
+            lambda t: (t + 3.0).log().sum(),
+            lambda t: (t + 3.0).sqrt().sum(),
+            lambda t: t.tanh().sum(),
+            lambda t: t.sigmoid().sum(),
+            lambda t: t.relu().sum(),
+            lambda t: t.elu().sum(),
+            lambda t: t.abs().sum(),
+            lambda t: t.softmax(axis=-1).max(),
+            lambda t: t.logsumexp(axis=-1).sum(),
+        ],
+    )
+    def test_gradients_match_finite_differences(self, op):
+        rng = np.random.default_rng(2)
+        value = rng.normal(size=(3, 4)) * 0.9 + 0.2
+        check_gradient(op, value, atol=1e-4)
+
+    def test_clip_gradient_masks_outside(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        probs = Tensor(rng.normal(size=(5, 7))).softmax(axis=1)
+        np.testing.assert_allclose(probs.numpy().sum(axis=1), np.ones(5), atol=1e-12)
+
+    def test_norm_positive_and_differentiable(self):
+        check_gradient(lambda t: t.norm(axis=1).sum(), np.random.default_rng(4).normal(size=(3, 5)))
+
+
+class TestConcatenateStack:
+    def test_concatenate_routes_gradients(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((4, 3)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (6, 3)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((4, 3), 2.0))
+
+    def test_concatenate_axis1(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((2, 1)), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 4)
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+
+    def test_stack_shapes_and_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+    def test_stack_empty_raises(self):
+        with pytest.raises(ValueError):
+            stack([])
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (a * 2.0).sum()
+        assert is_grad_enabled()
+        assert not out.requires_grad
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        detached = (a * 2.0).detach()
+        assert not detached.requires_grad
+
+    def test_gradient_accumulates_across_uses(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        ((a * 2.0).sum() + (a * 3.0).sum()).backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0])
+
+    def test_zero_grad_resets(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        (a * 2.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_repr_and_item(self):
+        a = Tensor([[1.0]], requires_grad=True)
+        assert "requires_grad" in repr(a)
+        assert a.item() == pytest.approx(1.0)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+
+class TestPropertyBased:
+    @given(
+        arrays(
+            np.float64,
+            array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sum_matches_numpy(self, value):
+        assert Tensor(value).sum().item() == pytest.approx(float(value.sum()), abs=1e-8)
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.integers(1, 5)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_linear_gradient_is_exact(self, value):
+        """d/dx sum(3 x) == 3 everywhere, regardless of the input values."""
+        tensor = Tensor(value, requires_grad=True)
+        (tensor * 3.0).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.full(value.shape, 3.0))
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 4), st.integers(1, 4)),
+            elements=st.floats(-3, 3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tanh_output_bounded(self, value):
+        out = Tensor(value).tanh().numpy()
+        assert np.all(out <= 1.0) and np.all(out >= -1.0)

@@ -1,0 +1,82 @@
+"""End-to-end integration tests exercising the public API as a user would."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    CERL,
+    BlogCatalogBenchmark,
+    ContinualConfig,
+    DomainStream,
+    ModelConfig,
+    NewsBenchmark,
+    make_strategy,
+)
+from repro.experiments import SMOKE, run_two_domain_comparison
+
+
+class TestPublicAPI:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_news_quickstart_flow(self):
+        """The README quickstart: News benchmark -> CERL over two domains -> metrics."""
+        benchmark = NewsBenchmark(scale=0.03, seed=0)
+        first, second = benchmark.generate_domain_pair("substantial")
+        stream = DomainStream([first, second], seed=0)
+
+        model_config = ModelConfig(
+            representation_dim=16,
+            encoder_hidden=(32,),
+            outcome_hidden=(16,),
+            epochs=5,
+            batch_size=64,
+            sinkhorn_iterations=10,
+            seed=0,
+        )
+        cerl = CERL(stream.n_features, model_config, ContinualConfig(memory_budget=60))
+        cerl.observe(stream.train_data(0), val_dataset=stream.val_data(0))
+        cerl.observe(stream.train_data(1), val_dataset=stream.val_data(1))
+
+        previous_test, new_test = stream.previous_and_new_test(1)
+        for metrics in (cerl.evaluate(previous_test), cerl.evaluate(new_test)):
+            assert np.isfinite(metrics["sqrt_pehe"])
+            assert np.isfinite(metrics["ate_error"])
+        assert cerl.memory_size <= 60
+
+    def test_blogcatalog_strategy_comparison(self):
+        """Strategies and CERL can be compared uniformly on BlogCatalog data."""
+        benchmark = BlogCatalogBenchmark(scale=0.03, seed=1)
+        first, second = benchmark.generate_domain_pair("moderate")
+        results = run_two_domain_comparison(
+            first,
+            second,
+            strategies=("CFR-B", "CERL"),
+            model_config=SMOKE.model_config(seed=1),
+            continual_config=SMOKE.continual_config(memory_budget=50),
+            seed=1,
+        )
+        assert {r.strategy for r in results} == {"CFR-B", "CERL"}
+
+    def test_make_strategy_five_domain_stream(self):
+        """CERL handles a five-domain synthetic stream (Figure 4 protocol)."""
+        from repro.data import SyntheticDomainGenerator
+
+        generator = SyntheticDomainGenerator(SMOKE.synthetic_config(n_units=150), seed=2)
+        stream = DomainStream(generator.generate_stream(5), seed=2)
+        learner = make_strategy(
+            "CERL",
+            stream.n_features,
+            SMOKE.model_config(seed=2),
+            SMOKE.continual_config(memory_budget=50),
+        )
+        for index in range(5):
+            learner.observe(stream.train_data(index), epochs=2)
+        results = [learner.evaluate(test) for test in stream.test_sets_seen(4)]
+        assert len(results) == 5
+        assert all(np.isfinite(r["sqrt_pehe"]) for r in results)
