@@ -1,0 +1,176 @@
+"""Frozen seed-state implementations used as benchmark baselines.
+
+``BENCH_engine.json`` records the speedup of the optimised autograd backward
+pass and the vectorised Sinkhorn solver *relative to the seed implementation*.
+To keep that comparison honest and self-contained, this module carries a
+trimmed, verbatim copy of the seed's hot paths (``repro.nn.tensor.Tensor``
+backward machinery and ``repro.balance.ipm._sinkhorn_plan``) as they were
+before the engine refactor.  Do not "fix" or optimise this file — its entire
+purpose is to stay slow and identical to the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    if grad.shape == shape:
+        return grad
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class SeedTensor:
+    """Seed-state autograd tensor: unfused grads, copying accumulate, slow topo."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents: tuple = ()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @staticmethod
+    def _make(data, parents: Sequence["SeedTensor"], backward) -> "SeedTensor":
+        out = SeedTensor(data, requires_grad=any(p.requires_grad for p in parents))
+        if out.requires_grad:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __add__(self, other: "SeedTensor") -> "SeedTensor":
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        return SeedTensor._make(data, (self, other), backward)
+
+    def __sub__(self, other: "SeedTensor") -> "SeedTensor":
+        data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return SeedTensor._make(data, (self, other), backward)
+
+    def __mul__(self, other: "SeedTensor") -> "SeedTensor":
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return SeedTensor._make(data, (self, other), backward)
+
+    def __matmul__(self, other: "SeedTensor") -> "SeedTensor":
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
+
+        return SeedTensor._make(data, (self, other), backward)
+
+    def relu(self) -> "SeedTensor":
+        data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (self.data > 0.0))
+
+        return SeedTensor._make(data, (self,), backward)
+
+    def sum(self) -> "SeedTensor":
+        data = self.data.sum()
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.broadcast_to(np.asarray(grad), self.shape).copy())
+
+        return SeedTensor._make(data, (self,), backward)
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Verbatim seed backward: resumable-iterator DFS + per-node set ops."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar output")
+            grad = np.ones_like(self.data)
+
+        topo: list = []
+        visited: set = set()
+
+        def build(node: "SeedTensor") -> None:
+            stack = [(node, iter(node._parents))]
+            seen_on_stack = {id(node)}
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited and id(parent) not in seen_on_stack:
+                        stack.append((parent, iter(parent._parents)))
+                        seen_on_stack.add(id(parent))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    seen_on_stack.discard(id(current))
+                    if id(current) not in visited:
+                        visited.add(id(current))
+                        topo.append(current)
+
+        build(self)
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+def seed_logsumexp(values: np.ndarray, axis: int) -> np.ndarray:
+    maxes = values.max(axis=axis, keepdims=True)
+    out = np.log(np.exp(values - maxes).sum(axis=axis, keepdims=True)) + maxes
+    return np.squeeze(out, axis=axis)
+
+
+def seed_sinkhorn_plan(cost: np.ndarray, epsilon: float, num_iters: int) -> np.ndarray:
+    """Verbatim seed Sinkhorn: fresh array allocations on every iteration."""
+    n, m = cost.shape
+    log_mu = -np.log(n) * np.ones(n)
+    log_nu = -np.log(m) * np.ones(m)
+    log_k = -cost / epsilon
+    f = np.zeros(n)
+    g = np.zeros(m)
+    for _ in range(num_iters):
+        f = epsilon * (log_mu - seed_logsumexp(log_k + g[None, :] / epsilon, axis=1))
+        g = epsilon * (log_nu - seed_logsumexp(log_k + f[:, None] / epsilon, axis=0))
+    log_plan = log_k + f[:, None] / epsilon + g[None, :] / epsilon
+    return np.exp(log_plan)

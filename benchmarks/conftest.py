@@ -6,11 +6,28 @@ the paper-scale experiment, scaled down so a full ``pytest benchmarks/
 --benchmark-only`` run finishes in minutes on a laptop.  The generated
 rows/series are printed so the run doubles as a reproduction report; the
 paper-vs-measured comparison is recorded in EXPERIMENTS.md.
+
+Engine perf guard
+-----------------
+``benchmarks/test_bench_engine.py`` measures the substrate hot paths (autograd
+backward pass, Sinkhorn inner loop, one CERL continual stage) against the
+frozen seed implementations in ``benchmarks/_seed_reference.py``.  Whatever it
+records through the :func:`engine_bench` fixture is written to
+``BENCH_engine.json`` in the repository root at session end, giving future PRs
+a perf trajectory to compare against.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
+
 import pytest
+
+_ENGINE_BENCH_RESULTS: dict = {}
+
+BENCH_ENGINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -27,3 +44,26 @@ def run_once(benchmark, function, *args, **kwargs):
 def once():
     """Fixture exposing :func:`run_once`."""
     return run_once
+
+
+@pytest.fixture
+def engine_bench():
+    """Recorder for the engine perf guard; results land in BENCH_engine.json."""
+
+    def record(section: str, **values) -> None:
+        _ENGINE_BENCH_RESULTS.setdefault(section, {}).update(values)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write BENCH_engine.json when the engine benchmarks recorded anything."""
+    if not _ENGINE_BENCH_RESULTS:
+        return
+    payload = {
+        "generated_by": "PYTHONPATH=src python -m pytest benchmarks/test_bench_engine.py -q",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **_ENGINE_BENCH_RESULTS,
+    }
+    BENCH_ENGINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")

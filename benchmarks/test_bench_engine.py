@@ -1,0 +1,238 @@
+"""Engine perf guard: substrate hot paths versus the frozen seed implementation.
+
+Measures three things and records them into ``BENCH_engine.json`` (via the
+``engine_bench`` fixture in ``conftest.py``):
+
+* the autograd **backward pass** of a CERL-shaped batch loss (encoder MLP,
+  two outcome heads, elastic net, group-balancing term) — new ``repro.nn``
+  tensors versus the verbatim seed autograd in ``_seed_reference.py``;
+* the **Sinkhorn** transport-plan solver — vectorised in-place inner loop
+  versus the seed's allocate-per-iteration loop;
+* one **CERL continual stage** (fit_next) at a small fixed size, as an
+  absolute wall-time trajectory point for future PRs.
+
+The timed section excludes graph construction (forward), so the comparison
+isolates exactly the code the engine PR optimised.  Gradients and transport
+plans are asserted bit-identical to the seed before any timing is trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from _seed_reference import SeedTensor, seed_sinkhorn_plan
+from repro.balance.ipm import _sinkhorn_plan
+from repro.core import CERL, ContinualConfig, ModelConfig
+from repro.data import SyntheticDomainGenerator
+from repro.experiments import QUICK
+from repro.nn import Tensor
+
+# --------------------------------------------------------------------------- #
+# shared workload: a batch loss with the same structure as the CERL objective
+# --------------------------------------------------------------------------- #
+_RNG = np.random.default_rng(0)
+_N, _P, _D, _H = 128, 25, 32, 64
+_X = _RNG.normal(size=(_N, _P))
+_Y = _RNG.normal(size=(_N, 1))
+_WEIGHTS = {
+    "w1": _RNG.normal(size=(_P, _H)),
+    "b1": _RNG.normal(size=(1, _H)),
+    "w2": _RNG.normal(size=(_H, _D)),
+    "b2": _RNG.normal(size=(1, _D)),
+    "h0w": _RNG.normal(size=(_D, 1)),
+    "h0b": _RNG.normal(size=(1, 1)),
+    "h1w": _RNG.normal(size=(_D, 1)),
+    "h1b": _RNG.normal(size=(1, 1)),
+}
+_TMASK = (_RNG.random(_N) > 0.5).astype(np.float64)
+_CMASK = 1.0 - _TMASK
+_ONES_D = np.ones((_D, 1))
+
+
+def _loss_graph(tensor_cls):
+    """Build the CERL-shaped loss with either tensor implementation."""
+    T = tensor_cls
+    params = {k: T(v, requires_grad=True) for k, v in _WEIGHTS.items()}
+    x = T(_X)
+    y = T(_Y)
+    hidden = (x @ params["w1"] + params["b1"]).relu()
+    reps = hidden @ params["w2"] + params["b2"]
+    row_energy = (reps * reps) @ T(_ONES_D)
+    y0 = (reps @ params["h0w"] + params["h0b"]).relu()
+    y1 = (reps @ params["h1w"] + params["h1b"]).relu()
+    pred = y0 * T(_CMASK.reshape(_N, 1)) + y1 * T(_TMASK.reshape(_N, 1))
+    diff = pred - y
+    factual = (diff * diff).sum()
+    enet = (params["w1"] * params["w1"]).sum()
+    for key in ("w2", "h0w", "h1w"):
+        enet = enet + (params[key] * params[key]).sum()
+    group_t = T(_TMASK.reshape(1, _N) / _TMASK.sum()) @ reps
+    group_c = T(_CMASK.reshape(1, _N) / _CMASK.sum()) @ reps
+    group_diff = group_t - group_c
+    balance = (group_diff * group_diff).sum()
+    total = factual + balance * T(1.0) + enet * T(1e-4) + (row_energy * T(1.0 / _N)).sum()
+    return total, params
+
+
+def _interleaved_best(measure_a, measure_b, rounds: int = 6):
+    """Alternate measurement rounds of two subjects and keep each one's best.
+
+    Interleaving keeps slow drifts of the machine (frequency scaling, noisy
+    neighbours) from biasing one side of the comparison.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(rounds):
+        best_a = min(best_a, measure_a())
+        best_b = min(best_b, measure_b())
+    return best_a, best_b
+
+
+def _backward_round(tensor_cls, repetitions: int = 150):
+    """Mean backward time over one round; forward construction is untimed."""
+
+    def measure() -> float:
+        total = 0.0
+        for _ in range(repetitions):
+            loss, _ = _loss_graph(tensor_cls)
+            start = time.perf_counter()
+            loss.backward()
+            total += time.perf_counter() - start
+        return total / repetitions
+
+    return measure
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_backward_pass_vs_seed(engine_bench):
+    """Optimised autograd backward vs the frozen seed implementation."""
+    new_loss, new_params = _loss_graph(Tensor)
+    new_loss.backward()
+    seed_loss, seed_params = _loss_graph(SeedTensor)
+    seed_loss.backward()
+    for key in new_params:
+        assert np.array_equal(new_params[key].grad, seed_params[key].grad), key
+
+    seed_time, new_time = _interleaved_best(
+        _backward_round(SeedTensor), _backward_round(Tensor)
+    )
+    speedup = seed_time / new_time
+    engine_bench(
+        "backward_pass",
+        seed_us=round(seed_time * 1e6, 2),
+        engine_us=round(new_time * 1e6, 2),
+        speedup=round(speedup, 3),
+        workload=f"CERL-shaped batch loss, n={_N}, d={_D}",
+    )
+    print(
+        f"\nbackward: seed {seed_time * 1e6:.1f}us -> engine {new_time * 1e6:.1f}us "
+        f"({speedup:.2f}x)"
+    )
+    # Regression guard only (>1.0): shared CI runners are too noisy to gate
+    # on the full measured margin; BENCH_engine.json records the real ratio.
+    assert speedup > 1.0, f"backward pass regressed: {speedup:.2f}x vs seed"
+
+
+_SINKHORN_SUBPROCESS = """
+import json, sys, time
+import numpy as np
+
+sys.path.insert(0, {src_path!r})
+sys.path.insert(0, {bench_path!r})
+from repro.balance.ipm import _sinkhorn_plan
+from _seed_reference import seed_sinkhorn_plan
+
+cost = np.random.default_rng(1).random((256, 256)) * 4.0
+
+
+def one_round(fn, repetitions=25):
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        fn(cost, 0.1, 20)
+    return (time.perf_counter() - start) / repetitions
+
+
+best_seed = best_new = float("inf")
+for _ in range(6):
+    best_seed = min(best_seed, one_round(seed_sinkhorn_plan))
+    best_new = min(best_new, one_round(_sinkhorn_plan))
+print(json.dumps({{"seed": best_seed, "new": best_new}}))
+"""
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_sinkhorn_vs_seed(engine_bench):
+    """Vectorised in-place Sinkhorn vs the seed allocate-per-iteration loop.
+
+    The seed implementation allocates several fresh ``(n, m)`` arrays per
+    iteration, which makes its wall time depend heavily on the process's
+    allocator state (we measured the identical call ranging from 9ms to 30ms
+    with warm vs cold malloc arenas).  The timing therefore runs in a fresh
+    subprocess so both sides are measured under the same, reproducible
+    conditions; the in-place implementation is insensitive to this either way.
+    """
+    rng = np.random.default_rng(1)
+    cost = rng.random((256, 256)) * 4.0
+    assert np.array_equal(
+        _sinkhorn_plan(cost, epsilon=0.1, num_iters=20),
+        seed_sinkhorn_plan(cost, epsilon=0.1, num_iters=20),
+    )
+
+    bench_dir = Path(__file__).resolve().parent
+    script = _SINKHORN_SUBPROCESS.format(
+        src_path=str(bench_dir.parent / "src"), bench_path=str(bench_dir)
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, check=True
+    )
+    times = json.loads(output.stdout.strip().splitlines()[-1])
+    seed_time, new_time = times["seed"], times["new"]
+    speedup = seed_time / new_time
+    engine_bench(
+        "sinkhorn",
+        seed_ms=round(seed_time * 1e3, 3),
+        engine_ms=round(new_time * 1e3, 3),
+        speedup=round(speedup, 3),
+        workload="256x256 cost matrix, 20 log-domain iterations",
+    )
+    print(
+        f"\nsinkhorn: seed {seed_time * 1e3:.2f}ms -> engine {new_time * 1e3:.2f}ms "
+        f"({speedup:.2f}x)"
+    )
+    assert speedup > 1.0, f"sinkhorn regressed: {speedup:.2f}x vs seed"
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_cerl_continual_stage(engine_bench):
+    """Absolute wall-time of one engine-driven CERL continual stage."""
+    generator = SyntheticDomainGenerator(QUICK.synthetic_config(n_units=600), seed=0)
+    first, second = generator.generate_domain(0), generator.generate_domain(1)
+    model_config = ModelConfig(
+        representation_dim=32,
+        encoder_hidden=(64,),
+        outcome_hidden=(32,),
+        epochs=3,
+        batch_size=128,
+        sinkhorn_iterations=20,
+        seed=0,
+    )
+    continual_config = ContinualConfig(memory_budget=200, rehearsal_batch_size=64)
+    learner = CERL(first.n_features, model_config, continual_config)
+    learner.observe(first)
+
+    start = time.perf_counter()
+    learner.observe(second)
+    elapsed = time.perf_counter() - start
+    engine_bench(
+        "cerl_stage",
+        seconds=round(elapsed, 4),
+        workload="fit_next: 600 units, 3 epochs, memory 200",
+    )
+    print(f"\ncerl continual stage: {elapsed:.3f}s")
+    assert learner.domains_seen == 2

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.data import DomainStream, SyntheticDomainGenerator
-from repro.experiments import QUICK, format_series, run_stream
+from repro.data import SyntheticDomainGenerator
+from repro.experiments import QUICK, format_series, run_stream_suite
 from repro.metrics import forgetting
 
 
@@ -30,20 +30,22 @@ def main() -> None:
     datasets = generator.generate_stream(args.domains)
     print(f"Generated {args.domains} domains x {args.units} units, {datasets[0].n_features} covariates")
 
+    # One shared stream iterator drives both learners domain by domain, so
+    # they observe identical splits (and the run is seed-reproducible).
+    labels = {"CERL": f"CERL (M={args.memory})", "CFR-C": "Ideal (all raw data)"}
+    print(f"Running {', '.join(labels.values())} over the shared stream ...")
+    results = run_stream_suite(
+        datasets,
+        strategies=list(labels),
+        model_config=QUICK.model_config(seed=args.seed),
+        continual_config=QUICK.continual_config(memory_budget=args.memory),
+        seed=args.seed,
+    )
+
     curves = {}
     per_domain_history = {}
-    for label, strategy, budget in (
-        (f"CERL (M={args.memory})", "CERL", args.memory),
-        ("Ideal (all raw data)", "CFR-C", args.memory),
-    ):
-        print(f"Running {label} over the stream ...")
-        result = run_stream(
-            datasets,
-            strategy=strategy,
-            model_config=QUICK.model_config(seed=args.seed),
-            continual_config=QUICK.continual_config(memory_budget=budget),
-            seed=args.seed,
-        )
+    for result in results:
+        label = labels[result.strategy]
         curves[label] = [stage["sqrt_pehe"] for stage in result.per_stage]
         per_domain_history[label] = [
             [entry["sqrt_pehe"] for entry in stage] for stage in result.per_domain

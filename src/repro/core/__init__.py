@@ -4,7 +4,7 @@ from .config import ContinualConfig, ModelConfig
 from .representation import RepresentationNetwork
 from .outcome import OutcomeHeads
 from .transform import FeatureTransform
-from .baseline import BaselineCausalModel, TrainingHistory
+from .baseline import BaselineCausalModel, EarlyStopping, TrainingHistory
 from .cerl import CERL
 from .strategies import (
     STRATEGY_NAMES,
@@ -15,7 +15,7 @@ from .strategies import (
     make_strategy,
 )
 from .classic import LogisticPropensityModel, RidgeTLearner, ipw_ate, naive_ate
-from .persistence import load_cerl, save_cerl
+from .persistence import load_cerl, load_modules, module_checkpointer, save_cerl, save_modules
 
 __all__ = [
     "LogisticPropensityModel",
@@ -24,12 +24,16 @@ __all__ = [
     "naive_ate",
     "save_cerl",
     "load_cerl",
+    "save_modules",
+    "load_modules",
+    "module_checkpointer",
     "ModelConfig",
     "ContinualConfig",
     "RepresentationNetwork",
     "OutcomeHeads",
     "FeatureTransform",
     "BaselineCausalModel",
+    "EarlyStopping",
     "TrainingHistory",
     "CERL",
     "STRATEGY_NAMES",

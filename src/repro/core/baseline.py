@@ -11,19 +11,25 @@ built on.  It combines:
 
 trained jointly with the objective of Eq. (5):
 ``L = L_Y + alpha * Wass(P, Q) + lambda * L_w``.
+
+Training runs entirely on the shared engine layer: the Eq. (5) objective is
+expressed as a :class:`repro.engine.LossBundle` and driven by a
+:class:`repro.engine.Trainer` with :class:`~repro.engine.History` and
+:class:`~repro.engine.EarlyStopping` callbacks — the epoch/minibatch loop
+itself lives in ``repro.engine``, not here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..balance import ipm_distance
-from ..data.dataset import CausalDataset, minibatches
+from ..data.dataset import CausalDataset
+from ..engine import EarlyStopping, History, LossBundle, Trainer, TrainingHistory
 from ..metrics import EffectEstimate, evaluate_effect_estimate
-from ..nn import Adam, Tensor, clip_grad_norm, mse_loss, no_grad
+from ..nn import Adam, CosineAnnealingLR, StepLR, Tensor, mse_loss, no_grad
 from ..utils import Standardizer
 from .config import ModelConfig
 from .outcome import OutcomeHeads
@@ -32,66 +38,20 @@ from .representation import RepresentationNetwork
 __all__ = ["BaselineCausalModel", "TrainingHistory", "EarlyStopping"]
 
 
-@dataclass
-class TrainingHistory:
-    """Per-epoch loss traces recorded during training."""
+def make_lr_scheduler(config: ModelConfig, optimizer, epochs: int):
+    """Build the optional per-epoch LR schedule the Trainer advances.
 
-    total: List[float] = field(default_factory=list)
-    factual: List[float] = field(default_factory=list)
-    ipm: List[float] = field(default_factory=list)
-    regularization: List[float] = field(default_factory=list)
-    validation: List[float] = field(default_factory=list)
-    stopped_early: bool = False
-
-    def append(self, total: float, factual: float, ipm: float, regularization: float) -> None:
-        """Record one epoch's average loss components."""
-        self.total.append(total)
-        self.factual.append(factual)
-        self.ipm.append(ipm)
-        self.regularization.append(regularization)
-
-    def __len__(self) -> int:
-        return len(self.total)
-
-
-class EarlyStopping:
-    """Validation-loss early stopping with best-state restoration.
-
-    Tracks the best validation loss seen so far; :meth:`should_stop` returns
-    ``True`` once no improvement larger than ``min_delta`` has been observed
-    for ``patience`` consecutive epochs.  The best parameter snapshot of all
-    monitored modules can then be restored with :meth:`restore`.
+    ``epochs`` is the *resolved* epoch budget of this fit call (callers may
+    override ``config.epochs``), so the cosine schedule anneals over exactly
+    the epochs that actually run.
     """
-
-    def __init__(self, modules: List, patience: int, min_delta: float) -> None:
-        if patience <= 0:
-            raise ValueError("patience must be positive")
-        self._modules = list(modules)
-        self.patience = patience
-        self.min_delta = min_delta
-        self.best_loss = float("inf")
-        self._epochs_without_improvement = 0
-        self._best_states: Optional[List[dict]] = None
-
-    def update(self, validation_loss: float) -> None:
-        """Record the latest validation loss and snapshot on improvement."""
-        if validation_loss < self.best_loss - self.min_delta:
-            self.best_loss = validation_loss
-            self._epochs_without_improvement = 0
-            self._best_states = [module.state_dict() for module in self._modules]
-        else:
-            self._epochs_without_improvement += 1
-
-    def should_stop(self) -> bool:
-        """Whether the patience budget has been exhausted."""
-        return self._epochs_without_improvement >= self.patience
-
-    def restore(self) -> None:
-        """Load the best snapshot back into the monitored modules."""
-        if self._best_states is None:
-            return
-        for module, state in zip(self._modules, self._best_states):
-            module.load_state_dict(state)
+    if config.lr_schedule == "constant":
+        return None
+    if config.lr_schedule == "step":
+        return StepLR(optimizer, step_size=config.lr_step_size, gamma=config.lr_gamma)
+    if config.lr_schedule == "cosine":
+        return CosineAnnealingLR(optimizer, total_steps=epochs)
+    raise ValueError(f"unknown lr_schedule '{config.lr_schedule}'")
 
 
 class BaselineCausalModel:
@@ -144,7 +104,8 @@ class BaselineCausalModel:
         """Train the model from scratch on ``dataset`` (objective of Eq. 5).
 
         When ``val_dataset`` is given, training stops once the validation
-        factual loss stops improving and the best parameters are restored.
+        factual loss stops improving and the best parameters are restored
+        (disabled when ``early_stopping_patience`` is 0).
         """
         self._validate_dataset(dataset)
         self.encoder.fit_scaler(dataset.covariates)
@@ -176,6 +137,7 @@ class BaselineCausalModel:
         epochs: Optional[int],
         val_dataset: Optional[CausalDataset] = None,
     ) -> TrainingHistory:
+        """Assemble the Eq. (5) objective and hand the loop to the engine."""
         config = self.config
         epochs = epochs if epochs is not None else config.epochs
         inputs = self.encoder.prepare_inputs(dataset.covariates)
@@ -184,43 +146,34 @@ class BaselineCausalModel:
 
         parameters = self.encoder.parameters() + self.heads.parameters()
         optimizer = Adam(parameters, lr=config.learning_rate, weight_decay=config.weight_decay)
-        stopper = None
-        if val_dataset is not None:
-            stopper = EarlyStopping(
-                [self.encoder, self.heads],
-                patience=config.early_stopping_patience,
-                min_delta=config.early_stopping_min_delta,
-            )
 
-        for _ in range(epochs):
-            epoch_total, epoch_factual, epoch_ipm, epoch_reg, n_batches = 0.0, 0.0, 0.0, 0.0, 0
-            for batch in minibatches(len(dataset), config.batch_size, rng=self._rng):
-                losses = self._batch_losses(inputs[batch], outcomes[batch], treatments[batch])
-                loss, factual_value, ipm_value, reg_value = losses
-                optimizer.zero_grad()
-                loss.backward()
-                clip_grad_norm(parameters, config.grad_clip)
-                optimizer.step()
-                epoch_total += loss.item()
-                epoch_factual += factual_value
-                epoch_ipm += ipm_value
-                epoch_reg += reg_value
-                n_batches += 1
-            self.history.append(
-                epoch_total / n_batches,
-                epoch_factual / n_batches,
-                epoch_ipm / n_batches,
-                epoch_reg / n_batches,
+        callbacks = [History(self.history)]
+        validate = None
+        if val_dataset is not None:
+            callbacks.append(
+                EarlyStopping(
+                    [self.encoder, self.heads],
+                    patience=config.early_stopping_patience,
+                    min_delta=config.early_stopping_min_delta,
+                )
             )
-            if stopper is not None:
-                val_loss = self.validation_loss(val_dataset)
-                self.history.validation.append(val_loss)
-                stopper.update(val_loss)
-                if stopper.should_stop():
-                    self.history.stopped_early = True
-                    break
-        if stopper is not None:
-            stopper.restore()
+            validate = lambda: self.validation_loss(val_dataset)  # noqa: E731
+
+        def batch_loss(batch: np.ndarray):
+            return self._batch_loss_bundle(
+                inputs[batch], outcomes[batch], treatments[batch]
+            ).result()
+
+        trainer = Trainer(
+            parameters,
+            optimizer,
+            batch_size=config.batch_size,
+            grad_clip=config.grad_clip,
+            rng=self._rng,
+            scheduler=make_lr_scheduler(config, optimizer, epochs),
+            callbacks=callbacks,
+        )
+        trainer.fit(len(dataset), batch_loss, epochs=epochs, validate=validate)
         return self.history
 
     def validation_loss(self, dataset: CausalDataset) -> float:
@@ -232,10 +185,10 @@ class BaselineCausalModel:
         target = self._scale_outcomes(dataset.outcomes)
         return float(np.mean((predictions.numpy() - target) ** 2))
 
-    def _batch_losses(
+    def _batch_loss_bundle(
         self, inputs: np.ndarray, outcomes: np.ndarray, treatments: np.ndarray
-    ):
-        """Compute the Eq. (5) loss for one minibatch."""
+    ) -> LossBundle:
+        """Compose the Eq. (5) objective for one minibatch as a LossBundle."""
         config = self.config
         x = Tensor(inputs)
         y = Tensor(outcomes)
@@ -256,9 +209,11 @@ class BaselineCausalModel:
         else:
             imbalance = Tensor(0.0)
 
-        regularization = self.encoder.elastic_net()
-        loss = factual + config.alpha * imbalance + config.lambda_reg * regularization
-        return loss, factual.item(), float(imbalance.item()), float(regularization.item())
+        bundle = LossBundle()
+        bundle.add("factual", factual)
+        bundle.add("ipm", imbalance, weight=config.alpha)
+        bundle.add("regularization", self.encoder.elastic_net(), weight=config.lambda_reg)
+        return bundle
 
     # ------------------------------------------------------------------ #
     # inference

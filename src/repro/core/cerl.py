@@ -19,6 +19,12 @@ from previous domains.  Per Algorithm 1 of the paper:
   replaced by the herded union of the transformed old memory and the new
   representations.
 
+Both stages run on the shared training engine (``repro.engine``): the Eq. (9)
+terms are composed as a :class:`repro.engine.LossBundle` inside a batch-loss
+closure, and :class:`repro.engine.Trainer` drives the epoch/minibatch loop
+with :class:`~repro.engine.History` and :class:`~repro.engine.EarlyStopping`
+callbacks.  There is no hand-rolled training loop in this module.
+
 Ablation switches reproduce the paper's Table II variants: ``w/o FRT``
 (``use_feature_transformation=False``), ``w/o herding``
 (``memory_strategy="random"``) and ``w/o cosine norm``
@@ -27,18 +33,18 @@ Ablation switches reproduce the paper's Table II variants: ``w/o FRT``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..balance import ipm_distance
-from ..data.dataset import CausalDataset, minibatches
+from ..data.dataset import CausalDataset
+from ..engine import EarlyStopping, History, LossBundle, Trainer, TrainingHistory
 from ..memory import MemoryBuffer
 from ..metrics import EffectEstimate, evaluate_effect_estimate
-from ..nn import Adam, Tensor, clip_grad_norm, cosine_distance_loss, mse_loss, no_grad
+from ..nn import Adam, Tensor, concatenate, cosine_distance_loss, mse_loss, no_grad
 from ..utils import Standardizer
-from .baseline import BaselineCausalModel, EarlyStopping, TrainingHistory
+from .baseline import BaselineCausalModel, make_lr_scheduler
 from .config import ContinualConfig, ModelConfig
 from .outcome import OutcomeHeads
 from .representation import RepresentationNetwork
@@ -203,6 +209,89 @@ class CERL:
             new_heads.load_state_dict(self.heads.state_dict())
         return new_heads
 
+    def _continual_batch_loss(
+        self,
+        batch: np.ndarray,
+        new_inputs: np.ndarray,
+        old_inputs: np.ndarray,
+        outcomes: np.ndarray,
+        treatments: np.ndarray,
+        old_encoder: RepresentationNetwork,
+        new_encoder: RepresentationNetwork,
+        new_heads: OutcomeHeads,
+        transform: FeatureTransform,
+        memory_arrays: Optional[tuple],
+    ) -> LossBundle:
+        """Compose the Eq. (9) objective for one minibatch as a LossBundle."""
+        model_cfg = self.model_config
+        cont_cfg = self.continual_config
+
+        new_batch_x = Tensor(new_inputs[batch])
+        new_batch_y = Tensor(outcomes[batch])
+        new_batch_t = treatments[batch]
+
+        representations_new = new_encoder.forward(new_batch_x)
+        with no_grad():
+            representations_old = old_encoder.forward(Tensor(old_inputs[batch]))
+        representations_old = Tensor(representations_old.numpy())
+
+        # Factual loss on new data (second term of Eq. 8).
+        predictions_new = new_heads.factual(representations_new, new_batch_t)
+        factual = mse_loss(predictions_new, new_batch_y)
+
+        # Feature-representation distillation (Eq. 6).
+        if cont_cfg.use_distillation and cont_cfg.beta > 0.0:
+            distill = cosine_distance_loss(representations_old, representations_new)
+        else:
+            distill = Tensor(0.0)
+
+        ipm_reps = representations_new
+        ipm_treatments = new_batch_t
+
+        transform_loss = Tensor(0.0)
+        if memory_arrays is not None:
+            memory_reps, memory_outcomes, memory_treatments = memory_arrays
+
+            # Transformation alignment (Eq. 7): phi(g_old(x)) ≈ g_new(x).
+            transformed_new = transform.forward(representations_old)
+            target_new = Tensor(representations_new.numpy())
+            transform_loss = cosine_distance_loss(transformed_new, target_new)
+
+            # Factual loss on the transformed memory (first term of Eq. 8).
+            memory_idx = self._rng.choice(
+                len(memory_reps),
+                size=min(cont_cfg.rehearsal_batch_size, len(memory_reps)),
+                replace=False,
+            )
+            memory_batch = transform.forward(Tensor(memory_reps[memory_idx]))
+            predictions_memory = new_heads.factual(memory_batch, memory_treatments[memory_idx])
+            factual = factual + mse_loss(predictions_memory, Tensor(memory_outcomes[memory_idx]))
+
+            # Global balancing over transformed-old ∪ new representations.
+            ipm_reps = concatenate([memory_batch, representations_new], axis=0)
+            ipm_treatments = np.concatenate([memory_treatments[memory_idx], new_batch_t])
+
+        treated_idx = np.flatnonzero(ipm_treatments == 1)
+        control_idx = np.flatnonzero(ipm_treatments == 0)
+        if model_cfg.alpha > 0.0 and treated_idx.size > 1 and control_idx.size > 1:
+            imbalance = ipm_distance(
+                ipm_reps[treated_idx],
+                ipm_reps[control_idx],
+                kind=model_cfg.ipm_kind,
+                epsilon=model_cfg.sinkhorn_epsilon,
+                num_iters=model_cfg.sinkhorn_iterations,
+            )
+        else:
+            imbalance = Tensor(0.0)
+
+        bundle = LossBundle()
+        bundle.add("factual", factual)
+        bundle.add("ipm", imbalance, weight=model_cfg.alpha)
+        bundle.add("regularization", new_encoder.elastic_net(), weight=model_cfg.lambda_reg)
+        bundle.add("distillation", distill, weight=cont_cfg.beta)
+        bundle.add("transformation", transform_loss, weight=cont_cfg.delta)
+        return bundle
+
     def _train_continual(
         self,
         dataset: CausalDataset,
@@ -213,6 +302,7 @@ class CERL:
         epochs: int,
         val_dataset: Optional[CausalDataset] = None,
     ) -> TrainingHistory:
+        """Assemble the Eq. (9) objective and hand the loop to the engine."""
         model_cfg = self.model_config
         cont_cfg = self.continual_config
 
@@ -221,15 +311,17 @@ class CERL:
         outcomes = self._scale_outcomes(dataset.outcomes)
         treatments = dataset.treatments
 
-        use_memory = (
+        memory_arrays = None
+        if (
             cont_cfg.use_feature_transformation
             and self.memory is not None
             and len(self.memory) > 0
-        )
-        if use_memory:
-            memory_reps = self.memory.representations
-            memory_outcomes = self._scale_outcomes(self.memory.outcomes)
-            memory_treatments = self.memory.treatments
+        ):
+            memory_arrays = (
+                self.memory.representations,
+                self._scale_outcomes(self.memory.outcomes),
+                self.memory.treatments,
+            )
 
         parameters = new_encoder.parameters() + new_heads.parameters() + transform.parameters()
         optimizer = Adam(
@@ -238,121 +330,51 @@ class CERL:
         old_encoder.eval()
         old_encoder.freeze()
 
-        stopper = None
+        history = TrainingHistory()
+        callbacks = [History(history)]
+        validate = None
         if val_dataset is not None:
-            stopper = EarlyStopping(
-                [new_encoder, new_heads, transform],
-                patience=model_cfg.early_stopping_patience,
-                min_delta=model_cfg.early_stopping_min_delta,
+            callbacks.append(
+                EarlyStopping(
+                    [new_encoder, new_heads, transform],
+                    patience=model_cfg.early_stopping_patience,
+                    min_delta=model_cfg.early_stopping_min_delta,
+                )
             )
             val_inputs = new_encoder.prepare_inputs(val_dataset.covariates)
             val_outcomes = self._scale_outcomes(val_dataset.outcomes)
+            val_treatments = val_dataset.treatments
 
-        history = TrainingHistory()
-        for _ in range(epochs):
-            epoch_total, epoch_factual, epoch_ipm, epoch_reg, n_batches = 0.0, 0.0, 0.0, 0.0, 0
-            for batch in minibatches(len(dataset), model_cfg.batch_size, rng=self._rng):
-                new_batch_x = Tensor(new_inputs[batch])
-                new_batch_y = Tensor(outcomes[batch])
-                new_batch_t = treatments[batch]
-
-                representations_new = new_encoder.forward(new_batch_x)
-                with no_grad():
-                    representations_old = old_encoder.forward(Tensor(old_inputs[batch]))
-                representations_old = Tensor(representations_old.numpy())
-
-                # Factual loss on new data (second term of Eq. 8).
-                predictions_new = new_heads.factual(representations_new, new_batch_t)
-                factual = mse_loss(predictions_new, new_batch_y)
-
-                # Feature-representation distillation (Eq. 6).
-                if cont_cfg.use_distillation and cont_cfg.beta > 0.0:
-                    distill = cosine_distance_loss(representations_old, representations_new)
-                else:
-                    distill = Tensor(0.0)
-
-                ipm_reps = representations_new
-                ipm_treatments = new_batch_t
-
-                transform_loss = Tensor(0.0)
-                if use_memory:
-                    # Transformation alignment (Eq. 7): phi(g_old(x)) ≈ g_new(x).
-                    transformed_new = transform.forward(representations_old)
-                    target_new = Tensor(representations_new.numpy())
-                    transform_loss = cosine_distance_loss(transformed_new, target_new)
-
-                    # Factual loss on the transformed memory (first term of Eq. 8).
-                    memory_idx = self._rng.choice(
-                        len(memory_reps),
-                        size=min(cont_cfg.rehearsal_batch_size, len(memory_reps)),
-                        replace=False,
-                    )
-                    memory_batch = transform.forward(Tensor(memory_reps[memory_idx]))
-                    predictions_memory = new_heads.factual(
-                        memory_batch, memory_treatments[memory_idx]
-                    )
-                    factual = factual + mse_loss(
-                        predictions_memory, Tensor(memory_outcomes[memory_idx])
-                    )
-
-                    # Global balancing over transformed-old ∪ new representations.
-                    from ..nn import concatenate as nn_concatenate
-
-                    ipm_reps = nn_concatenate([memory_batch, representations_new], axis=0)
-                    ipm_treatments = np.concatenate(
-                        [memory_treatments[memory_idx], new_batch_t]
-                    )
-
-                treated_idx = np.flatnonzero(ipm_treatments == 1)
-                control_idx = np.flatnonzero(ipm_treatments == 0)
-                if model_cfg.alpha > 0.0 and treated_idx.size > 1 and control_idx.size > 1:
-                    imbalance = ipm_distance(
-                        ipm_reps[treated_idx],
-                        ipm_reps[control_idx],
-                        kind=model_cfg.ipm_kind,
-                        epsilon=model_cfg.sinkhorn_epsilon,
-                        num_iters=model_cfg.sinkhorn_iterations,
-                    )
-                else:
-                    imbalance = Tensor(0.0)
-
-                regularization = new_encoder.elastic_net()
-                loss = (
-                    factual
-                    + model_cfg.alpha * imbalance
-                    + model_cfg.lambda_reg * regularization
-                    + cont_cfg.beta * distill
-                    + cont_cfg.delta * transform_loss
-                )
-
-                optimizer.zero_grad()
-                loss.backward()
-                clip_grad_norm(parameters, model_cfg.grad_clip)
-                optimizer.step()
-
-                epoch_total += loss.item()
-                epoch_factual += factual.item()
-                epoch_ipm += float(imbalance.item())
-                epoch_reg += float(regularization.item())
-                n_batches += 1
-            history.append(
-                epoch_total / n_batches,
-                epoch_factual / n_batches,
-                epoch_ipm / n_batches,
-                epoch_reg / n_batches,
-            )
-            if stopper is not None:
+            def validate() -> float:
                 with no_grad():
                     val_reps = new_encoder.forward(Tensor(val_inputs))
-                    val_pred = new_heads.factual(val_reps, val_dataset.treatments)
-                val_loss = float(np.mean((val_pred.numpy() - val_outcomes) ** 2))
-                history.validation.append(val_loss)
-                stopper.update(val_loss)
-                if stopper.should_stop():
-                    history.stopped_early = True
-                    break
-        if stopper is not None:
-            stopper.restore()
+                    val_pred = new_heads.factual(val_reps, val_treatments)
+                return float(np.mean((val_pred.numpy() - val_outcomes) ** 2))
+
+        def batch_loss(batch: np.ndarray):
+            return self._continual_batch_loss(
+                batch,
+                new_inputs,
+                old_inputs,
+                outcomes,
+                treatments,
+                old_encoder,
+                new_encoder,
+                new_heads,
+                transform,
+                memory_arrays,
+            ).result()
+
+        trainer = Trainer(
+            parameters,
+            optimizer,
+            batch_size=model_cfg.batch_size,
+            grad_clip=model_cfg.grad_clip,
+            rng=self._rng,
+            scheduler=make_lr_scheduler(model_cfg, optimizer, epochs),
+            callbacks=callbacks,
+        )
+        trainer.fit(len(dataset), batch_loss, epochs=epochs, validate=validate)
         old_encoder.unfreeze()
         return history
 

@@ -6,6 +6,11 @@ an inverse-propensity-weighting (IPW) ATE estimator, and a closed-form ridge
 T-learner for heterogeneous effects.  The test suite and examples use them to
 verify that the representation learners beat (or at least match) much simpler
 alternatives, and they give downstream users a fast first answer on new data.
+
+Iterative fitting goes through the engine layer like everything else: the
+propensity model's Newton/IRLS iterations are driven by
+``repro.engine.Trainer.converge`` rather than a hand-rolled loop (the ridge
+T-learner is closed-form and needs no iteration at all).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from ..data.dataset import CausalDataset
+from ..engine import Trainer
 from ..metrics import EffectEstimate
 from ..utils import Standardizer
 
@@ -62,7 +68,9 @@ class LogisticPropensityModel:
         beta = np.zeros(p)
         regularizer = self.l2 * np.eye(p)
         regularizer[-1, -1] = 0.0  # do not penalise the intercept
-        for _ in range(self.max_iterations):
+
+        def newton_step(_iteration: int) -> float:
+            nonlocal beta
             logits = features @ beta
             probabilities = 1.0 / (1.0 + np.exp(-logits))
             gradient = features.T @ (probabilities - treatments) + regularizer @ beta
@@ -70,8 +78,9 @@ class LogisticPropensityModel:
             hessian = (features * weights[:, None]).T @ features + regularizer
             step = np.linalg.solve(hessian, gradient)
             beta = beta - step
-            if np.linalg.norm(step) < self.tol:
-                break
+            return float(np.linalg.norm(step))
+
+        Trainer.converge(newton_step, max_iterations=self.max_iterations, tol=self.tol)
         self.coefficients_ = beta
         return self
 

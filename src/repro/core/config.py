@@ -9,6 +9,7 @@ __all__ = ["ModelConfig", "ContinualConfig"]
 
 IPMKind = Literal["wasserstein", "mmd_linear", "mmd_rbf"]
 MemoryStrategy = Literal["herding", "random"]
+LRSchedule = Literal["constant", "step", "cosine"]
 
 
 @dataclass
@@ -19,7 +20,13 @@ class ModelConfig:
     term, ``lambda_reg`` the elastic-net term.  When a validation dataset is
     passed to ``fit``/``observe``, training stops early once the validation
     factual loss has not improved by ``early_stopping_min_delta`` for
-    ``early_stopping_patience`` epochs, and the best parameters are restored.
+    ``early_stopping_patience`` epochs, and the best parameters are restored;
+    ``early_stopping_patience=0`` disables early stopping entirely.
+
+    ``lr_schedule`` selects the per-epoch learning-rate schedule advanced by
+    the training engine: ``"constant"`` (default), ``"step"`` (decay by
+    ``lr_gamma`` every ``lr_step_size`` epochs) or ``"cosine"`` (anneal to 0
+    over the epoch budget).
     """
 
     representation_dim: int = 32
@@ -40,6 +47,9 @@ class ModelConfig:
     grad_clip: float = 5.0
     early_stopping_patience: int = 10
     early_stopping_min_delta: float = 1e-4
+    lr_schedule: LRSchedule = "constant"
+    lr_step_size: int = 20
+    lr_gamma: float = 0.5
     standardize_covariates: bool = True
     standardize_outcomes: bool = True
     seed: int = 0
@@ -53,8 +63,16 @@ class ModelConfig:
             raise ValueError("epochs and batch_size must be positive")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
-        if self.early_stopping_patience <= 0:
-            raise ValueError("early_stopping_patience must be positive")
+        if self.early_stopping_patience < 0:
+            raise ValueError(
+                "early_stopping_patience must be non-negative (0 disables early stopping)"
+            )
+        if self.lr_schedule not in ("constant", "step", "cosine"):
+            raise ValueError(f"unknown lr_schedule '{self.lr_schedule}'")
+        if self.lr_step_size <= 0:
+            raise ValueError("lr_step_size must be positive")
+        if self.lr_gamma <= 0:
+            raise ValueError("lr_gamma must be positive")
         self.encoder_hidden = tuple(self.encoder_hidden)
         self.outcome_hidden = tuple(self.outcome_hidden)
 

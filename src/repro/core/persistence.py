@@ -25,13 +25,57 @@ from .config import ContinualConfig, ModelConfig
 from .outcome import OutcomeHeads
 from .representation import RepresentationNetwork
 
-__all__ = ["save_cerl", "load_cerl"]
+__all__ = ["save_cerl", "load_cerl", "save_modules", "load_modules", "module_checkpointer"]
 
 _FORMAT_VERSION = 1
 
 
 def _flatten_state(prefix: str, state: dict) -> dict:
     return {f"{prefix}{name}": value for name, value in state.items()}
+
+
+def save_modules(modules: dict, path: Union[str, Path]) -> Path:
+    """Serialise named module state dicts to one ``.npz`` archive.
+
+    ``modules`` maps a name to any :class:`repro.nn.Module`; the archive can
+    be restored with :func:`load_modules`.  This is the primitive behind
+    engine-level checkpointing (see :func:`module_checkpointer`).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays: dict = {}
+    for name, module in modules.items():
+        arrays.update(_flatten_state(f"{name}/", module.state_dict()))
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_modules(modules: dict, path: Union[str, Path]) -> None:
+    """Restore module parameters saved with :func:`save_modules` in place."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        for name, module in modules.items():
+            module.load_state_dict(_extract(archive, f"{name}/"))
+
+
+def module_checkpointer(modules: dict, directory: Union[str, Path], stem: str = "checkpoint"):
+    """Build a ``save_fn`` for :class:`repro.engine.Checkpoint`.
+
+    Returns a callable ``save_fn(epoch) -> Path`` writing
+    ``<directory>/<stem>_epoch<k>.npz`` snapshots of the given modules, wiring
+    the engine's checkpoint callback to this module's persistence format::
+
+        trainer = Trainer(..., callbacks=[
+            Checkpoint(module_checkpointer({"encoder": enc}, out_dir), every=10),
+        ])
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    def save_fn(epoch: int) -> Path:
+        return save_modules(modules, directory / f"{stem}_epoch{epoch:04d}.npz")
+
+    return save_fn
 
 
 def save_cerl(learner: CERL, path: Union[str, Path]) -> Path:

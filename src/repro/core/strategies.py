@@ -12,7 +12,9 @@ to incrementally available data:
 
 All strategies (and :class:`~repro.core.cerl.CERL`) expose the same
 ``observe`` / ``predict`` / ``evaluate`` protocol so the experiment harness
-can treat them uniformly.
+can treat them uniformly.  None of them owns a training loop: each observe
+call delegates to :class:`~repro.core.baseline.BaselineCausalModel`, whose
+optimisation runs on the shared :class:`repro.engine.Trainer`.
 """
 
 from __future__ import annotations
@@ -153,16 +155,10 @@ class CFRStrategyC(_CFRStrategyBase):
         constraint), so early stopping sees the union of all validation sets.
         """
         self._seen.append(dataset)
-        merged = self._seen[0]
-        for extra in self._seen[1:]:
-            merged = merged.merge(extra)
+        merged = CausalDataset.concat(self._seen)
         if val_dataset is not None:
             self._seen_val.append(val_dataset)
-        merged_val = None
-        if self._seen_val:
-            merged_val = self._seen_val[0]
-            for extra in self._seen_val[1:]:
-                merged_val = merged_val.merge(extra)
+        merged_val = CausalDataset.concat(self._seen_val) if self._seen_val else None
         # Retrain from scratch: a fresh model with the same configuration.
         self.model = BaselineCausalModel(self.n_features, self.config)
         history = self.model.fit(merged, epochs=epochs, val_dataset=merged_val)

@@ -9,7 +9,7 @@ to evaluate PEHE and the ATE error.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -121,6 +121,22 @@ class CausalDataset:
             name=name if name is not None else self.name,
         )
 
+    @classmethod
+    def concat(cls, datasets: "Sequence[CausalDataset]", name: Optional[str] = None) -> "CausalDataset":
+        """Concatenate several datasets (left-folded :meth:`merge`)."""
+        if not datasets:
+            raise ValueError("concat requires at least one dataset")
+        merged = datasets[0]
+        for extra in datasets[1:]:
+            merged = merged.merge(extra)
+        if name is not None:
+            if merged is datasets[0]:
+                # Single dataset: never rename the caller's object in place.
+                merged = merged.subset(np.arange(len(merged)), name=name)
+            else:
+                merged.name = name
+        return merged
+
     def merge(self, other: "CausalDataset", name: Optional[str] = None) -> "CausalDataset":
         """Concatenate two datasets (used by the CFR-C joint-retraining strategy)."""
         if self.n_features != other.n_features:
@@ -174,20 +190,35 @@ def train_val_test_split(
     )
 
 
+# Fallback generator for callers that pass neither rng nor seed: seeded once
+# per process so batch order is reproducible run-to-run, while successive
+# calls (epochs) still draw fresh permutations.
+_FALLBACK_RNG = np.random.default_rng(0)
+
+
 def minibatches(
     n: int,
     batch_size: int,
     rng: Optional[np.random.Generator] = None,
     shuffle: bool = True,
+    seed: Optional[int] = None,
 ) -> Iterator[np.ndarray]:
-    """Yield index arrays covering ``range(n)`` in minibatches."""
+    """Yield index arrays covering ``range(n)`` in minibatches.
+
+    Shuffling is driven by ``rng`` when given; by a fresh generator seeded
+    with ``seed`` when that is given; otherwise by a process-wide generator
+    with a fixed seed.  Global NumPy state is never consulted, so batch order
+    is bit-reproducible run-to-run in every case, and the default still
+    reshuffles on every call (epoch) within a process.
+    """
     if n <= 0:
         raise ValueError("n must be positive")
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     indices = np.arange(n)
     if shuffle:
-        rng = rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            rng = _FALLBACK_RNG if seed is None else np.random.default_rng(seed)
         indices = rng.permutation(n)
     for start in range(0, n, batch_size):
         yield indices[start : start + batch_size]

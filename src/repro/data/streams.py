@@ -45,7 +45,10 @@ class DomainStream:
     train_fraction, val_fraction:
         Split fractions applied to every domain (paper: 60/20/20).
     seed:
-        Seed for the split randomisation.
+        Seed for the split randomisation.  The same ``(datasets, fractions,
+        seed)`` always produces bit-identical splits, so experiment runs are
+        reproducible end to end; the seed is kept on :attr:`seed` so several
+        runners can share one stream instead of re-splitting per strategy.
     """
 
     def __init__(
@@ -60,6 +63,7 @@ class DomainStream:
         dims = {d.n_features for d in datasets}
         if len(dims) != 1:
             raise ValueError(f"all domains must share the covariate dimension; got {sorted(dims)}")
+        self.seed = seed
         rng = np.random.default_rng(seed)
         self._splits: List[DomainSplit] = []
         for dataset in datasets:
@@ -111,14 +115,11 @@ class DomainStream:
         """
         if new_domain <= 0:
             raise ValueError("previous_and_new_test requires new_domain >= 1")
-        previous = self._splits[0].test
-        for split in self._splits[1:new_domain]:
-            previous = previous.merge(split.test)
+        previous = CausalDataset.concat([split.test for split in self._splits[:new_domain]])
         return previous, self._splits[new_domain].test
 
     def joint_training_data(self, up_to_domain: int) -> CausalDataset:
         """Union of all training data up to a domain (used by CFR-C only)."""
-        merged = self._splits[0].train
-        for split in self._splits[1 : up_to_domain + 1]:
-            merged = merged.merge(split.train)
-        return merged
+        return CausalDataset.concat(
+            [split.train for split in self._splits[: up_to_domain + 1]]
+        )

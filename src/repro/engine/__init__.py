@@ -1,0 +1,28 @@
+"""Shared training engine: one loop, callbacks and loss composition.
+
+Layer stack (see ARCHITECTURE.md)::
+
+    repro.nn  ->  repro.engine  ->  repro.core learners  ->  repro.experiments
+
+The engine sits directly on the autograd substrate and knows nothing about
+causal inference; the core learners express their objectives as
+:class:`LossBundle` terms and run them through a :class:`Trainer`.
+"""
+
+from .history import TrainingHistory
+from .loss import LossBundle, LossResult
+from .callbacks import Callback, Checkpoint, EarlyStopping, History
+from .trainer import Trainer, TrainerState, iterate
+
+__all__ = [
+    "TrainingHistory",
+    "LossBundle",
+    "LossResult",
+    "Callback",
+    "Checkpoint",
+    "EarlyStopping",
+    "History",
+    "Trainer",
+    "TrainerState",
+    "iterate",
+]

@@ -1,0 +1,165 @@
+"""Callback protocol for the training engine.
+
+Callbacks observe the :class:`~repro.engine.trainer.Trainer` loop at epoch
+granularity and may request a stop (early stopping) or persist state
+(checkpointing).  They are invoked in list order at every hook, so learners
+control the relative ordering simply by how they assemble the list — e.g.
+history recording before early stopping, matching the seed learners' loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .history import TrainingHistory
+
+__all__ = ["Callback", "History", "EarlyStopping", "Checkpoint"]
+
+
+class Callback:
+    """Base class with no-op hooks; subclasses override what they need."""
+
+    def on_train_begin(self, state) -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_begin(self, state) -> None:
+        """Called at the start of every epoch."""
+
+    def on_epoch_end(self, state) -> None:
+        """Called after every epoch, with ``state.logs`` holding the averages."""
+
+    def on_train_end(self, state) -> None:
+        """Called once after the loop finishes (normally or by early stop)."""
+
+
+class History(Callback):
+    """Record per-epoch component averages into a :class:`TrainingHistory`.
+
+    The standard component names ``factual`` / ``ipm`` / ``regularization``
+    map onto the history's named fields; any other component reported by the
+    loss bundle is recorded under :attr:`TrainingHistory.extras`.
+    """
+
+    _NAMED = ("total", "factual", "ipm", "regularization")
+
+    def __init__(self, history: Optional[TrainingHistory] = None) -> None:
+        self.history = history if history is not None else TrainingHistory()
+
+    def on_epoch_end(self, state) -> None:
+        logs = state.logs
+        self.history.append(
+            logs.get("total", 0.0),
+            logs.get("factual", 0.0),
+            logs.get("ipm", 0.0),
+            logs.get("regularization", 0.0),
+        )
+        for name, value in logs.items():
+            if name not in self._NAMED:
+                self.history.append_extra(name, value)
+        if state.validation_loss is not None:
+            self.history.validation.append(state.validation_loss)
+
+    def on_train_end(self, state) -> None:
+        # Only ever set, never clear: a history shared across several fit
+        # calls (e.g. fit + fine_tune) must remember that an earlier stage
+        # stopped early even when a later stage runs to its full budget.
+        if state.stop_training:
+            self.history.stopped_early = True
+
+
+class EarlyStopping(Callback):
+    """Validation-loss early stopping with best-state restoration.
+
+    Tracks the best validation loss seen so far; once no improvement larger
+    than ``min_delta`` has been observed for ``patience`` consecutive epochs,
+    the trainer is asked to stop and — at the end of training — the best
+    parameter snapshot of all monitored modules is restored.
+
+    ``patience=0`` disables early stopping entirely (the learner trains for
+    its full epoch budget and keeps its final parameters).  Snapshots are
+    plain ``np.copy`` images of the raw parameter arrays, taken and restored
+    without re-wrapping them in fresh tensors, so restoration preserves
+    parameter object identity for optimisers holding references.
+    """
+
+    def __init__(self, modules: Sequence, patience: int, min_delta: float = 0.0) -> None:
+        if patience < 0:
+            raise ValueError("patience must be non-negative (0 disables early stopping)")
+        self._parameters = [p for module in modules for p in module.parameters()]
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_loss = float("inf")
+        self._epochs_without_improvement = 0
+        self._best_arrays: Optional[List[np.ndarray]] = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the callback is active (``patience`` > 0)."""
+        return self.patience > 0
+
+    def on_train_begin(self, state) -> None:
+        self.best_loss = float("inf")
+        self._epochs_without_improvement = 0
+        self._best_arrays = None
+
+    def on_epoch_end(self, state) -> None:
+        if not self.enabled or state.validation_loss is None:
+            return
+        self.update(state.validation_loss)
+        if self.should_stop():
+            state.stop_training = True
+
+    def on_train_end(self, state) -> None:
+        self.restore()
+
+    # ------------------------------------------------------------------ #
+    # imperative interface (usable outside a Trainer as well)
+    # ------------------------------------------------------------------ #
+    def update(self, validation_loss: float) -> None:
+        """Record the latest validation loss and snapshot on improvement."""
+        if validation_loss < self.best_loss - self.min_delta:
+            self.best_loss = validation_loss
+            self._epochs_without_improvement = 0
+            self._best_arrays = [np.copy(p.data) for p in self._parameters]
+        else:
+            self._epochs_without_improvement += 1
+
+    def should_stop(self) -> bool:
+        """Whether the patience budget has been exhausted."""
+        return self.enabled and self._epochs_without_improvement >= self.patience
+
+    def restore(self) -> None:
+        """Load the best snapshot back into the monitored parameters."""
+        if self._best_arrays is None:
+            return
+        for param, best in zip(self._parameters, self._best_arrays):
+            param.data = best.copy()
+
+
+class Checkpoint(Callback):
+    """Persist training state every ``every`` epochs (and at the end).
+
+    The engine stays agnostic of what is saved: ``save_fn(epoch)`` is supplied
+    by the caller, typically wrapping :mod:`repro.core.persistence` (e.g.
+    ``lambda epoch: save_cerl(learner, path)``).
+    """
+
+    def __init__(self, save_fn: Callable[[int], object], every: int = 1) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.save_fn = save_fn
+        self.every = every
+        self.saved_epochs: List[int] = []
+
+    def on_epoch_end(self, state) -> None:
+        epoch = state.epoch
+        if (epoch + 1) % self.every == 0:
+            self.save_fn(epoch)
+            self.saved_epochs.append(epoch)
+
+    def on_train_end(self, state) -> None:
+        if state.epoch >= 0 and (not self.saved_epochs or self.saved_epochs[-1] != state.epoch):
+            self.save_fn(state.epoch)
+            self.saved_epochs.append(state.epoch)

@@ -1,0 +1,46 @@
+"""Training history containers shared by every learner.
+
+Moved out of ``repro.core.baseline`` so the engine layer can record histories
+without depending on any specific learner; ``repro.core`` re-exports
+:class:`TrainingHistory` for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss traces recorded during training.
+
+    The named fields mirror the components of the paper's objectives (Eq. 5
+    and Eq. 9): the factual outcome loss, the IPM balancing term and the
+    elastic-net regulariser.  Additional terms (distillation, transformation)
+    are kept in :attr:`extras` keyed by component name.
+    """
+
+    total: List[float] = field(default_factory=list)
+    factual: List[float] = field(default_factory=list)
+    ipm: List[float] = field(default_factory=list)
+    regularization: List[float] = field(default_factory=list)
+    validation: List[float] = field(default_factory=list)
+    extras: Dict[str, List[float]] = field(default_factory=dict)
+    stopped_early: bool = False
+
+    def append(self, total: float, factual: float, ipm: float, regularization: float) -> None:
+        """Record one epoch's average loss components."""
+        self.total.append(total)
+        self.factual.append(factual)
+        self.ipm.append(ipm)
+        self.regularization.append(regularization)
+
+    def append_extra(self, name: str, value: float) -> None:
+        """Record one epoch's average of a non-standard loss component."""
+        self.extras.setdefault(name, []).append(value)
+
+    def __len__(self) -> int:
+        return len(self.total)

@@ -6,6 +6,7 @@ from .runner import (
     StreamResult,
     cerl_variant,
     run_stream,
+    run_stream_suite,
     run_two_domain_comparison,
 )
 from .reporting import format_series, format_table, summarize_two_domain_results
@@ -28,6 +29,7 @@ __all__ = [
     "StreamResult",
     "cerl_variant",
     "run_stream",
+    "run_stream_suite",
     "run_two_domain_comparison",
     "format_series",
     "format_table",

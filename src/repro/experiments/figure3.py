@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..data.streams import DomainStream
 from ..data.synthetic import SyntheticConfig, SyntheticDomainGenerator
 from .profiles import ExperimentProfile, QUICK
 from .reporting import format_series, format_table
@@ -130,10 +131,13 @@ def run_figure3_memory(
         base = profile.synthetic_units
         memory_budgets = [max(20, base // 10), max(40, base // 2), base]
 
+    # One shared stream: every budget (and the ideal learner) sees identical
+    # train/val/test splits instead of re-splitting per run.
+    stream = DomainStream(datasets, seed=seed)
     result = MemoryCurveResult(profile=profile.name, n_domains=n_domains)
     for budget in memory_budgets:
         stream_result = run_stream(
-            datasets,
+            stream,
             strategy="CERL",
             model_config=profile.model_config(seed=seed),
             continual_config=profile.continual_config(memory_budget=budget),
@@ -142,7 +146,7 @@ def run_figure3_memory(
         result.curves[f"CERL (M={budget})"] = stream_result.per_stage
     if include_ideal:
         ideal = run_stream(
-            datasets,
+            stream,
             strategy="CFR-C",
             model_config=profile.model_config(seed=seed),
             continual_config=profile.continual_config(memory_budget=max(memory_budgets)),

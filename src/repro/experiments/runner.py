@@ -1,9 +1,16 @@
-"""Shared experiment machinery: running strategies over domain streams."""
+"""Shared experiment machinery: running strategies over domain streams.
+
+All drivers feed learners through the engine-backed ``observe`` protocol;
+:func:`run_stream` accepts either a list of datasets or a pre-built
+:class:`~repro.data.streams.DomainStream` and can drive *several* strategies
+through one shared stream iterator, so the train/val/test splits are computed
+once per experiment instead of once per strategy.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.cerl import CERL
 from ..core.config import ContinualConfig, ModelConfig
@@ -11,7 +18,14 @@ from ..core.strategies import ContinualEstimator, make_strategy
 from ..data.dataset import CausalDataset
 from ..data.streams import DomainStream
 
-__all__ = ["StrategyResult", "StreamResult", "run_two_domain_comparison", "run_stream", "cerl_variant"]
+__all__ = [
+    "StrategyResult",
+    "StreamResult",
+    "run_two_domain_comparison",
+    "run_stream",
+    "run_stream_suite",
+    "cerl_variant",
+]
 
 
 @dataclass
@@ -124,8 +138,16 @@ def run_two_domain_comparison(
     return results
 
 
+def _as_stream(
+    datasets_or_stream: Union[Sequence[CausalDataset], DomainStream], seed: int
+) -> DomainStream:
+    if isinstance(datasets_or_stream, DomainStream):
+        return datasets_or_stream
+    return DomainStream(datasets_or_stream, seed=seed)
+
+
 def run_stream(
-    datasets: Sequence[CausalDataset],
+    datasets: Union[Sequence[CausalDataset], DomainStream],
     strategy: str,
     model_config: ModelConfig,
     continual_config: ContinualConfig,
@@ -136,22 +158,52 @@ def run_stream(
 
     After training on domain ``t`` the learner is evaluated on the test sets
     of every domain seen so far; this is the protocol behind Figure 3 (a)/(b).
+    ``datasets`` may be a pre-built :class:`DomainStream`, in which case its
+    existing splits are reused (``seed`` is ignored).
     """
-    stream = DomainStream(datasets, seed=seed)
-    learner = _build(strategy, stream.n_features, model_config, continual_config)
-    result = StreamResult(strategy=strategy)
+    return run_stream_suite(
+        datasets,
+        [strategy],
+        model_config,
+        continual_config,
+        seed=seed,
+        epochs=epochs,
+    )[0]
+
+
+def run_stream_suite(
+    datasets: Union[Sequence[CausalDataset], DomainStream],
+    strategies: Sequence[str],
+    model_config: ModelConfig,
+    continual_config: ContinualConfig,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+) -> List[StreamResult]:
+    """Drive several strategies through one shared multi-domain stream.
+
+    The stream is split exactly once; every strategy observes the same
+    train/validation data domain by domain and is evaluated on the same test
+    sets, which makes the per-strategy numbers directly comparable (and saves
+    the repeated splitting work of building one stream per strategy).
+    """
+    if not strategies:
+        raise ValueError("run_stream_suite requires at least one strategy")
+    stream = _as_stream(datasets, seed)
+    learners = [
+        _build(name, stream.n_features, model_config, continual_config) for name in strategies
+    ]
+    results = [StreamResult(strategy=name) for name in strategies]
     for domain_index in range(len(stream)):
-        learner.observe(
-            stream.train_data(domain_index),
-            epochs=epochs,
-            val_dataset=stream.val_data(domain_index),
-        )
+        train = stream.train_data(domain_index)
+        val = stream.val_data(domain_index)
         seen_tests = stream.test_sets_seen(domain_index)
-        per_domain = [learner.evaluate(test_set) for test_set in seen_tests]
-        result.per_domain.append(per_domain)
-        averaged = {
-            key: float(sum(metrics[key] for metrics in per_domain) / len(per_domain))
-            for key in per_domain[0]
-        }
-        result.per_stage.append(averaged)
-    return result
+        for learner, result in zip(learners, results):
+            learner.observe(train, epochs=epochs, val_dataset=val)
+            per_domain = [learner.evaluate(test_set) for test_set in seen_tests]
+            result.per_domain.append(per_domain)
+            averaged = {
+                key: float(sum(metrics[key] for metrics in per_domain) / len(per_domain))
+                for key in per_domain[0]
+            }
+            result.per_stage.append(averaged)
+    return results

@@ -30,6 +30,8 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence[float], "Tensor"]
 
+_FLOAT64 = np.dtype(np.float64)
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "concatenate", "stack"]
 
 
@@ -67,22 +69,39 @@ def _as_array(value: ArrayLike) -> np.ndarray:
     return np.asarray(value, dtype=np.float64)
 
 
+def _released_backward(grad: np.ndarray) -> None:
+    """Sentinel marking a node whose backward closure was released.
+
+    Never called: :meth:`Tensor.backward` checks for it by identity and raises
+    before invoking, turning a second pass through a freed subgraph into an
+    explicit error instead of silently wrong gradients.
+    """
+    raise AssertionError("released backward sentinel must not be invoked")
+
+
+def _reduction_axes(from_shape: tuple, to_shape: tuple) -> tuple:
+    """Axes to sum over to reduce a broadcast result of ``from_shape`` back to ``to_shape``."""
+    extra_dims = len(from_shape) - len(to_shape)
+    return tuple(range(extra_dims)) + tuple(
+        i + extra_dims
+        for i, dim in enumerate(to_shape)
+        if dim == 1 and from_shape[i + extra_dims] != 1
+    )
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     """Sum ``grad`` down to ``shape`` to undo NumPy broadcasting.
 
     Broadcasting in the forward pass corresponds to summation in the backward
-    pass over the broadcast axes.
+    pass over the broadcast axes.  The leading-axis and size-1-axis reductions
+    are fused into a single ``sum`` call so one temporary is allocated instead
+    of two.
     """
     if grad.shape == shape:
         return grad
-    # Sum over leading axes that were added by broadcasting.
-    extra_dims = grad.ndim - len(shape)
-    if extra_dims > 0:
-        grad = grad.sum(axis=tuple(range(extra_dims)))
-    # Sum over axes that were 1 in the original shape.
-    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    axes = _reduction_axes(grad.shape, shape)
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
+        grad = grad.sum(axis=axes)
     return grad.reshape(shape)
 
 
@@ -99,7 +118,7 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_topo", "name")
 
     def __init__(
         self,
@@ -114,6 +133,7 @@ class Tensor:
         self.grad: Optional[np.ndarray] = None
         self._parents: tuple = tuple(_parents) if is_grad_enabled() else ()
         self._backward = _backward if is_grad_enabled() else None
+        self._topo: Optional[list] = None
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -178,14 +198,27 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into :attr:`grad`.
+
+        ``owned=True`` signals that the caller allocated ``grad`` freshly and
+        holds no other reference, so it can be adopted without the defensive
+        copy and mutated in place by later accumulations.
+
+        The hottest backward closures (add/sub/mul/matmul/relu/elu/sum)
+        deliberately inline the owned-adoption branch of this method instead
+        of calling it — the call overhead is measurable there.  A change to
+        accumulation semantics must be mirrored in those closures.
+        """
         if not self.requires_grad:
             return
-        grad = np.asarray(grad, dtype=np.float64)
+        if grad.dtype is not _FLOAT64:
+            grad = np.asarray(grad, dtype=np.float64)
+            owned = True
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad if owned else grad.copy()
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
 
     # ------------------------------------------------------------------ #
     # arithmetic
@@ -193,10 +226,37 @@ class Tensor:
     def __add__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data + other_t.data
+        # Broadcast decisions depend only on shapes, which are fixed at graph
+        # construction: resolve them now instead of on every backward call.
+        self_shape = self.data.shape
+        other_shape = other_t.data.shape
+        self_direct = self_shape == data.shape
+        other_direct = other_shape == data.shape
+        self_axes = None if self_direct else _reduction_axes(data.shape, self_shape)
+        other_axes = None if other_direct else _reduction_axes(data.shape, other_shape)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.shape))
-            other_t._accumulate(_unbroadcast(grad, other_t.shape))
+            # Pass-through gradients are adopted without a defensive copy: the
+            # incoming array is the child's grad, which the backward driver
+            # drops right after this call, and at most one parent adopts it.
+            adopted = False
+            if self.requires_grad:
+                if self_direct:
+                    if self.grad is None:
+                        self.grad = grad
+                        adopted = True
+                    else:
+                        self.grad += grad
+                else:
+                    self._accumulate(grad.sum(axis=self_axes).reshape(self_shape), owned=True)
+            if other_t.requires_grad:
+                if other_direct:
+                    if other_t.grad is None:
+                        other_t.grad = grad.copy() if adopted else grad
+                    else:
+                        other_t.grad += grad
+                else:
+                    other_t._accumulate(grad.sum(axis=other_axes).reshape(other_shape), owned=True)
 
         return Tensor._make(data, (self, other_t), backward)
 
@@ -207,17 +267,37 @@ class Tensor:
         data = -self.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            self._accumulate(-grad, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data - other_t.data
+        self_shape = self.data.shape
+        other_shape = other_t.data.shape
+        self_direct = self_shape == data.shape
+        other_direct = other_shape == data.shape
+        self_axes = None if self_direct else _reduction_axes(data.shape, self_shape)
+        other_axes = None if other_direct else _reduction_axes(data.shape, other_shape)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.shape))
-            other_t._accumulate(_unbroadcast(-grad, other_t.shape))
+            if self.requires_grad:
+                if self_direct:
+                    if self.grad is None:
+                        self.grad = grad
+                    else:
+                        self.grad += grad
+                else:
+                    self._accumulate(grad.sum(axis=self_axes).reshape(self_shape), owned=True)
+            if other_t.requires_grad:
+                negated = -grad
+                if not other_direct:
+                    negated = negated.sum(axis=other_axes).reshape(other_shape)
+                if other_t.grad is None:
+                    other_t.grad = negated
+                else:
+                    other_t.grad += negated
 
         return Tensor._make(data, (self, other_t), backward)
 
@@ -227,10 +307,30 @@ class Tensor:
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data * other_t.data
+        self_shape = self.data.shape
+        other_shape = other_t.data.shape
+        self_direct = self_shape == data.shape
+        other_direct = other_shape == data.shape
+        self_axes = None if self_direct else _reduction_axes(data.shape, self_shape)
+        other_axes = None if other_direct else _reduction_axes(data.shape, other_shape)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other_t.data, self.shape))
-            other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
+            if self.requires_grad:
+                local = grad * other_t.data
+                if not self_direct:
+                    local = local.sum(axis=self_axes).reshape(self_shape)
+                if self.grad is None:
+                    self.grad = local
+                else:
+                    self.grad += local
+            if other_t.requires_grad:
+                local = grad * self.data
+                if not other_direct:
+                    local = local.sum(axis=other_axes).reshape(other_shape)
+                if other_t.grad is None:
+                    other_t.grad = local
+                else:
+                    other_t.grad += local
 
         return Tensor._make(data, (self, other_t), backward)
 
@@ -240,12 +340,24 @@ class Tensor:
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data / other_t.data
+        self_shape = self.data.shape
+        other_shape = other_t.data.shape
+        self_direct = self_shape == data.shape
+        other_direct = other_shape == data.shape
+        self_axes = None if self_direct else _reduction_axes(data.shape, self_shape)
+        other_axes = None if other_direct else _reduction_axes(data.shape, other_shape)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other_t.data, self.shape))
-            other_t._accumulate(
-                _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape)
-            )
+            if self.requires_grad:
+                local = grad / other_t.data
+                if not self_direct:
+                    local = local.sum(axis=self_axes).reshape(self_shape)
+                self._accumulate(local, owned=True)
+            if other_t.requires_grad:
+                local = -grad * self.data / (other_t.data ** 2)
+                if not other_direct:
+                    local = local.sum(axis=other_axes).reshape(other_shape)
+                other_t._accumulate(local, owned=True)
 
         return Tensor._make(data, (self, other_t), backward)
 
@@ -258,7 +370,7 @@ class Tensor:
         data = self.data ** exponent
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(grad * exponent * self.data ** (exponent - 1), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -268,9 +380,17 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad @ other_t.data.T)
+                local = grad @ other_t.data.T
+                if self.grad is None:
+                    self.grad = local
+                else:
+                    self.grad += local
             if other_t.requires_grad:
-                other_t._accumulate(self.data.T @ grad)
+                local = self.data.T @ grad
+                if other_t.grad is None:
+                    other_t.grad = local
+                else:
+                    other_t.grad += local
 
         return Tensor._make(data, (self, other_t), backward)
 
@@ -298,11 +418,25 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
+        # Strictly increasing integer indices (the treated/control splits of
+        # every IPM batch) cannot collide, so scatter-assignment replaces the
+        # much slower buffered ``np.add.at``.  The scan only matters when a
+        # backward closure will actually be kept.
+        unique_rows = (
+            self.requires_grad
+            and isinstance(index, np.ndarray)
+            and index.ndim == 1
+            and index.dtype.kind in "iu"
+            and (index.size <= 1 or bool(np.all(np.diff(index) > 0)))
+        )
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
+            if unique_rows:
+                full[index] = grad
+            else:
+                np.add.at(full, index, grad)
+            self._accumulate(full, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -313,10 +447,21 @@ class Tensor:
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
-            grad = np.asarray(grad)
-            if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
-            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            if not self.requires_grad:
+                return
+            if axis is None:
+                # Full reduction: the seed gradient is a scalar, so the
+                # broadcast-copy collapses to a constant fill.
+                local = np.empty(self.data.shape)
+                local.fill(grad.item())
+            else:
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                local = np.broadcast_to(grad, self.data.shape).copy()
+            if self.grad is None:
+                self.grad = local
+            else:
+                self.grad += local
 
         return Tensor._make(data, (self,), backward)
 
@@ -339,7 +484,7 @@ class Tensor:
                 expanded = data
             mask = (self.data == expanded).astype(np.float64)
             mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
-            self._accumulate(mask * grad)
+            self._accumulate(mask * grad, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -350,7 +495,7 @@ class Tensor:
         data = np.exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data)
+            self._accumulate(grad * data, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -358,7 +503,7 @@ class Tensor:
         data = np.log(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+            self._accumulate(grad / self.data, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -366,7 +511,7 @@ class Tensor:
         data = np.sqrt(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
+            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -374,7 +519,7 @@ class Tensor:
         data = np.abs(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.sign(self.data))
+            self._accumulate(grad * np.sign(self.data), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -382,7 +527,13 @@ class Tensor:
         data = np.maximum(self.data, 0.0)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (self.data > 0.0))
+            if not self.requires_grad:
+                return
+            local = grad * (self.data > 0.0)
+            if self.grad is None:
+                self.grad = local
+            else:
+                self.grad += local
 
         return Tensor._make(data, (self,), backward)
 
@@ -390,8 +541,13 @@ class Tensor:
         data = np.where(self.data > 0.0, self.data, alpha * (np.exp(self.data) - 1.0))
 
         def backward(grad: np.ndarray) -> None:
-            local = np.where(self.data > 0.0, 1.0, alpha * np.exp(self.data))
-            self._accumulate(grad * local)
+            if not self.requires_grad:
+                return
+            local = grad * np.where(self.data > 0.0, 1.0, alpha * np.exp(self.data))
+            if self.grad is None:
+                self.grad = local
+            else:
+                self.grad += local
 
         return Tensor._make(data, (self,), backward)
 
@@ -399,7 +555,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data ** 2))
+            self._accumulate(grad * (1.0 - data ** 2), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -407,7 +563,7 @@ class Tensor:
         data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data * (1.0 - data))
+            self._accumulate(grad * data * (1.0 - data), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -416,7 +572,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             inside = (self.data >= low) & (self.data <= high)
-            self._accumulate(grad * inside)
+            self._accumulate(grad * inside, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -451,7 +607,54 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # backward pass
     # ------------------------------------------------------------------ #
-    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+    def _build_topo(self) -> list:
+        """Topologically order the graph rooted at this tensor (leaves first).
+
+        Iterative two-phase depth-first search producing exactly the
+        left-to-right post-order a recursive traversal would; the ordering is
+        cached on the root by :meth:`backward` when ``retain_graph`` is set.
+        """
+        topo: list = []
+        visited: set = set()
+        # Two-phase DFS without per-entry tuples: a ``None`` marker on the
+        # main stack means "emit the top of the pending stack".
+        stack: list = [self]
+        pending: list = []
+        push = stack.append
+        push_pending = pending.append
+        pop_pending = pending.pop
+        emit = topo.append
+        add_visited = visited.add
+        while stack:
+            node = stack.pop()
+            if node is None:
+                emit(pop_pending())
+                continue
+            node_id = id(node)
+            if node_id in visited:
+                continue
+            add_visited(node_id)
+            parents = node._parents
+            if not parents:
+                # Leaf: its post-visit would fire immediately anyway.
+                emit(node)
+                continue
+            push_pending(node)
+            push(None)
+            # Constant parents cannot have differentiable ancestors
+            # (requires_grad propagates forward), so whole non-grad subgraphs
+            # are pruned here; they would only ever be no-ops in the pass.
+            if len(parents) == 1:
+                parent = parents[0]
+                if parent.requires_grad and id(parent) not in visited:
+                    push(parent)
+            else:
+                for parent in reversed(parents):
+                    if parent.requires_grad and id(parent) not in visited:
+                        push(parent)
+        return topo
+
+    def backward(self, grad: Optional[ArrayLike] = None, retain_graph: bool = False) -> None:
         """Run reverse-mode differentiation from this tensor.
 
         Parameters
@@ -459,6 +662,15 @@ class Tensor:
         grad:
             Seed gradient.  Defaults to ``1.0`` for scalar tensors; required
             for non-scalar outputs.
+        retain_graph:
+            By default the pass releases the graph as it goes: intermediate
+            gradients are dropped as soon as they have been propagated, and
+            every node's parent/backward references are cleared afterwards so
+            the whole graph is freed without waiting for the root to go out of
+            scope.  Pass ``True`` to keep the graph (and the cached
+            topological ordering) alive for another :meth:`backward` call.
+            Backpropagating a second time through a released subgraph raises
+            instead of silently producing wrong gradients.
         """
         if grad is None:
             if self.data.size != 1:
@@ -467,34 +679,29 @@ class Tensor:
         else:
             grad = _as_array(grad)
 
-        topo: list[Tensor] = []
-        visited: set[int] = set()
-
-        def build(node: "Tensor") -> None:
-            stack = [(node, iter(node._parents))]
-            seen_on_stack = {id(node)}
-            while stack:
-                current, parents = stack[-1]
-                advanced = False
-                for parent in parents:
-                    if id(parent) not in visited and id(parent) not in seen_on_stack:
-                        stack.append((parent, iter(parent._parents)))
-                        seen_on_stack.add(id(parent))
-                        advanced = True
-                        break
-                if not advanced:
-                    stack.pop()
-                    seen_on_stack.discard(id(current))
-                    if id(current) not in visited:
-                        visited.add(id(current))
-                        topo.append(current)
-
-        build(self)
+        topo = self._topo if self._topo is not None else self._build_topo()
+        self._topo = topo if retain_graph else None
 
         self._accumulate(grad)
+        release = not retain_graph
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+            backward_fn = node._backward
+            if backward_fn is not None:
+                if backward_fn is _released_backward:
+                    raise RuntimeError(
+                        "backward through a released graph: this part of the graph "
+                        "was already backpropagated and freed; call "
+                        "backward(retain_graph=True) on the first pass to reuse it"
+                    )
+                node_grad = node.grad
+                if node_grad is not None:
+                    backward_fn(node_grad)
+                    # Interior gradients are never read back by callers; drop
+                    # them as soon as they have been propagated.
+                    node.grad = None
+                if release:
+                    node._backward = _released_backward
+                    node._parents = ()
 
 
 # ---------------------------------------------------------------------- #
@@ -511,6 +718,8 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if not tensor.requires_grad:
+                continue
             slicer = [slice(None)] * grad.ndim
             slicer[axis] = slice(start, stop)
             tensor._accumulate(grad[tuple(slicer)])

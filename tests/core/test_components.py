@@ -163,7 +163,9 @@ class TestConfigs:
         with pytest.raises(ValueError):
             ModelConfig(learning_rate=0.0)
         with pytest.raises(ValueError):
-            ModelConfig(early_stopping_patience=0)
+            ModelConfig(early_stopping_patience=-1)
+        # patience=0 is valid and means "early stopping disabled"
+        assert ModelConfig(early_stopping_patience=0).early_stopping_patience == 0
 
     def test_model_config_with_updates(self):
         config = ModelConfig()

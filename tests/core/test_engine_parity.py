@@ -1,0 +1,128 @@
+"""Parity tests: engine-driven training reproduces the pre-refactor learners.
+
+The expected numbers below were captured by running the *seed* (pre-engine)
+implementations of ``BaselineCausalModel`` and ``CERL`` on a fixed seed before
+the training loops were extracted into ``repro.engine``.  The refactor was
+engineered to be numerically indistinguishable (same RNG consumption, same
+floating-point expression order), so the engine-driven learners must
+reproduce these metrics; a drift here means the refactor changed training
+behaviour, not just structure.
+
+Tolerances are tight but not bitwise to stay robust to BLAS differences
+across platforms; on the reference container the match is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CERL, BaselineCausalModel
+from repro.data import DomainStream
+
+RTOL = 1e-9
+
+# Captured from the seed implementation (commit f4ab382) with the fixture
+# configuration: tiny synthetic domains (seed 7), fast model config (seed 3),
+# fast continual config (memory_budget=40, rehearsal_batch_size=32).
+SEED_BASELINE_HISTORY = [
+    2.060997874564727,
+    1.630338981267008,
+    1.3715809396103233,
+    1.283250627930941,
+]
+SEED_BASELINE_METRICS = {
+    "sqrt_pehe": 1.8501054956106415,
+    "ate_error": 0.4326157261846202,
+    "factual_rmse": 1.7192912257965816,
+}
+SEED_BASELINE_VAL_HISTORY = [
+    2.106706523163863,
+    1.6610954397052506,
+    1.5399118097377384,
+    1.3576364230086313,
+    1.2059032710238535,
+    1.23401783339258,
+    1.036201046481454,
+    1.1852020712713258,
+]
+SEED_BASELINE_VAL_VALIDATION = [
+    1.7271934076019253,
+    1.481050170724644,
+    1.3645020465909172,
+    1.3116666719071617,
+    1.2881103527774531,
+    1.2853793660695705,
+    1.2933618008921122,
+    1.3077662809995605,
+]
+SEED_CERL_HIST0 = [
+    2.106706523163863,
+    1.6610954397052506,
+    1.5399118097377384,
+    1.3576364230086313,
+]
+SEED_CERL_HIST1 = [
+    3.378694632771868,
+    2.974120471511222,
+    2.515177250870021,
+    2.5975128110715593,
+]
+SEED_CERL_METRICS_D0 = {
+    "sqrt_pehe": 1.9993959552444696,
+    "ate_error": 0.3744072425099487,
+}
+SEED_CERL_METRICS_D1 = {
+    "sqrt_pehe": 1.6142801832422249,
+    "ate_error": 0.15314846845920593,
+}
+
+
+@pytest.fixture
+def stream(tiny_domains):
+    return DomainStream(list(tiny_domains), seed=0)
+
+
+class TestBaselineParity:
+    def test_history_matches_seed_values(self, tiny_domains, fast_model_config):
+        first, _ = tiny_domains
+        model = BaselineCausalModel(first.n_features, fast_model_config)
+        history = model.fit(first)
+        np.testing.assert_allclose(history.total, SEED_BASELINE_HISTORY, rtol=RTOL)
+
+    def test_metrics_match_seed_values(self, tiny_domains, fast_model_config):
+        first, _ = tiny_domains
+        model = BaselineCausalModel(first.n_features, fast_model_config)
+        model.fit(first)
+        metrics = model.evaluate(first)
+        for key, expected in SEED_BASELINE_METRICS.items():
+            assert metrics[key] == pytest.approx(expected, rel=RTOL), key
+
+    def test_early_stopping_path_matches_seed_values(self, stream, fast_model_config):
+        config = fast_model_config.with_updates(epochs=8, early_stopping_patience=2)
+        model = BaselineCausalModel(stream.n_features, config)
+        history = model.fit(stream.train_data(0), val_dataset=stream.val_data(0))
+        np.testing.assert_allclose(history.total, SEED_BASELINE_VAL_HISTORY, rtol=RTOL)
+        np.testing.assert_allclose(
+            history.validation, SEED_BASELINE_VAL_VALIDATION, rtol=RTOL
+        )
+
+
+class TestCERLParity:
+    def test_stream_metrics_match_seed_values(
+        self, stream, fast_model_config, fast_continual_config
+    ):
+        cerl = CERL(stream.n_features, fast_model_config, fast_continual_config)
+        cerl.observe(stream.train_data(0), val_dataset=stream.val_data(0))
+        cerl.observe(stream.train_data(1), val_dataset=stream.val_data(1))
+
+        np.testing.assert_allclose(cerl.histories[0].total, SEED_CERL_HIST0, rtol=RTOL)
+        np.testing.assert_allclose(cerl.histories[1].total, SEED_CERL_HIST1, rtol=RTOL)
+
+        metrics_d0 = cerl.evaluate(stream[0].test)
+        metrics_d1 = cerl.evaluate(stream[1].test)
+        for key, expected in SEED_CERL_METRICS_D0.items():
+            assert metrics_d0[key] == pytest.approx(expected, rel=RTOL), key
+        for key, expected in SEED_CERL_METRICS_D1.items():
+            assert metrics_d1[key] == pytest.approx(expected, rel=RTOL), key
+        assert cerl.memory_size == 40

@@ -143,3 +143,22 @@ class TestMinibatches:
     def test_property_every_index_appears_once(self, n, batch_size):
         combined = np.concatenate(list(minibatches(n, batch_size, rng=np.random.default_rng(0))))
         assert sorted(combined.tolist()) == list(range(n))
+
+
+class TestConcat:
+    def test_concat_merges_in_order(self, tiny_domains):
+        first, second = tiny_domains
+        merged = CausalDataset.concat([first, second])
+        assert len(merged) == len(first) + len(second)
+        np.testing.assert_array_equal(merged.covariates[: len(first)], first.covariates)
+
+    def test_concat_single_with_name_does_not_mutate_source(self, tiny_dataset):
+        original_name = tiny_dataset.name
+        renamed = CausalDataset.concat([tiny_dataset], name="renamed")
+        assert renamed.name == "renamed"
+        assert tiny_dataset.name == original_name
+        assert renamed is not tiny_dataset
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CausalDataset.concat([])

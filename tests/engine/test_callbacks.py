@@ -1,0 +1,198 @@
+"""Tests for engine callbacks: ordering, early stopping, checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import load_modules, module_checkpointer
+from repro.engine import (
+    Callback,
+    Checkpoint,
+    EarlyStopping,
+    History,
+    LossBundle,
+    Trainer,
+    TrainingHistory,
+)
+from repro.nn import SGD, Tensor, mse_loss
+from repro.nn.module import Module, Parameter
+
+
+class TinyModel(Module):
+    def __init__(self, value: float = 0.0) -> None:
+        super().__init__()
+        self.weight = Parameter(np.array([[value]]))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight
+
+
+def run_trainer(model, callbacks, epochs=4, validate=None, rng=None):
+    x = np.linspace(-1.0, 1.0, 16).reshape(-1, 1)
+    y = 2.0 * x
+
+    def batch_loss(batch):
+        bundle = LossBundle()
+        bundle.add("factual", mse_loss(model.forward(Tensor(x[batch])), Tensor(y[batch])))
+        return bundle.result()
+
+    trainer = Trainer(
+        model.parameters(),
+        SGD(model.parameters(), lr=0.1),
+        batch_size=8,
+        rng=rng if rng is not None else np.random.default_rng(0),
+        callbacks=callbacks,
+    )
+    return trainer.fit(len(x), batch_loss, epochs=epochs, validate=validate)
+
+
+class Recorder(Callback):
+    def __init__(self, name: str, log: list) -> None:
+        self.name = name
+        self.log = log
+
+    def on_train_begin(self, state):
+        self.log.append((self.name, "train_begin"))
+
+    def on_epoch_begin(self, state):
+        self.log.append((self.name, "epoch_begin", state.epoch))
+
+    def on_epoch_end(self, state):
+        self.log.append((self.name, "epoch_end", state.epoch))
+
+    def on_train_end(self, state):
+        self.log.append((self.name, "train_end"))
+
+
+class TestCallbackOrdering:
+    def test_hooks_fire_in_list_order(self):
+        log: list = []
+        run_trainer(TinyModel(), [Recorder("first", log), Recorder("second", log)], epochs=2)
+        assert log == [
+            ("first", "train_begin"),
+            ("second", "train_begin"),
+            ("first", "epoch_begin", 0),
+            ("second", "epoch_begin", 0),
+            ("first", "epoch_end", 0),
+            ("second", "epoch_end", 0),
+            ("first", "epoch_begin", 1),
+            ("second", "epoch_begin", 1),
+            ("first", "epoch_end", 1),
+            ("second", "epoch_end", 1),
+            ("first", "train_end"),
+            ("second", "train_end"),
+        ]
+
+    def test_history_before_early_stopping_sees_epoch(self):
+        """The learners register History before EarlyStopping; when the stop
+        triggers, the stopping epoch itself must already be recorded."""
+        model = TinyModel()
+        history = TrainingHistory()
+        losses = iter([3.0, 2.0, 2.5, 2.6, 2.7])
+        stopper = EarlyStopping([model], patience=2, min_delta=0.0)
+        run_trainer(
+            model,
+            [History(history), stopper],
+            epochs=10,
+            validate=lambda: next(losses),
+        )
+        assert len(history) == 4  # stop after two non-improving epochs
+        assert history.validation == [3.0, 2.0, 2.5, 2.6]
+        assert history.stopped_early
+
+
+class TestEarlyStopping:
+    def test_restore_round_trip_uses_raw_array_copies(self):
+        model = TinyModel(5.0)
+        stopper = EarlyStopping([model], patience=3)
+        param = model.parameters()[0]
+        stopper.update(1.0)  # improvement: snapshot of 5.0 taken
+        snapshot = stopper._best_arrays[0]
+        assert isinstance(snapshot, np.ndarray)
+        assert snapshot is not param.data  # true copy, not a reference
+
+        param.data = np.array([[9.0]])  # training moves on and gets worse
+        stopper.update(2.0)
+        stopper.restore()
+        assert param.data.item() == pytest.approx(5.0)
+        # restoring must not alias the stored snapshot either
+        param.data += 1.0
+        assert stopper._best_arrays[0].item() == pytest.approx(5.0)
+
+    def test_parameter_identity_preserved_across_restore(self):
+        model = TinyModel(1.0)
+        param = model.parameters()[0]
+        stopper = EarlyStopping([model], patience=1)
+        stopper.update(1.0)
+        stopper.restore()
+        assert model.parameters()[0] is param
+
+    def test_patience_zero_disables_stopping(self):
+        model = TinyModel()
+        history = TrainingHistory()
+        worsening = iter(float(v) for v in range(100))
+        run_trainer(
+            model,
+            [History(history), EarlyStopping([model], patience=0)],
+            epochs=6,
+            validate=lambda: next(worsening),
+        )
+        assert len(history) == 6  # full budget, never stopped
+        assert not history.stopped_early
+
+    def test_negative_patience_rejected(self):
+        with pytest.raises(ValueError):
+            EarlyStopping([TinyModel()], patience=-1)
+
+    def test_stops_after_patience_epochs(self):
+        stopper = EarlyStopping([TinyModel()], patience=2, min_delta=0.0)
+        stopper.update(1.0)
+        assert not stopper.should_stop()
+        stopper.update(1.5)
+        assert not stopper.should_stop()
+        stopper.update(1.4)
+        assert stopper.should_stop()
+
+
+class TestCheckpoint:
+    def test_periodic_saves_and_final_save(self, tmp_path):
+        model = TinyModel(1.0)
+        save_fn = module_checkpointer({"model": model}, tmp_path, stem="tiny")
+        checkpoint = Checkpoint(save_fn, every=2)
+        run_trainer(TinyModel(), [checkpoint], epochs=5)
+        assert checkpoint.saved_epochs == [1, 3, 4]
+        assert sorted(p.name for p in tmp_path.glob("*.npz")) == [
+            "tiny_epoch0001.npz",
+            "tiny_epoch0003.npz",
+            "tiny_epoch0004.npz",
+        ]
+
+    def test_round_trip_restores_parameters(self, tmp_path):
+        model = TinyModel(7.0)
+        save_fn = module_checkpointer({"model": model}, tmp_path)
+        path = save_fn(0)
+        model.parameters()[0].data = np.array([[0.0]])
+        load_modules({"model": model}, path)
+        assert model.parameters()[0].data.item() == pytest.approx(7.0)
+
+    def test_invalid_every_rejected(self):
+        with pytest.raises(ValueError):
+            Checkpoint(lambda epoch: None, every=0)
+
+
+class TestHistoryStopFlag:
+    def test_stopped_early_survives_a_later_full_run(self):
+        """A shared history (fit + fine_tune) keeps the early-stop record."""
+        model = TinyModel()
+        history = TrainingHistory()
+        worsening = iter(float(v) for v in range(100))
+        run_trainer(
+            model,
+            [History(history), EarlyStopping([model], patience=1)],
+            epochs=10,
+            validate=lambda: next(worsening),
+        )
+        assert history.stopped_early
+        run_trainer(model, [History(history)], epochs=2)  # runs full budget
+        assert history.stopped_early  # not clobbered back to False

@@ -1,0 +1,181 @@
+"""Tests for the shared training engine loop and loss composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Callback,
+    EarlyStopping,
+    History,
+    LossBundle,
+    Trainer,
+    TrainingHistory,
+    iterate,
+)
+from repro.nn import SGD, Adam, StepLR, Tensor, mse_loss
+from repro.nn.module import Module, Parameter
+
+
+class LinearModel(Module):
+    def __init__(self, n_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.weight = Parameter(rng.normal(scale=0.1, size=(n_features, 1)))
+        self.bias = Parameter(np.zeros((1, 1)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+@pytest.fixture
+def regression_problem(rng):
+    n, p = 96, 4
+    x = rng.normal(size=(n, p))
+    true_w = rng.normal(size=(p, 1))
+    y = x @ true_w + 0.01 * rng.normal(size=(n, 1))
+    return x, y
+
+
+def make_batch_loss(model, x, y):
+    def batch_loss(batch):
+        bundle = LossBundle()
+        pred = model.forward(Tensor(x[batch]))
+        bundle.add("factual", mse_loss(pred, Tensor(y[batch])))
+        return bundle.result()
+
+    return batch_loss
+
+
+class TestTrainer:
+    def test_loss_decreases(self, rng, regression_problem):
+        x, y = regression_problem
+        model = LinearModel(x.shape[1], rng)
+        history = TrainingHistory()
+        trainer = Trainer(
+            model.parameters(),
+            Adam(model.parameters(), lr=0.05),
+            batch_size=32,
+            rng=rng,
+            callbacks=[History(history)],
+        )
+        trainer.fit(len(x), make_batch_loss(model, x, y), epochs=20)
+        assert len(history) == 20
+        assert history.total[-1] < history.total[0]
+
+    def test_validation_recorded(self, rng, regression_problem):
+        x, y = regression_problem
+        model = LinearModel(x.shape[1], rng)
+        history = TrainingHistory()
+        trainer = Trainer(
+            model.parameters(),
+            SGD(model.parameters(), lr=0.05),
+            batch_size=32,
+            rng=rng,
+            callbacks=[History(history)],
+        )
+        trainer.fit(
+            len(x), make_batch_loss(model, x, y), epochs=5, validate=lambda: 1.25
+        )
+        assert history.validation == [1.25] * 5
+
+    def test_scheduler_advanced_once_per_epoch(self, rng, regression_problem):
+        x, y = regression_problem
+        model = LinearModel(x.shape[1], rng)
+        optimizer = SGD(model.parameters(), lr=0.1)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        trainer = Trainer(
+            model.parameters(),
+            optimizer,
+            batch_size=32,
+            rng=rng,
+            scheduler=scheduler,
+        )
+        trainer.fit(len(x), make_batch_loss(model, x, y), epochs=4)
+        assert optimizer.lr == pytest.approx(0.1 * 0.5 ** 2)
+
+    def test_stop_request_breaks_loop(self, rng, regression_problem):
+        x, y = regression_problem
+        model = LinearModel(x.shape[1], rng)
+
+        class StopAfterThree(Callback):
+            def on_epoch_end(self, state):
+                if state.epoch == 2:
+                    state.stop_training = True
+
+        history = TrainingHistory()
+        trainer = Trainer(
+            model.parameters(),
+            SGD(model.parameters(), lr=0.05),
+            batch_size=32,
+            rng=rng,
+            callbacks=[History(history), StopAfterThree()],
+        )
+        state = trainer.fit(len(x), make_batch_loss(model, x, y), epochs=50)
+        assert len(history) == 3
+        assert state.stop_training
+        assert history.stopped_early
+
+    def test_input_validation(self, rng, regression_problem):
+        x, y = regression_problem
+        model = LinearModel(x.shape[1], rng)
+        optimizer = SGD(model.parameters(), lr=0.05)
+        with pytest.raises(ValueError):
+            Trainer(model.parameters(), optimizer, batch_size=0)
+        trainer = Trainer(model.parameters(), optimizer, batch_size=32)
+        with pytest.raises(ValueError):
+            trainer.fit(0, make_batch_loss(model, x, y), epochs=1)
+        with pytest.raises(ValueError):
+            trainer.fit(len(x), make_batch_loss(model, x, y), epochs=0)
+
+
+class TestLossBundle:
+    def test_total_weights_terms(self):
+        bundle = LossBundle()
+        bundle.add("a", Tensor(2.0))
+        bundle.add("b", Tensor(3.0), weight=0.5)
+        assert bundle.total().item() == pytest.approx(3.5)
+
+    def test_components_are_unweighted(self):
+        bundle = LossBundle()
+        bundle.add("a", Tensor(2.0))
+        bundle.add("b", Tensor(3.0), weight=0.5)
+        result = bundle.result()
+        assert result.components == {"a": 2.0, "b": 3.0, "total": 3.5}
+
+    def test_gradient_flows_through_weights(self):
+        param = Tensor(np.array([2.0]), requires_grad=True)
+        bundle = LossBundle()
+        bundle.add("a", (param * param).sum())
+        bundle.add("b", param.sum(), weight=3.0)
+        bundle.total().backward()
+        np.testing.assert_allclose(param.grad, [2.0 * 2.0 + 3.0])
+
+    def test_duplicate_name_rejected(self):
+        bundle = LossBundle()
+        bundle.add("a", Tensor(1.0))
+        with pytest.raises(ValueError):
+            bundle.add("a", Tensor(2.0))
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ValueError):
+            LossBundle().total()
+
+
+class TestIterate:
+    def test_runs_to_budget_without_tol(self):
+        calls = []
+        assert iterate(lambda i: calls.append(i) or 1.0, max_iterations=5) == 5
+        assert calls == [0, 1, 2, 3, 4]
+
+    def test_stops_on_tolerance(self):
+        deltas = iter([1.0, 0.5, 1e-9, 1.0])
+        performed = iterate(lambda i: next(deltas), max_iterations=10, tol=1e-6)
+        assert performed == 3
+
+    def test_exposed_as_trainer_converge(self):
+        assert Trainer.converge is iterate
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            iterate(lambda i: 0.0, max_iterations=0)

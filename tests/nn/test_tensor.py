@@ -293,3 +293,30 @@ class TestPropertyBased:
     def test_tanh_output_bounded(self, value):
         out = Tensor(value).tanh().numpy()
         assert np.all(out <= 1.0) and np.all(out >= -1.0)
+
+
+class TestGraphRelease:
+    def test_second_backward_through_released_graph_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        h = x * 3.0
+        loss1 = h.sum()
+        loss2 = (h * h).sum()
+        loss1.backward()
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+        x.grad = None
+        with pytest.raises(RuntimeError, match="released graph"):
+            loss2.backward()
+
+    def test_repeat_backward_on_same_root_raises(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        loss = (a * a).sum()
+        loss.backward()
+        with pytest.raises(RuntimeError, match="released graph"):
+            loss.backward()
+
+    def test_retain_graph_allows_repeat_and_accumulates(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        loss = (a * a).sum()
+        loss.backward(retain_graph=True)
+        loss.backward()
+        np.testing.assert_allclose(a.grad, [4.0, 8.0])
