@@ -7,27 +7,53 @@ the paper-scale experiment, scaled down so a full ``pytest benchmarks/
 rows/series are printed so the run doubles as a reproduction report; the
 paper-vs-measured comparison is recorded in EXPERIMENTS.md.
 
+Setting ``BENCH_PROFILE=smoke`` in the environment switches the table/figure
+benchmarks to the ``SMOKE`` profile — every code path still runs, at a scale
+CI can afford per push (the numbers are then reproduction smoke checks, not
+report material).  The :func:`bench_profile` fixture resolves the choice.
+
 Engine perf guard
 -----------------
 ``benchmarks/test_bench_engine.py`` measures the substrate hot paths (autograd
-backward pass, Sinkhorn inner loop, one CERL continual stage) against the
-frozen seed implementations in ``benchmarks/_seed_reference.py``.  Whatever it
-records through the :func:`engine_bench` fixture is written to
-``BENCH_engine.json`` in the repository root at session end, giving future PRs
-a perf trajectory to compare against.
+backward pass, Sinkhorn inner loop, inference fast path, batched suite
+evaluation, parallel Table I execution, one CERL continual stage) against the
+frozen seed implementations in ``benchmarks/_seed_reference.py`` and the
+reference serial/Tensor paths.  Whatever it records through the
+:func:`engine_bench` fixture is written to ``BENCH_engine.json`` in the
+repository root at session end, giving future PRs a perf trajectory to
+compare against.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 from pathlib import Path
 
 import pytest
 
+from repro.experiments import QUICK, SMOKE
+
 _ENGINE_BENCH_RESULTS: dict = {}
 
 BENCH_ENGINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def resolve_bench_profile():
+    """Profile for the table/figure benchmarks (``BENCH_PROFILE`` env override)."""
+    choice = os.environ.get("BENCH_PROFILE", "quick").lower()
+    if choice == "smoke":
+        return SMOKE
+    if choice == "quick":
+        return QUICK
+    raise ValueError(f"unknown BENCH_PROFILE '{choice}' (expected 'quick' or 'smoke')")
+
+
+@pytest.fixture(scope="session")
+def bench_profile():
+    """Fixture form of :func:`resolve_bench_profile`."""
+    return resolve_bench_profile()
 
 
 def run_once(benchmark, function, *args, **kwargs):

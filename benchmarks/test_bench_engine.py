@@ -1,6 +1,6 @@
 """Engine perf guard: substrate hot paths versus the frozen seed implementation.
 
-Measures three things and records them into ``BENCH_engine.json`` (via the
+Measures six things and records them into ``BENCH_engine.json`` (via the
 ``engine_bench`` fixture in ``conftest.py``):
 
 * the autograd **backward pass** of a CERL-shaped batch loss (encoder MLP,
@@ -8,17 +8,26 @@ Measures three things and records them into ``BENCH_engine.json`` (via the
   tensors versus the verbatim seed autograd in ``_seed_reference.py``;
 * the **Sinkhorn** transport-plan solver — vectorised in-place inner loop
   versus the seed's allocate-per-iteration loop;
+* the **inference forward** fast path (``Module.infer`` on raw ndarrays with
+  reusable workspaces) versus the Tensor forward under ``no_grad``, on the
+  full CERL evaluation stack at batch 1024;
+* **suite evaluation**: the batched ``evaluate_many`` (one concatenated
+  forward for all seen test sets) versus the seed's per-dataset Tensor-path
+  evaluation loop on an 8-domain stream;
+* **parallel Table I**: the process-pool experiment executor versus the
+  serial cell loop, with the tables asserted identical;
 * one **CERL continual stage** (fit_next) at a small fixed size, as an
   absolute wall-time trajectory point for future PRs.
 
-The timed section excludes graph construction (forward), so the comparison
-isolates exactly the code the engine PR optimised.  Gradients and transport
-plans are asserted bit-identical to the seed before any timing is trusted.
+The timed sections isolate exactly the code the engine PRs optimised.
+Gradients, transport plans, forward outputs and metric tables are asserted
+bit-identical to the reference paths before any timing is trusted.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 import time
@@ -29,10 +38,11 @@ import pytest
 
 from _seed_reference import SeedTensor, seed_sinkhorn_plan
 from repro.balance.ipm import _sinkhorn_plan
-from repro.core import CERL, ContinualConfig, ModelConfig
-from repro.data import SyntheticDomainGenerator
-from repro.experiments import QUICK
-from repro.nn import Tensor
+from repro.core import CERL, BaselineCausalModel, ContinualConfig, ModelConfig
+from repro.data import DomainStream, SyntheticDomainGenerator
+from repro.experiments import QUICK, SMOKE, run_table1
+from repro.metrics import EffectEstimate, evaluate_effect_estimate
+from repro.nn import Tensor, no_grad
 
 # --------------------------------------------------------------------------- #
 # shared workload: a batch loss with the same structure as the CERL objective
@@ -79,6 +89,18 @@ def _loss_graph(tensor_cls):
     balance = (group_diff * group_diff).sum()
     total = factual + balance * T(1.0) + enet * T(1e-4) + (row_energy * T(1.0 / _N)).sum()
     return total, params
+
+
+def _timed_round(fn, repetitions):
+    """One measurement round for :func:`_interleaved_best`: mean time of ``fn``."""
+
+    def measure() -> float:
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            fn()
+        return (time.perf_counter() - start) / repetitions
+
+    return measure
 
 
 def _interleaved_best(measure_a, measure_b, rounds: int = 6):
@@ -206,6 +228,169 @@ def test_bench_sinkhorn_vs_seed(engine_bench):
         f"({speedup:.2f}x)"
     )
     assert speedup > 1.0, f"sinkhorn regressed: {speedup:.2f}x vs seed"
+
+
+# --------------------------------------------------------------------------- #
+# inference fast path
+# --------------------------------------------------------------------------- #
+def _fitted_eval_model(n_units: int, n_domains: int):
+    """A briefly-trained baseline learner plus its domain stream."""
+    generator = SyntheticDomainGenerator(QUICK.synthetic_config(n_units=n_units), seed=0)
+    stream = DomainStream(generator.generate_stream(n_domains), seed=0)
+    config = ModelConfig(
+        representation_dim=32,
+        encoder_hidden=(64,),
+        outcome_hidden=(32,),
+        epochs=3,
+        batch_size=128,
+        seed=0,
+    )
+    model = BaselineCausalModel(stream.n_features, config)
+    model.fit(stream.train_data(0), epochs=3)
+    return model, stream
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_inference_forward_vs_tensor(engine_bench):
+    """``Module.infer`` fast path vs the Tensor forward at batch 1024.
+
+    The workload is the full CERL evaluation stack — representation network
+    (cosine-normalised encoder) plus both outcome heads — which is what every
+    ``predict``/``evaluate``/validation call runs.  Outputs are asserted
+    bitwise identical before timing.
+    """
+    model, _ = _fitted_eval_model(n_units=600, n_domains=1)
+    rng = np.random.default_rng(7)
+    covariates = rng.normal(size=(1024, model.n_features))
+    prepared = model.encoder.prepare_inputs(covariates)
+    encoder, heads = model.encoder, model.heads
+
+    def tensor_forward():
+        with no_grad():
+            reps = encoder.forward(Tensor(prepared))
+            y0 = heads.control_head(reps).reshape(-1)
+            y1 = heads.treated_head(reps).reshape(-1)
+        return y0.data, y1.data
+
+    def fast_forward():
+        reps = encoder.infer(prepared)
+        y0 = heads.control_head.infer(reps).ravel()
+        y1 = heads.treated_head.infer(reps).ravel()
+        return y0, y1
+
+    ref0, ref1 = tensor_forward()
+    out0, out1 = fast_forward()
+    assert np.array_equal(ref0, out0) and np.array_equal(ref1, out1)
+
+    tensor_time, fast_time = _interleaved_best(
+        _timed_round(tensor_forward, 100), _timed_round(fast_forward, 100)
+    )
+    speedup = tensor_time / fast_time
+    engine_bench(
+        "inference_forward",
+        tensor_us=round(tensor_time * 1e6, 2),
+        infer_us=round(fast_time * 1e6, 2),
+        speedup=round(speedup, 3),
+        workload="CERL eval stack (encoder + both heads), batch 1024",
+    )
+    print(
+        f"\ninference forward: tensor {tensor_time * 1e6:.1f}us -> "
+        f"infer {fast_time * 1e6:.1f}us ({speedup:.2f}x)"
+    )
+    assert speedup > 1.0, f"inference fast path regressed: {speedup:.2f}x vs Tensor forward"
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_suite_evaluation_batched_vs_per_dataset(engine_bench):
+    """Batched ``evaluate_many`` vs the seed's per-dataset evaluation loop.
+
+    The workload is the Figure-3 seen-test-sets sweep on an 8-domain stream.
+    The per-dataset baseline reproduces the seed path verbatim (one Tensor
+    forward per dataset); metric dictionaries are asserted identical before
+    timing.
+    """
+    model, stream = _fitted_eval_model(n_units=600, n_domains=8)
+    tests = stream.test_sets_seen(len(stream) - 1)
+
+    def seed_evaluate(dataset):
+        representations = model.encoder.encode(dataset.covariates, track_gradients=False)
+        with no_grad():
+            y0 = model.heads.control_head(representations).reshape(-1)
+            y1 = model.heads.treated_head(representations).reshape(-1)
+        estimate = EffectEstimate(
+            y0_hat=model._unscale_outcomes(y0.numpy().copy()),
+            y1_hat=model._unscale_outcomes(y1.numpy().copy()),
+        )
+        return evaluate_effect_estimate(
+            estimate,
+            dataset.true_ite,
+            treatments=dataset.treatments,
+            factual_outcomes=dataset.outcomes,
+        )
+
+    assert [seed_evaluate(test) for test in tests] == model.evaluate_many(tests)
+
+    seed_time, batched_time = _interleaved_best(
+        _timed_round(lambda: [seed_evaluate(test) for test in tests], 20),
+        _timed_round(lambda: model.evaluate_many(tests), 20),
+    )
+    speedup = seed_time / batched_time
+    engine_bench(
+        "suite_evaluation",
+        per_dataset_ms=round(seed_time * 1e3, 3),
+        batched_ms=round(batched_time * 1e3, 3),
+        speedup=round(speedup, 3),
+        workload="8-domain stream, 120-unit test sets, seed Tensor path vs evaluate_many",
+    )
+    print(
+        f"\nsuite evaluation: per-dataset {seed_time * 1e3:.2f}ms -> "
+        f"batched {batched_time * 1e3:.2f}ms ({speedup:.2f}x)"
+    )
+    assert speedup > 1.0, f"batched suite evaluation regressed: {speedup:.2f}x"
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_parallel_table1(engine_bench):
+    """Serial vs process-pool Table I execution (identical tables required).
+
+    On multi-core machines the pool fans dataset × scenario cells out and the
+    recorded speedup approaches the cell count; on single-core CI runners it
+    honestly records the pool overhead instead.  Determinism is asserted
+    either way — that is the property the executor guarantees.
+    """
+    kwargs = dict(
+        datasets=("news",),
+        scenarios=("substantial", "none"),
+        strategies=("CFR-A", "CERL"),
+        seed=0,
+    )
+    # Warm the process-local population cache so both timed paths start from
+    # the same state (fork-based workers inherit it as well).
+    from repro.experiments.table1 import _benchmark
+
+    _benchmark("news", SMOKE, 0)._simulate_population()
+    start = time.perf_counter()
+    serial = run_table1(SMOKE, workers=1, **kwargs)
+    serial_time = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_table1(SMOKE, workers=2, **kwargs)
+    parallel_time = time.perf_counter() - start
+    assert serial.rows() == parallel.rows(), "parallel Table I diverged from serial"
+
+    speedup = serial_time / parallel_time
+    engine_bench(
+        "parallel_table1",
+        serial_s=round(serial_time, 4),
+        parallel_s=round(parallel_time, 4),
+        speedup=round(speedup, 3),
+        workers=2,
+        cpu_count=os.cpu_count(),
+        workload="smoke Table I, 2 cells (news x substantial/none), 2 strategies",
+    )
+    print(
+        f"\nparallel table1: serial {serial_time:.2f}s -> workers=2 "
+        f"{parallel_time:.2f}s ({speedup:.2f}x on {os.cpu_count()} cpu)"
+    )
 
 
 @pytest.mark.benchmark(group="engine")

@@ -25,13 +25,13 @@ N_DOMAINS = 3
 
 
 @pytest.mark.benchmark(group="figure3")
-def test_bench_figure3_memory_budget_curves(benchmark, once):
+def test_bench_figure3_memory_budget_curves(benchmark, once, bench_profile):
     """Panels (a)/(b): per-stage metrics for several memory budgets vs the ideal."""
-    base = QUICK.synthetic_units
+    base = bench_profile.synthetic_units
     result = once(
         benchmark,
         run_figure3_memory,
-        QUICK,
+        bench_profile,
         memory_budgets=[base // 10, base // 2, base],
         n_domains=N_DOMAINS,
         include_ideal=True,
@@ -40,52 +40,56 @@ def test_bench_figure3_memory_budget_curves(benchmark, once):
     print()
     print(result.report())
     # Larger budgets should not be worse than the smallest budget at the final stage.
-    final = {label: stages[-1]["sqrt_pehe"] for label, stages in result.curves.items()}
-    smallest = final[f"CERL (M={base // 10})"]
-    largest = final[f"CERL (M={base})"]
-    assert largest <= smallest * 1.25
+    if bench_profile is QUICK:
+        final = {label: stages[-1]["sqrt_pehe"] for label, stages in result.curves.items()}
+        smallest = final[f"CERL (M={base // 10})"]
+        largest = final[f"CERL (M={base})"]
+        assert largest <= smallest * 1.25
 
 
 @pytest.mark.benchmark(group="figure3")
-def test_bench_figure3_alpha_sensitivity(benchmark, once):
+def test_bench_figure3_alpha_sensitivity(benchmark, once, bench_profile):
     """Panel (c): sensitivity of the IPM weight alpha."""
     result = once(
         benchmark,
         run_figure3_sensitivity,
         "alpha",
         [0.1, 0.5, 1.0, 2.0],
-        QUICK,
+        bench_profile,
         n_domains=2,
         seed=0,
     )
     print()
     print(result.report())
-    # The paper reports stability over a large range; allow a generous factor.
-    assert result.relative_spread < 2.0
+    # The paper reports stability over a large range; allow a generous factor
+    # (asserted at quick scale; smoke only exercises the code paths).
+    if bench_profile is QUICK:
+        assert result.relative_spread < 2.0
 
 
 @pytest.mark.benchmark(group="figure3")
-def test_bench_figure3_delta_sensitivity(benchmark, once):
+def test_bench_figure3_delta_sensitivity(benchmark, once, bench_profile):
     """Panel (d): sensitivity of the transformation weight delta."""
     result = once(
         benchmark,
         run_figure3_sensitivity,
         "delta",
         [0.1, 0.5, 1.0, 2.0],
-        QUICK,
+        bench_profile,
         n_domains=2,
         seed=0,
     )
     print()
     print(result.report())
-    assert result.relative_spread < 2.0
+    if bench_profile is QUICK:
+        assert result.relative_spread < 2.0
 
 
 @pytest.mark.benchmark(group="figure3")
-def test_bench_cosine_norm_ablation_stream(benchmark, once):
+def test_bench_cosine_norm_ablation_stream(benchmark, once, bench_profile):
     """In-text ablation: cosine normalisation on the multi-domain stream."""
     outcomes = once(
-        benchmark, run_cosine_ablation_stream, QUICK, n_domains=N_DOMAINS, seed=0
+        benchmark, run_cosine_ablation_stream, bench_profile, n_domains=N_DOMAINS, seed=0
     )
     print()
     for label, metrics in outcomes.items():

@@ -14,12 +14,12 @@ from repro.experiments import QUICK, TABLE1_STRATEGIES, run_table1
 
 
 @pytest.mark.benchmark(group="table1")
-def test_bench_table1_news_all_shifts(benchmark, once):
+def test_bench_table1_news_all_shifts(benchmark, once, bench_profile):
     """News benchmark, all three shift scenarios, all four strategies."""
     result = once(
         benchmark,
         run_table1,
-        QUICK,
+        bench_profile,
         datasets=("news",),
         scenarios=("substantial", "moderate", "none"),
         strategies=TABLE1_STRATEGIES,
@@ -29,20 +29,23 @@ def test_bench_table1_news_all_shifts(benchmark, once):
     print(result.report())
     # Sanity of the reproduction shape: under substantial shift CFR-A degrades
     # on new data and CFR-B on previous data relative to the ideal CFR-C.
-    cfr_a = result.get("news", "substantial", "CFR-A")
-    cfr_b = result.get("news", "substantial", "CFR-B")
-    cfr_c = result.get("news", "substantial", "CFR-C")
-    assert cfr_a.new["sqrt_pehe"] >= 0.9 * cfr_c.new["sqrt_pehe"]
-    assert cfr_b.previous["sqrt_pehe"] >= 0.9 * cfr_c.previous["sqrt_pehe"]
+    # Only meaningful at quick scale and above; the smoke profile (CI) just
+    # exercises the code paths.
+    if bench_profile is QUICK:
+        cfr_a = result.get("news", "substantial", "CFR-A")
+        cfr_b = result.get("news", "substantial", "CFR-B")
+        cfr_c = result.get("news", "substantial", "CFR-C")
+        assert cfr_a.new["sqrt_pehe"] >= 0.9 * cfr_c.new["sqrt_pehe"]
+        assert cfr_b.previous["sqrt_pehe"] >= 0.9 * cfr_c.previous["sqrt_pehe"]
 
 
 @pytest.mark.benchmark(group="table1")
-def test_bench_table1_blogcatalog_substantial_shift(benchmark, once):
+def test_bench_table1_blogcatalog_substantial_shift(benchmark, once, bench_profile):
     """BlogCatalog benchmark under substantial shift (the hardest column)."""
     result = once(
         benchmark,
         run_table1,
-        QUICK,
+        bench_profile,
         datasets=("blogcatalog",),
         scenarios=("substantial",),
         strategies=TABLE1_STRATEGIES,

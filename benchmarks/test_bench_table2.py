@@ -15,12 +15,12 @@ from repro.experiments import QUICK, TABLE2_ABLATIONS, TABLE2_STRATEGIES, run_ta
 
 
 @pytest.mark.benchmark(group="table2")
-def test_bench_table2_strategies_and_ablations(benchmark, once):
+def test_bench_table2_strategies_and_ablations(benchmark, once, bench_profile):
     """All Table II rows: the four strategies and the three CERL ablations."""
     result = once(
         benchmark,
         run_table2,
-        QUICK,
+        bench_profile,
         strategies=TABLE2_STRATEGIES,
         ablations=TABLE2_ABLATIONS,
         seed=0,
@@ -29,11 +29,13 @@ def test_bench_table2_strategies_and_ablations(benchmark, once):
     print()
     print(result.report())
 
-    cerl = result.get("CERL")
-    cfr_a = result.get("CFR-A")
-    cfr_b = result.get("CFR-B")
     # Reproduction shape (Table II): CFR-A degrades on new data, CFR-B shows
     # catastrophic forgetting on previous data; CERL improves on both failure
-    # modes simultaneously.
-    assert cerl.get("new_sqrt_pehe") < 1.1 * cfr_a.get("new_sqrt_pehe")
-    assert cerl.get("prev_sqrt_pehe") < 1.1 * cfr_b.get("prev_sqrt_pehe")
+    # modes simultaneously.  Only asserted at quick scale and above; the
+    # smoke profile (CI) just exercises the code paths.
+    if bench_profile is QUICK:
+        cerl = result.get("CERL")
+        cfr_a = result.get("CFR-A")
+        cfr_b = result.get("CFR-B")
+        assert cerl.get("new_sqrt_pehe") < 1.1 * cfr_a.get("new_sqrt_pehe")
+        assert cerl.get("prev_sqrt_pehe") < 1.1 * cfr_b.get("prev_sqrt_pehe")

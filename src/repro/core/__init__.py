@@ -1,6 +1,7 @@
 """Core causal-effect learners: the baseline model, CFR strategies and CERL."""
 
 from .config import ContinualConfig, ModelConfig
+from .evaluation import evaluate_datasets
 from .representation import RepresentationNetwork
 from .outcome import OutcomeHeads
 from .transform import FeatureTransform
@@ -29,6 +30,7 @@ __all__ = [
     "module_checkpointer",
     "ModelConfig",
     "ContinualConfig",
+    "evaluate_datasets",
     "RepresentationNetwork",
     "OutcomeHeads",
     "FeatureTransform",

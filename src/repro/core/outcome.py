@@ -79,3 +79,19 @@ class OutcomeHeads(Module):
             y0 = self.control_head(representations).reshape(-1)
             y1 = self.treated_head(representations).reshape(-1)
         return y0.numpy().copy(), y1.numpy().copy()
+
+    # ------------------------------------------------------------------ #
+    # inference fast path (raw ndarrays, no graph, workspace-backed heads)
+    # ------------------------------------------------------------------ #
+    def infer_potential_outcomes(self, representations: np.ndarray) -> tuple:
+        """Fast-path :meth:`potential_outcomes` on a raw representation array."""
+        y0 = self.control_head.infer(representations).ravel().copy()
+        y1 = self.treated_head.infer(representations).ravel().copy()
+        return y0, y1
+
+    def infer_factual(self, representations: np.ndarray, treatments: np.ndarray) -> np.ndarray:
+        """Fast-path :meth:`factual`: same mask expression on raw ndarrays."""
+        mask = np.asarray(treatments).ravel().astype(np.float64)
+        y1 = self.treated_head.infer(representations).ravel()
+        y0 = self.control_head.infer(representations).ravel()
+        return mask * y1 + (1.0 - mask) * y0

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..nn import MLP, Module, Tensor, elastic_net_penalty, no_grad
+from ..nn.infer import row_normalize_
 from ..utils import Standardizer
 
 __all__ = ["RepresentationNetwork"]
@@ -114,9 +115,24 @@ class RepresentationNetwork(Module):
         with no_grad():
             return self.forward(prepared)
 
+    def infer(self, inputs: np.ndarray) -> np.ndarray:
+        """Graph-free forward on already-prepared inputs (workspace-backed).
+
+        Bitwise identical to :meth:`forward` under ``no_grad``; the returned
+        array is overwritten by the next ``infer`` call on this network.
+        """
+        representations = self.network.infer(inputs)
+        if self.use_cosine_norm:
+            row_normalize_(self.workspace(), representations)
+        return representations
+
+    def infer_representations(self, covariates: np.ndarray) -> np.ndarray:
+        """Standardise raw covariates and encode them on the fast path."""
+        return self.infer(self.prepare_inputs(covariates))
+
     def representations(self, covariates: np.ndarray) -> np.ndarray:
-        """Convenience wrapper returning representations as a NumPy array."""
-        return self.encode(covariates, track_gradients=False).numpy()
+        """Convenience wrapper returning representations as a NumPy array (copy)."""
+        return self.infer_representations(covariates).copy()
 
     # ------------------------------------------------------------------ #
     # regularisation

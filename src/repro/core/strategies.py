@@ -59,6 +59,9 @@ class ContinualEstimator(Protocol):
     def evaluate(self, dataset: CausalDataset) -> Dict[str, float]:
         """Evaluate effect-estimation metrics on a labelled dataset."""
 
+    def evaluate_many(self, datasets: Sequence[CausalDataset]) -> List[Dict[str, float]]:
+        """Evaluate several datasets with one batched forward pass."""
+
 
 class _CFRStrategyBase:
     """Common machinery of the CFR adaptation strategies."""
@@ -78,6 +81,10 @@ class _CFRStrategyBase:
     def evaluate(self, dataset: CausalDataset) -> Dict[str, float]:
         """Evaluate the currently held model on a labelled dataset."""
         return self.model.evaluate(dataset)
+
+    def evaluate_many(self, datasets: Sequence[CausalDataset]) -> List[Dict[str, float]]:
+        """Batched evaluation of several datasets (one forward pass)."""
+        return self.model.evaluate_many(datasets)
 
     def observe(
         self,

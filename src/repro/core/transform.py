@@ -13,7 +13,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..nn import MLP, Module, Tensor, no_grad
+from ..nn import MLP, Module, Tensor
+from ..nn.infer import row_normalize_
 
 __all__ = ["FeatureTransform"]
 
@@ -77,6 +78,15 @@ class FeatureTransform(Module):
             out = out / out.norm(axis=1, keepdims=True)
         return out
 
+    def infer(self, representations: np.ndarray) -> np.ndarray:
+        """Graph-free :meth:`forward` on a raw ndarray (workspace-backed)."""
+        out = self.network.infer(representations)
+        if self.residual:
+            np.add(representations, out, out=out)
+        if self.normalize_output:
+            row_normalize_(self.workspace(), out)
+        return out
+
     def transform_array(self, representations: np.ndarray) -> np.ndarray:
         """Transform a NumPy array of representations without recording gradients."""
         representations = np.asarray(representations, dtype=np.float64)
@@ -84,6 +94,4 @@ class FeatureTransform(Module):
             raise ValueError(
                 f"expected representations of shape (n, {self.representation_dim})"
             )
-        with no_grad():
-            out = self.forward(Tensor(representations))
-        return out.numpy().copy()
+        return self.infer(representations).copy()

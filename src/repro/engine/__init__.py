@@ -13,6 +13,7 @@ from .history import TrainingHistory
 from .loss import LossBundle, LossResult
 from .callbacks import Callback, Checkpoint, EarlyStopping, History
 from .trainer import Trainer, TrainerState, iterate
+from .validation import mse_validator
 
 __all__ = [
     "TrainingHistory",
@@ -25,4 +26,5 @@ __all__ = [
     "Trainer",
     "TrainerState",
     "iterate",
+    "mse_validator",
 ]

@@ -1,0 +1,43 @@
+"""Validation closures for the training loop.
+
+``Trainer.fit`` accepts a ``validate`` callable that is run once per epoch;
+its value feeds the :class:`~repro.engine.callbacks.EarlyStopping` callback.
+Every learner used to hand-write the same closure (forward the validation
+split, mean-squared error against the targets).  :func:`mse_validator` builds
+it once, on top of whatever prediction function the learner supplies —
+typically the no-graph inference fast path, so the per-epoch validation pass
+allocates nothing and records no autograd state.
+
+The error expression is kept exactly as the seed learners wrote it
+(``mean((prediction - target) ** 2)``) so early-stopping decisions are
+bit-identical to the pre-refactor loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["mse_validator"]
+
+
+def mse_validator(
+    predict: Callable[[], np.ndarray], targets: np.ndarray
+) -> Callable[[], float]:
+    """Build a per-epoch validation closure returning mean squared error.
+
+    Parameters
+    ----------
+    predict:
+        Zero-argument callable producing the validation predictions (run on
+        the inference fast path by the learners).
+    targets:
+        Ground-truth values the predictions are compared against.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+
+    def validate() -> float:
+        return float(np.mean((predict() - targets) ** 2))
+
+    return validate

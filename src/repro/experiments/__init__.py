@@ -1,5 +1,6 @@
 """Experiment drivers regenerating the paper's tables and figures."""
 
+from .parallel import derive_seed, parallel_map, seeded_tasks
 from .profiles import PAPER, QUICK, SMOKE, ExperimentProfile
 from .runner import (
     StrategyResult,
@@ -21,6 +22,9 @@ from .figure3 import (
 )
 
 __all__ = [
+    "derive_seed",
+    "parallel_map",
+    "seeded_tasks",
     "ExperimentProfile",
     "SMOKE",
     "QUICK",

@@ -5,6 +5,13 @@ All drivers feed learners through the engine-backed ``observe`` protocol;
 :class:`~repro.data.streams.DomainStream` and can drive *several* strategies
 through one shared stream iterator, so the train/val/test splits are computed
 once per experiment instead of once per strategy.
+
+Two execution properties keep the Figure-3 protocol fast: the seen-test-sets
+sweep after every domain uses the learners' batched ``evaluate_many`` (one
+concatenated forward pass instead of one per seen domain), and
+:func:`run_stream_suite` accepts ``workers`` to fan independent strategies
+over a process pool — every strategy is a pure function of the shared stream
+and its configs, so the parallel path returns bit-identical results.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from ..core.config import ContinualConfig, ModelConfig
 from ..core.strategies import ContinualEstimator, make_strategy
 from ..data.dataset import CausalDataset
 from ..data.streams import DomainStream
+from .parallel import parallel_map
 
 __all__ = [
     "StrategyResult",
@@ -126,11 +134,14 @@ def run_two_domain_comparison(
         learner.observe(stream.train_data(0), epochs=epochs, val_dataset=stream.val_data(0))
         learner.observe(stream.train_data(1), epochs=epochs, val_dataset=stream.val_data(1))
         needs_raw, stores_raw = _strategy_flags(name)
+        # One batched forward over both test sets (identical numbers to two
+        # separate evaluate calls; see repro.core.evaluation).
+        previous_metrics, new_metrics = learner.evaluate_many([previous_test, new_test])
         results.append(
             StrategyResult(
                 strategy=name,
-                previous=learner.evaluate(previous_test),
-                new=learner.evaluate(new_test),
+                previous=previous_metrics,
+                new=new_metrics,
                 needs_previous_raw_data=needs_raw,
                 stores_all_raw_data=stores_raw,
             )
@@ -171,6 +182,35 @@ def run_stream(
     )[0]
 
 
+def _run_strategy_through_stream(task: tuple) -> StreamResult:
+    """Drive one strategy through the full stream (the unit of suite work).
+
+    Module-level so :func:`parallel_map` can pickle it; the payload carries
+    everything the run depends on, making the result independent of which
+    process executes it.
+    """
+    stream, name, model_config, continual_config, epochs = task
+    learner = _build(name, stream.n_features, model_config, continual_config)
+    result = StreamResult(strategy=name)
+    for domain_index in range(len(stream)):
+        learner.observe(
+            stream.train_data(domain_index),
+            epochs=epochs,
+            val_dataset=stream.val_data(domain_index),
+        )
+        # Batched sweep over all seen test sets: one concatenated forward
+        # pass, metrics split back per domain (identical numbers to a
+        # per-dataset evaluate loop).
+        per_domain = learner.evaluate_many(stream.test_sets_seen(domain_index))
+        result.per_domain.append(per_domain)
+        averaged = {
+            key: float(sum(metrics[key] for metrics in per_domain) / len(per_domain))
+            for key in per_domain[0]
+        }
+        result.per_stage.append(averaged)
+    return result
+
+
 def run_stream_suite(
     datasets: Union[Sequence[CausalDataset], DomainStream],
     strategies: Sequence[str],
@@ -178,6 +218,7 @@ def run_stream_suite(
     continual_config: ContinualConfig,
     seed: int = 0,
     epochs: Optional[int] = None,
+    workers: int = 1,
 ) -> List[StreamResult]:
     """Drive several strategies through one shared multi-domain stream.
 
@@ -185,25 +226,16 @@ def run_stream_suite(
     train/validation data domain by domain and is evaluated on the same test
     sets, which makes the per-strategy numbers directly comparable (and saves
     the repeated splitting work of building one stream per strategy).
+
+    ``workers > 1`` fans the strategies over a process pool.  Each strategy's
+    learner owns its RNG (seeded from ``model_config.seed``) and the shared
+    stream is read-only, so the parallel path is bit-identical to the serial
+    default — pinned by the determinism test suite.
     """
     if not strategies:
         raise ValueError("run_stream_suite requires at least one strategy")
     stream = _as_stream(datasets, seed)
-    learners = [
-        _build(name, stream.n_features, model_config, continual_config) for name in strategies
+    tasks = [
+        (stream, name, model_config, continual_config, epochs) for name in strategies
     ]
-    results = [StreamResult(strategy=name) for name in strategies]
-    for domain_index in range(len(stream)):
-        train = stream.train_data(domain_index)
-        val = stream.val_data(domain_index)
-        seen_tests = stream.test_sets_seen(domain_index)
-        for learner, result in zip(learners, results):
-            learner.observe(train, epochs=epochs, val_dataset=val)
-            per_domain = [learner.evaluate(test_set) for test_set in seen_tests]
-            result.per_domain.append(per_domain)
-            averaged = {
-                key: float(sum(metrics[key] for metrics in per_domain) / len(per_domain))
-                for key in per_domain[0]
-            }
-            result.per_stage.append(averaged)
-    return results
+    return parallel_map(_run_strategy_through_stream, tasks, workers=workers)

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.synthetic import SyntheticConfig, SyntheticDomainGenerator
+from .parallel import parallel_map
 from .profiles import ExperimentProfile, QUICK
 from .reporting import format_table
 from .runner import StrategyResult, run_two_domain_comparison
@@ -77,6 +78,27 @@ def _average_results(per_rep: List[List[StrategyResult]]) -> Dict[str, Dict[str,
     return averaged
 
 
+def _table2_repetition(task: tuple) -> List[StrategyResult]:
+    """Run one simulation repetition of Table II (all strategies/ablations).
+
+    A pure function of its payload: the generator is rebuilt from ``seed``
+    and the repetition index drives both the simulated domains and the model
+    seeds, exactly as the serial loop always derived them.
+    """
+    profile, synthetic_config, all_names, seed, repetition, budget = task
+    generator = SyntheticDomainGenerator(synthetic_config, seed=seed)
+    first_domain = generator.generate_domain(0, repetition=repetition)
+    second_domain = generator.generate_domain(1, repetition=repetition)
+    return run_two_domain_comparison(
+        first_domain,
+        second_domain,
+        strategies=all_names,
+        model_config=profile.model_config(seed=seed + repetition),
+        continual_config=profile.continual_config(memory_budget=budget),
+        seed=seed + repetition,
+    )
+
+
 def run_table2(
     profile: ExperimentProfile = QUICK,
     strategies: Sequence[str] = TABLE2_STRATEGIES,
@@ -85,6 +107,7 @@ def run_table2(
     repetitions: Optional[int] = None,
     memory_budget: Optional[int] = None,
     synthetic_config: Optional[SyntheticConfig] = None,
+    workers: int = 1,
 ) -> Table2Result:
     """Regenerate (a scaled version of) Table II.
 
@@ -101,31 +124,25 @@ def run_table2(
     synthetic_config:
         Override of the synthetic generator configuration; the number of units
         always comes from the profile unless explicitly set here.
+    workers:
+        Number of processes to fan the repetitions over.  ``1`` (the default)
+        runs serially; any value yields identical averaged tables because
+        every repetition is independently seeded.
     """
     repetitions = repetitions if repetitions is not None else profile.repetitions
     budget = memory_budget if memory_budget is not None else profile.memory_budget_table2
-    all_names = list(strategies) + list(ablations)
+    all_names = tuple(strategies) + tuple(ablations)
 
     if synthetic_config is None:
         synthetic_config = profile.synthetic_config()
 
-    per_rep: List[List[StrategyResult]] = []
-    for repetition in range(repetitions):
-        generator = SyntheticDomainGenerator(synthetic_config, seed=seed)
-        first_domain = generator.generate_domain(0, repetition=repetition)
-        second_domain = generator.generate_domain(1, repetition=repetition)
-        model_config = profile.model_config(seed=seed + repetition)
-        continual_config = profile.continual_config(memory_budget=budget)
-        per_rep.append(
-            run_two_domain_comparison(
-                first_domain,
-                second_domain,
-                strategies=all_names,
-                model_config=model_config,
-                continual_config=continual_config,
-                seed=seed + repetition,
-            )
-        )
+    tasks = [
+        (profile, synthetic_config, all_names, seed, repetition, budget)
+        for repetition in range(repetitions)
+    ]
+    per_rep: List[List[StrategyResult]] = parallel_map(
+        _table2_repetition, tasks, workers=workers
+    )
 
     return Table2Result(
         profile=profile.name,

@@ -66,12 +66,28 @@ def herding_selection(
     selected_mask = np.zeros(n, dtype=bool)
     running_sum = np.zeros_like(target_mean)
 
+    # Greedy objective at step t: argmin_i || (running_sum + x_i)/t - mu ||.
+    # Expanding the square and dropping candidate-independent terms leaves
+    #
+    #   score_i = ||x_i||^2 + 2 * <x_i, running_sum> - 2t * <x_i, mu>,
+    #
+    # so each step needs one GEMV (working @ running_sum) and O(n) arithmetic
+    # instead of materialising the (n, d) candidate-means temporary and its
+    # row norms.  In exact arithmetic the argmin is unchanged (monotone
+    # transform of the distances); candidates whose distances agree to within
+    # rounding could in principle tie-break differently than the naive form,
+    # which the regression test rules out on seeded data.
+    sq_norms = np.einsum("ij,ij->i", working, working)
+    target_dots = working @ target_mean
+    scores = np.empty(n)
+
     for step in range(1, budget + 1):
-        # Choose the sample that brings the running mean closest to the target.
-        candidate_means = (running_sum[None, :] + working) / step
-        distances = np.linalg.norm(candidate_means - target_mean[None, :], axis=1)
-        distances[selected_mask] = np.inf
-        best = int(np.argmin(distances))
+        np.dot(working, running_sum, out=scores)
+        scores *= 2.0
+        scores += sq_norms
+        scores -= (2.0 * step) * target_dots
+        scores[selected_mask] = np.inf
+        best = int(np.argmin(scores))
         selected.append(best)
         selected_mask[best] = True
         running_sum += working[best]

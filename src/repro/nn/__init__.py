@@ -6,6 +6,7 @@ learning framework dependency.
 """
 
 from .tensor import Tensor, no_grad, is_grad_enabled, concatenate, stack
+from .infer import Workspace
 from .module import Module, Parameter
 from .layers import (
     Linear,
@@ -37,6 +38,7 @@ __all__ = [
     "is_grad_enabled",
     "concatenate",
     "stack",
+    "Workspace",
     "Module",
     "Parameter",
     "Linear",

@@ -1,0 +1,73 @@
+"""Workspace buffers for the no-graph inference fast path.
+
+The Tensor forward pass allocates a fresh array per operation even under
+``no_grad``.  For evaluation — which runs the same shapes over and over (every
+epoch's validation pass, every seen-test-set sweep of the Figure 3 protocol) —
+those allocations dominate the wall time of the small models used in the
+reproduction.  :class:`Workspace` gives each module a named set of scratch
+arrays that are allocated once per shape and rewritten in place on every
+:meth:`~repro.nn.module.Module.infer` call.
+
+Contract: an array returned by ``Module.infer`` is backed by the module's
+workspace and stays valid only until the next ``infer`` call on that module.
+Callers that keep a result (memory extraction, returned predictions) must copy
+it; the high-level ``predict``/``representations`` APIs in ``repro.core`` do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["Workspace", "row_normalize_"]
+
+
+class Workspace:
+    """Named cache of preallocated scratch arrays, keyed by role.
+
+    Each key (e.g. ``"out"``, ``"sq"``) maps to one array that is reallocated
+    only when the requested shape changes (a new batch size), so steady-state
+    inference performs zero array allocations.
+    """
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self) -> None:
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def get(self, key: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Return the scratch array for ``key``, (re)allocating on shape change.
+
+        The returned array holds stale values from the previous call; callers
+        must fully overwrite it (every user writes with ``out=``).
+        """
+        buffer = self._arrays.get(key)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = np.empty(shape, dtype=dtype)
+            self._arrays[key] = buffer
+        return buffer
+
+    def clear(self) -> None:
+        """Drop all cached buffers (frees memory after large batches)."""
+        self._arrays.clear()
+
+
+def row_normalize_(workspace: Workspace, x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Divide each row of ``x`` by its Euclidean norm, in place.
+
+    Evaluates exactly the expression of ``Tensor.norm(axis=1, keepdims=True)``
+    followed by the division — ``x / sqrt((x * x).sum(axis=1) + eps)`` — so
+    callers mirroring a Tensor-forward normalisation stay bitwise identical.
+    ``eps`` defaults to the ``Tensor.norm`` default; this helper is the single
+    copy of the kernel shared by the representation network and the feature
+    transform.
+    """
+    squared = workspace.get("row_norm_sq", x.shape)
+    np.multiply(x, x, out=squared)
+    norm = workspace.get("row_norm", (x.shape[0], 1))
+    np.sum(squared, axis=1, keepdims=True, out=norm)
+    norm += eps
+    np.sqrt(norm, out=norm)
+    np.divide(x, norm, out=x)
+    return x

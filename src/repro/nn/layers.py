@@ -73,6 +73,13 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = self.workspace().get("out", (x.shape[0], self.out_features))
+        np.matmul(x, self.weight.data, out=out)
+        if self.use_bias:
+            np.add(out, self.bias.data, out=out)
+        return out
+
 
 class CosineNormLinear(Module):
     """Cosine-normalised dense layer (Eq. 2 of the paper).
@@ -107,12 +114,47 @@ class CosineNormLinear(Module):
         dot = x @ self.weight
         return dot / (x_norm @ w_norm)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # Mirrors forward() operation by operation so the two paths are
+        # bitwise identical; every array below is a reused workspace buffer.
+        ws = self.workspace()
+        n = x.shape[0]
+        weight = self.weight.data
+
+        sq = ws.get("sq", x.shape)
+        np.multiply(x, x, out=sq)
+        x_norm = ws.get("x_norm", (n, 1))
+        np.sum(sq, axis=1, keepdims=True, out=x_norm)
+        x_norm += self.eps
+        np.sqrt(x_norm, out=x_norm)
+
+        wsq = ws.get("wsq", weight.shape)
+        np.multiply(weight, weight, out=wsq)
+        w_norm = ws.get("w_norm", (1, self.out_features))
+        np.sum(wsq, axis=0, keepdims=True, out=w_norm)
+        w_norm += self.eps
+        np.sqrt(w_norm, out=w_norm)
+
+        dot = ws.get("dot", (n, self.out_features))
+        np.matmul(x, weight, out=dot)
+        denom = ws.get("denom", (n, self.out_features))
+        # Outer product as a broadcast multiply: each element is the single
+        # multiplication x_norm[i] * w_norm[j], bitwise equal to the
+        # (n, 1) @ (1, k) matmul of the Tensor path and cheaper to dispatch.
+        np.multiply(x_norm, w_norm, out=denom)
+        np.divide(dot, denom, out=dot)
+        return dot
+
 
 class ReLU(Module):
     """Rectified linear activation."""
 
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = self.workspace().get("out", x.shape)
+        return np.maximum(x, 0.0, out=out)
 
 
 class ELU(Module):
@@ -125,12 +167,38 @@ class ELU(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.elu(self.alpha)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # Select-free ELU: max(x, 0) + alpha * (exp(min(x, 0)) - 1).
+        # On the negative side min() is the identity, so the added term is
+        # exactly the alpha * (exp(x) - 1) the Tensor path computes and the
+        # max() contributes +0; on the positive side the term is exactly
+        # alpha * (exp(0) - 1) = +0 and x + 0.0 == x.  Bitwise equal to the
+        # np.where expression for every input (including ±inf, NaN, ±0 and
+        # denormals — pinned by tests) while avoiding the masked-select pass,
+        # which costs ~5x more than these fused element-wise ops.
+        ws = self.workspace()
+        negative = ws.get("negative", x.shape)
+        np.minimum(x, 0.0, out=negative)
+        np.exp(negative, out=negative)
+        np.subtract(negative, 1.0, out=negative)
+        if self.alpha != 1.0:
+            # Multiplying by exactly 1.0 is a bitwise no-op; skip the pass.
+            np.multiply(negative, self.alpha, out=negative)
+        out = ws.get("out", x.shape)
+        np.maximum(x, 0.0, out=out)
+        np.add(out, negative, out=out)
+        return out
+
 
 class Tanh(Module):
     """Hyperbolic tangent activation."""
 
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = self.workspace().get("out", x.shape)
+        return np.tanh(x, out=out)
 
 
 class Sigmoid(Module):
@@ -139,11 +207,23 @@ class Sigmoid(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.sigmoid()
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # 1 / (1 + exp(-x)), the exact expression of Tensor.sigmoid.
+        out = self.workspace().get("out", x.shape)
+        np.negative(x, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.divide(1.0, out, out=out)
+        return out
+
 
 class Identity(Module):
     """Pass-through module (used as a no-op activation)."""
 
     def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
         return x
 
 
@@ -163,6 +243,16 @@ class Dropout(Module):
         keep = 1.0 - self.p
         mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
         return x * Tensor(mask)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            return x
+        # Training-mode inference consumes the RNG stream exactly like the
+        # Tensor forward, so mixing the two paths keeps runs reproducible.
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        out = self.workspace().get("out", x.shape)
+        return np.multiply(x, mask, out=out)
 
 
 def make_activation(name: str) -> Module:
@@ -206,6 +296,11 @@ class Sequential(Module):
     def forward(self, x: Tensor) -> Tensor:
         for layer in self._layers:
             x = layer(x)
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        for layer in self._layers:
+            x = layer.infer(x)
         return x
 
 
@@ -263,3 +358,6 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self.body(x)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return self.body.infer(x)

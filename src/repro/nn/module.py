@@ -15,7 +15,8 @@ from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .infer import Workspace
+from .tensor import Tensor, no_grad
 
 __all__ = ["Parameter", "Module"]
 
@@ -149,3 +150,30 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # inference fast path
+    # ------------------------------------------------------------------ #
+    def workspace(self) -> Workspace:
+        """Scratch-buffer workspace backing this module's :meth:`infer` path."""
+        ws = self.__dict__.get("_infer_workspace")
+        if ws is None:
+            ws = Workspace()
+            object.__setattr__(self, "_infer_workspace", ws)
+        return ws
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Graph-free forward pass on a raw ndarray.
+
+        Layers with a hand-written kernel override this to compute into
+        preallocated workspace buffers (zero allocation at steady state); this
+        base implementation is the generic fallback that routes through the
+        Tensor forward under ``no_grad``, so every single-input module supports
+        ``infer`` and the two paths produce bitwise-identical numbers.
+
+        The returned array may be a workspace buffer that is overwritten by
+        the next ``infer`` call on this module — copy it to keep it.
+        """
+        with no_grad():
+            out = self.forward(Tensor(x))
+        return out.data

@@ -24,6 +24,7 @@ Example
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -42,20 +43,61 @@ class _GradMode:
 
 
 class no_grad:
-    """Context manager that disables graph construction.
+    """Context manager and decorator that disables graph construction.
 
     Used for evaluation passes and for the envelope-style gradient of the
     Sinkhorn transport plan, where the plan itself must be treated as a
     constant with respect to the representation parameters.
+
+    Usable three ways, all reentrant (a single instance can be entered from
+    nested frames; each exit restores the mode that was active at the
+    matching enter):
+
+    >>> with no_grad():                    # context manager
+    ...     model.forward(x)
+    >>> @no_grad()                         # decorator
+    ... def evaluate(model, x):
+    ...     return model.forward(x)
+    >>> @no_grad                           # bare decorator, same behaviour
+    ... def predict(model, x):
+    ...     return model.forward(x)
     """
 
+    def __init__(self, func: Optional[Callable] = None) -> None:
+        self._stack: list = []
+        self._func = func
+        if func is not None:
+            functools.update_wrapper(self, func)
+
     def __enter__(self) -> "no_grad":
-        self._previous = _GradMode.enabled
+        self._stack.append(_GradMode.enabled)
         _GradMode.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        _GradMode.enabled = self._previous
+        _GradMode.enabled = self._stack.pop()
+
+    def __call__(self, *args, **kwargs):
+        if self._func is not None:
+            # Instance built via the bare-decorator form: act as the wrapper.
+            with no_grad():
+                return self._func(*args, **kwargs)
+        # Instance used as a decorator factory: wrap the target function.
+        (func,) = args
+
+        @functools.wraps(func)
+        def wrapper(*wargs, **wkwargs):
+            with no_grad():
+                return func(*wargs, **wkwargs)
+
+        return wrapper
+
+    def __get__(self, obj, objtype=None):
+        # Descriptor protocol so the bare form also works on instance
+        # methods: attribute access binds the receiver like a function would.
+        if obj is None:
+            return self
+        return functools.partial(self.__call__, obj)
 
 
 def is_grad_enabled() -> bool:

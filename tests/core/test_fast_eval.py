@@ -1,0 +1,171 @@
+"""Fast-path evaluation: graph-free guarantee and batched-evaluation parity.
+
+Two properties of the inference subsystem are pinned here:
+
+* ``predict``/``evaluate``/validation never allocate autograd bookkeeping
+  (``_parents``/``_backward``) — a regression here silently re-inflates the
+  evaluation memory/time cost the fast path removed;
+* ``evaluate_many`` (one concatenated forward pass) returns exactly the
+  numbers of per-dataset ``evaluate`` calls, for every learner type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CERL,
+    BaselineCausalModel,
+    FeatureTransform,
+    OutcomeHeads,
+    RepresentationNetwork,
+    make_strategy,
+)
+from repro.data import DomainStream
+from repro.nn import Tensor, no_grad
+
+
+@pytest.fixture
+def fitted_baseline(tiny_dataset, fast_model_config):
+    model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+    model.fit(tiny_dataset, epochs=2)
+    return model
+
+
+@pytest.fixture
+def fitted_cerl(tiny_domains, fast_model_config, fast_continual_config):
+    stream = DomainStream(list(tiny_domains), seed=0)
+    learner = CERL(stream.n_features, fast_model_config, fast_continual_config)
+    learner.observe(stream.train_data(0), epochs=2)
+    learner.observe(stream.train_data(1), epochs=2)
+    return learner, stream
+
+
+def _install_graph_spy(monkeypatch):
+    """Record every Tensor node created with a kept backward closure."""
+    recorded = []
+    original = Tensor._make
+
+    def spy(data, parents, backward):
+        out = original(data, parents, backward)
+        if out._backward is not None:
+            recorded.append(out)
+        return out
+
+    monkeypatch.setattr(Tensor, "_make", staticmethod(spy))
+    return recorded
+
+
+class TestNoGraphDuringEvaluation:
+    def test_baseline_evaluate_allocates_no_graph(
+        self, monkeypatch, fitted_baseline, tiny_dataset
+    ):
+        recorded = _install_graph_spy(monkeypatch)
+        fitted_baseline.evaluate(tiny_dataset)
+        fitted_baseline.predict(tiny_dataset.covariates)
+        fitted_baseline.validation_loss(tiny_dataset)
+        assert recorded == []
+
+    def test_cerl_evaluate_allocates_no_graph(self, monkeypatch, fitted_cerl):
+        learner, stream = fitted_cerl
+        recorded = _install_graph_spy(monkeypatch)
+        learner.evaluate(stream[0].test)
+        learner.evaluate_many(stream.test_sets_seen(1))
+        learner.predict(stream[1].test.covariates)
+        assert recorded == []
+
+    def test_training_still_records_graphs(self, monkeypatch, tiny_dataset, fast_model_config):
+        recorded = _install_graph_spy(monkeypatch)
+        model = BaselineCausalModel(tiny_dataset.n_features, fast_model_config)
+        model.fit(tiny_dataset, epochs=1)
+        assert recorded  # sanity: the spy does observe the training pass
+
+
+class TestComponentInferParity:
+    def test_representation_network_infer_matches_forward(self, rng):
+        for cosine in (True, False):
+            net = RepresentationNetwork(
+                10, 6, hidden_sizes=(12,), use_cosine_norm=cosine,
+                rng=np.random.default_rng(1),
+            )
+            covariates = rng.normal(size=(50, 10))
+            net.fit_scaler(covariates)
+            inputs = net.prepare_inputs(covariates)
+            with no_grad():
+                expected = net.forward(Tensor(inputs)).data
+            np.testing.assert_array_equal(net.infer(inputs), expected)
+
+    def test_outcome_heads_infer_matches_tensor_path(self, rng):
+        heads = OutcomeHeads(6, hidden_sizes=(8,), rng=np.random.default_rng(2))
+        reps = rng.normal(size=(40, 6))
+        treatments = (rng.random(40) > 0.5).astype(np.int64)
+        y0_ref, y1_ref = heads.potential_outcomes(Tensor(reps))
+        y0, y1 = heads.infer_potential_outcomes(reps)
+        np.testing.assert_array_equal(y0, y0_ref)
+        np.testing.assert_array_equal(y1, y1_ref)
+        with no_grad():
+            factual_ref = heads.factual(Tensor(reps), treatments).data
+        np.testing.assert_array_equal(heads.infer_factual(reps, treatments), factual_ref)
+
+    def test_feature_transform_infer_matches_forward(self, rng):
+        for residual in (True, False):
+            for normalize in (True, False):
+                transform = FeatureTransform(
+                    6, hidden_sizes=(8,), residual=residual,
+                    normalize_output=normalize, rng=np.random.default_rng(3),
+                )
+                reps = rng.normal(size=(30, 6))
+                with no_grad():
+                    expected = transform.forward(Tensor(reps)).data
+                np.testing.assert_array_equal(transform.infer(reps), expected)
+                np.testing.assert_array_equal(transform.transform_array(reps), expected)
+
+    def test_representations_returns_a_stable_copy(self, rng):
+        net = RepresentationNetwork(5, 4, hidden_sizes=(6,), rng=np.random.default_rng(4))
+        covariates = rng.normal(size=(20, 5))
+        net.fit_scaler(covariates)
+        first = net.representations(covariates)
+        snapshot = first.copy()
+        net.representations(rng.normal(size=(20, 5)))  # overwrites workspaces
+        np.testing.assert_array_equal(first, snapshot)
+
+
+class TestEvaluateManyParity:
+    def test_baseline_matches_per_dataset_evaluate(self, fitted_baseline, tiny_domains):
+        datasets = list(tiny_domains)
+        batched = fitted_baseline.evaluate_many(datasets)
+        serial = [fitted_baseline.evaluate(dataset) for dataset in datasets]
+        assert batched == serial
+
+    def test_cerl_matches_per_dataset_evaluate(self, fitted_cerl):
+        learner, stream = fitted_cerl
+        seen = stream.test_sets_seen(1)
+        batched = learner.evaluate_many(seen)
+        serial = [learner.evaluate(test_set) for test_set in seen]
+        assert batched == serial
+        assert learner.evaluate_stream(seen) == serial
+
+    def test_strategy_delegates_to_model(self, tiny_domains, fast_model_config):
+        strategy = make_strategy("CFR-B", tiny_domains[0].n_features, fast_model_config)
+        strategy.observe(tiny_domains[0], epochs=2)
+        strategy.observe(tiny_domains[1], epochs=2)
+        datasets = list(tiny_domains)
+        assert strategy.evaluate_many(datasets) == [
+            strategy.evaluate(dataset) for dataset in datasets
+        ]
+
+    def test_empty_input_returns_empty_list(self, fitted_baseline):
+        assert fitted_baseline.evaluate_many([]) == []
+
+    def test_missing_counterfactuals_raise(self, fitted_baseline, tiny_dataset):
+        from repro.data import CausalDataset
+
+        no_cf = CausalDataset(
+            covariates=tiny_dataset.covariates,
+            treatments=tiny_dataset.treatments,
+            outcomes=tiny_dataset.outcomes,
+            name="no-cf",
+        )
+        with pytest.raises(ValueError, match="no-cf"):
+            fitted_baseline.evaluate_many([tiny_dataset, no_cf])

@@ -15,6 +15,33 @@ def mean_approximation_error(features: np.ndarray, indices: np.ndarray) -> float
     return float(np.linalg.norm(normalized[indices].mean(axis=0) - normalized.mean(axis=0)))
 
 
+def naive_herding(features: np.ndarray, budget: int, normalize: bool = True) -> np.ndarray:
+    """Reference implementation with the per-step (n, d) candidate-means
+    temporary, as the seed wrote it; the shipped version replaces it with
+    incremental dot-product scores (one GEMV per step) and must keep the
+    selection order identical."""
+    features = np.asarray(features, dtype=np.float64)
+    n = features.shape[0]
+    budget = min(budget, n)
+    working = features.copy()
+    if normalize:
+        norms = np.maximum(np.linalg.norm(working, axis=1, keepdims=True), 1e-12)
+        working = working / norms
+    target_mean = working.mean(axis=0)
+    selected: list[int] = []
+    selected_mask = np.zeros(n, dtype=bool)
+    running_sum = np.zeros_like(target_mean)
+    for step in range(1, budget + 1):
+        candidate_means = (running_sum[None, :] + working) / step
+        distances = np.linalg.norm(candidate_means - target_mean[None, :], axis=1)
+        distances[selected_mask] = np.inf
+        best = int(np.argmin(distances))
+        selected.append(best)
+        selected_mask[best] = True
+        running_sum += working[best]
+    return np.asarray(selected, dtype=np.int64)
+
+
 class TestHerdingSelection:
     def test_returns_requested_number_of_unique_indices(self, rng):
         features = rng.normal(size=(50, 8))
@@ -56,6 +83,17 @@ class TestHerdingSelection:
         first = herding_selection(features, 15)
         second = herding_selection(features, 15)
         np.testing.assert_array_equal(first, second)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("normalize", [True, False])
+    def test_selected_indices_match_naive_reference(self, seed, normalize):
+        """The GEMV-score rewrite must pick the same exemplars in the same
+        order as the candidate-means formulation on seeded data."""
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(180, 12)) + rng.normal(size=(1, 12))
+        selected = herding_selection(features, 60, normalize=normalize)
+        reference = naive_herding(features, 60, normalize=normalize)
+        np.testing.assert_array_equal(selected, reference)
 
     def test_without_normalization(self, rng):
         features = rng.normal(size=(30, 4)) * 10

@@ -1,0 +1,119 @@
+"""Grad-mode gating: ``no_grad`` as context manager, decorator, and nested."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, is_grad_enabled, no_grad
+
+
+class TestContextManager:
+    def test_disables_and_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_fresh_instances(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            # The inner exit must not prematurely re-enable gradients.
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_single_instance_is_reentrant(self):
+        guard = no_grad()
+        with guard:
+            with guard:
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestDecorator:
+    def test_factory_form(self):
+        @no_grad()
+        def probe():
+            return is_grad_enabled()
+
+        assert probe() is False
+        assert is_grad_enabled()
+
+    def test_bare_form(self):
+        @no_grad
+        def probe():
+            return is_grad_enabled()
+
+        assert probe() is False
+        assert is_grad_enabled()
+
+    def test_bare_form_preserves_metadata_and_arguments(self):
+        @no_grad
+        def scaled_sum(values, factor=2.0):
+            """Docstring survives wrapping."""
+            return float(np.sum(values) * factor)
+
+        assert scaled_sum.__name__ == "scaled_sum"
+        assert "Docstring" in scaled_sum.__doc__
+        assert scaled_sum(np.ones(3), factor=3.0) == 9.0
+
+    def test_bare_form_binds_instance_methods(self):
+        class Model:
+            def __init__(self):
+                self.calls = 0
+
+            @no_grad
+            def predict(self, x):
+                self.calls += 1
+                return (is_grad_enabled(), x)
+
+        model = Model()
+        assert model.predict(5) == (False, 5)
+        assert model.calls == 1
+        assert is_grad_enabled()
+
+    def test_decorated_function_is_reentrant(self):
+        @no_grad
+        def countdown(n):
+            assert not is_grad_enabled()
+            return n if n == 0 else countdown(n - 1)
+
+        assert countdown(3) == 0
+        assert is_grad_enabled()
+
+
+class TestRequiresGradGating:
+    def test_tensor_created_under_no_grad_never_requires_grad(self):
+        with no_grad():
+            t = Tensor([1.0, 2.0], requires_grad=True)
+        assert not t.requires_grad
+
+    def test_ops_under_no_grad_record_no_graph(self):
+        a = Tensor([[1.0, 2.0]], requires_grad=True)
+        b = Tensor([[3.0], [4.0]], requires_grad=True)
+        with no_grad():
+            out = (a @ b).relu()
+        assert out._backward is None
+        assert out._parents == ()
+        assert not out.requires_grad
+
+    def test_nested_gating_restores_graph_recording(self):
+        a = Tensor([2.0], requires_grad=True)
+        with no_grad():
+            with no_grad():
+                pass
+            inner = a * 3.0
+            assert inner._backward is None
+        outer = a * 3.0
+        assert outer.requires_grad
+        assert outer._backward is not None
+        outer.backward(np.ones(1))
+        np.testing.assert_array_equal(a.grad, [3.0])

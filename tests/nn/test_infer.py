@@ -1,0 +1,144 @@
+"""Parity tests for the no-graph inference fast path (``Module.infer``).
+
+Every hand-written kernel must produce *bitwise* the same numbers as the
+Tensor forward under ``no_grad`` — the fast path is an execution strategy,
+never a numerical change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ELU,
+    MLP,
+    CosineNormLinear,
+    Dropout,
+    Identity,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    Workspace,
+    no_grad,
+)
+
+
+def tensor_forward(module: Module, x: np.ndarray) -> np.ndarray:
+    with no_grad():
+        return module(Tensor(x)).data
+
+
+class TestLayerParity:
+    @pytest.mark.parametrize("n", [1, 2, 7, 128, 1024])
+    def test_linear(self, rng, n):
+        layer = Linear(13, 9, rng=rng)
+        x = rng.normal(size=(n, 13))
+        np.testing.assert_array_equal(layer.infer(x), tensor_forward(layer, x))
+
+    def test_linear_without_bias(self, rng):
+        layer = Linear(6, 4, bias=False, rng=rng)
+        x = rng.normal(size=(32, 6))
+        np.testing.assert_array_equal(layer.infer(x), tensor_forward(layer, x))
+
+    @pytest.mark.parametrize("n", [2, 55, 1024])
+    def test_cosine_norm_linear(self, rng, n):
+        layer = CosineNormLinear(13, 9, rng=rng)
+        x = rng.normal(size=(n, 13)) * 3.0
+        np.testing.assert_array_equal(layer.infer(x), tensor_forward(layer, x))
+
+    @pytest.mark.parametrize(
+        "activation", [ReLU(), ELU(), ELU(alpha=0.3), Tanh(), Sigmoid()]
+    )
+    def test_activations(self, rng, activation):
+        x = rng.normal(size=(64, 17)) * 2.0
+        np.testing.assert_array_equal(activation.infer(x), tensor_forward(activation, x))
+
+    def test_identity_passes_through_unchanged(self, rng):
+        x = rng.normal(size=(8, 3))
+        assert Identity().infer(x) is x
+
+    def test_sequential_and_mlp(self, rng):
+        for cosine in (False, True):
+            mlp = MLP(
+                11, (24, 16), 8, activation="elu", cosine_output=cosine,
+                rng=np.random.default_rng(5),
+            )
+            x = rng.normal(size=(200, 11))
+            np.testing.assert_array_equal(mlp.infer(x), tensor_forward(mlp, x))
+
+    def test_sequential_container_directly(self, rng):
+        seq = Sequential(Linear(5, 7, rng=rng), ReLU(), Linear(7, 3, rng=rng))
+        x = rng.normal(size=(40, 5))
+        np.testing.assert_array_equal(seq.infer(x), tensor_forward(seq, x))
+
+
+class TestDropoutParity:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        layer.eval()
+        x = rng.normal(size=(16, 4))
+        assert layer.infer(x) is x
+
+    def test_training_mode_matches_tensor_path_and_rng_stream(self, rng):
+        x = rng.normal(size=(64, 8))
+        fast = Dropout(0.4, rng=np.random.default_rng(9))
+        slow = Dropout(0.4, rng=np.random.default_rng(9))
+        # Same rng stream => same masks on both paths, call after call.
+        for _ in range(3):
+            np.testing.assert_array_equal(fast.infer(x), tensor_forward(slow, x))
+
+
+class TestWorkspace:
+    def test_buffers_reused_for_stable_shapes(self):
+        ws = Workspace()
+        first = ws.get("out", (4, 3))
+        assert ws.get("out", (4, 3)) is first
+        assert ws.get("out", (5, 3)) is not first
+        ws.clear()
+        assert ws.get("out", (4, 3)) is not first
+
+    def test_layer_output_is_overwritten_by_next_call(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        a = layer.infer(rng.normal(size=(10, 6)))
+        kept = a.copy()
+        b = layer.infer(rng.normal(size=(10, 6)))
+        assert b is a  # same buffer
+        assert not np.array_equal(kept, a)
+
+    def test_repeated_calls_stay_exact(self, rng):
+        mlp = MLP(9, (12,), 5, activation="tanh", rng=np.random.default_rng(2))
+        x = rng.normal(size=(33, 9))
+        expected = tensor_forward(mlp, x)
+        for _ in range(4):
+            np.testing.assert_array_equal(mlp.infer(x), expected)
+
+
+class TestFallback:
+    def test_custom_module_without_kernel_uses_tensor_path(self, rng):
+        class Doubler(Module):
+            def forward(self, x):
+                return x * 2.0 + 1.0
+
+        module = Doubler()
+        x = rng.normal(size=(6, 2))
+        np.testing.assert_array_equal(module.infer(x), x * 2.0 + 1.0)
+
+    def test_fallback_records_no_graph(self, rng):
+        class Affine(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(3, 3, rng=np.random.default_rng(0))
+
+            def forward(self, x):
+                return self.lin(x).relu()
+
+        module = Affine()
+        out = module.infer(rng.normal(size=(5, 3)))
+        assert isinstance(out, np.ndarray)
+        for param in module.parameters():
+            assert param.grad is None
