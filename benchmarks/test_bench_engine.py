@@ -1,6 +1,6 @@
 """Engine perf guard: substrate hot paths versus the frozen seed implementation.
 
-Measures six things and records them into ``BENCH_engine.json`` (via the
+Measures seven things and records them into ``BENCH_engine.json`` (via the
 ``engine_bench`` fixture in ``conftest.py``):
 
 * the autograd **backward pass** of a CERL-shaped batch loss (encoder MLP,
@@ -16,6 +16,10 @@ Measures six things and records them into ``BENCH_engine.json`` (via the
   evaluation loop on an 8-domain stream;
 * **parallel Table I**: the process-pool experiment executor versus the
   serial cell loop, with the tables asserted identical;
+* **serving throughput**: the micro-batched ``repro.serve.PredictionService``
+  under pipelined multi-thread load versus naive per-query (batch-1)
+  serving, with every response asserted bit-identical to the direct batched
+  reference;
 * one **CERL continual stage** (fit_next) at a small fixed size, as an
   absolute wall-time trajectory point for future PRs.
 
@@ -391,6 +395,108 @@ def test_bench_parallel_table1(engine_bench):
         f"\nparallel table1: serial {serial_time:.2f}s -> workers=2 "
         f"{parallel_time:.2f}s ({speedup:.2f}x on {os.cpu_count()} cpu)"
     )
+
+
+# --------------------------------------------------------------------------- #
+# serving throughput
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="engine")
+def test_bench_serve_throughput(engine_bench):
+    """Micro-batched ``PredictionService`` vs naive per-query serving.
+
+    Eight client threads pipeline single-unit ITE queries into the service
+    (submit everything, then collect — the shape of heavy concurrent
+    traffic); the dispatcher coalesces whatever queues up during each
+    execution into the next canonical-size batch on the inference fast path.
+    The baseline answers the same queries one ``predict`` call at a time
+    (batch 1), which is what a service without a batcher would do.  Every
+    micro-batched response is asserted bit-identical to the direct batched
+    reference before any timing is trusted.
+    """
+    import threading
+
+    from repro.serve import PredictionService
+
+    model, _ = _fitted_eval_model(n_units=600, n_domains=1)
+    rng = np.random.default_rng(11)
+    queries = rng.normal(size=(256, model.n_features))
+    reference = model.predict(queries)
+    n_threads, per_thread = 8, 96
+    indices = [
+        np.random.default_rng(thread).integers(0, len(queries), size=per_thread)
+        for thread in range(n_threads)
+    ]
+    last_stats = {}
+
+    def service_round() -> float:
+        with PredictionService(model, max_batch=len(queries)) as service:
+            service.predict_one(queries[0])  # warm the inference workspaces
+            warmup = service.stats()
+            failures = []
+            barrier = threading.Barrier(n_threads)
+
+            def client(thread_index: int) -> None:
+                barrier.wait()
+                pendings = [
+                    (index, service.submit(queries[index]))
+                    for index in indices[thread_index]
+                ]
+                for index, pending in pendings:
+                    response = pending.result(timeout=60.0)
+                    if (
+                        response.mu0 != reference.y0_hat[index]
+                        or response.mu1 != reference.y1_hat[index]
+                        or response.ite != reference.ite_hat[index]
+                    ):
+                        failures.append(int(index))
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(n_threads)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            final = service.stats()
+            # Report the timed phase only (the warm-up batch of one query
+            # would otherwise understate the coalescing).
+            last_stats["mean_batch"] = (final.queries - warmup.queries) / (
+                final.batches - warmup.batches
+            )
+        assert failures == [], "micro-batched responses diverged from batched predict"
+        return elapsed
+
+    flat = np.concatenate(indices)
+
+    def serial_round() -> float:
+        start = time.perf_counter()
+        for index in flat:
+            model.predict(queries[index : index + 1])
+        return time.perf_counter() - start
+
+    serial_time, service_time = _interleaved_best(serial_round, service_round, rounds=4)
+    mean_batch = last_stats["mean_batch"]
+    total = n_threads * per_thread
+    service_qps = total / service_time
+    serial_qps = total / serial_time
+    speedup = service_qps / serial_qps
+    engine_bench(
+        "serve_throughput",
+        service_qps=round(service_qps, 1),
+        serial_qps=round(serial_qps, 1),
+        speedup=round(speedup, 3),
+        threads=n_threads,
+        queries=total,
+        mean_batch=round(mean_batch, 2),
+        workload="8 pipelined client threads x 96 single-unit ITE queries, canonical batch 256",
+    )
+    print(
+        f"\nserve throughput: per-query {serial_qps:,.0f} q/s -> micro-batched "
+        f"{service_qps:,.0f} q/s ({speedup:.2f}x, mean batch {mean_batch:.1f})"
+    )
+    assert speedup > 1.0, f"micro-batched serving regressed: {speedup:.2f}x vs per-query"
 
 
 @pytest.mark.benchmark(group="engine")

@@ -19,7 +19,7 @@ from typing import Union
 import numpy as np
 
 from ..memory import MemoryBuffer
-from ..utils import Standardizer
+from ..utils import Standardizer, atomic_write
 from .cerl import CERL
 from .config import ContinualConfig, ModelConfig
 from .outcome import OutcomeHeads
@@ -34,6 +34,32 @@ def _flatten_state(prefix: str, state: dict) -> dict:
     return {f"{prefix}{name}": value for name, value in state.items()}
 
 
+def _npz_path(path: Union[str, Path]) -> Path:
+    """Append the ``.npz`` suffix only when it is missing.
+
+    ``Path.with_suffix`` *replaces* the last dotted component, so a stem like
+    ``model.v1`` would silently become ``model.npz`` and collide with other
+    checkpoints; appending preserves every dot the caller put in the name.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        return path
+    return path.with_name(path.name + ".npz")
+
+
+def _atomic_savez(path: Path, arrays: dict) -> None:
+    """Write an ``.npz`` archive so the target is never partially written.
+
+    A crash mid-save leaves either the previous checkpoint or none — never a
+    truncated archive (see :func:`repro.utils.atomic_write`).  Saving through
+    an open file handle also stops NumPy from appending its own ``.npz`` to
+    the temporary name.
+    """
+    with atomic_write(path) as tmp:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+
+
 def save_modules(modules: dict, path: Union[str, Path]) -> Path:
     """Serialise named module state dicts to one ``.npz`` archive.
 
@@ -41,13 +67,11 @@ def save_modules(modules: dict, path: Union[str, Path]) -> Path:
     be restored with :func:`load_modules`.  This is the primitive behind
     engine-level checkpointing (see :func:`module_checkpointer`).
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+    path = _npz_path(path)
     arrays: dict = {}
     for name, module in modules.items():
         arrays.update(_flatten_state(f"{name}/", module.state_dict()))
-    np.savez_compressed(path, **arrays)
+    _atomic_savez(path, arrays)
     return path
 
 
@@ -88,9 +112,7 @@ def save_cerl(learner: CERL, path: Union[str, Path]) -> Path:
     """
     if learner.domains_seen == 0 or learner.encoder is None or learner.heads is None:
         raise RuntimeError("cannot save a CERL learner that has not observed any domain")
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+    path = _npz_path(path)
 
     meta = {
         "format_version": _FORMAT_VERSION,
@@ -117,7 +139,7 @@ def save_cerl(learner: CERL, path: Union[str, Path]) -> Path:
         arrays["memory/outcomes"] = learner.memory.outcomes
         arrays["memory/treatments"] = learner.memory.treatments
 
-    np.savez_compressed(path, **arrays)
+    _atomic_savez(path, arrays)
     return path
 
 

@@ -166,6 +166,15 @@ def train_val_test_split(
 
     The split is performed uniformly at random over units; treatment
     proportions are therefore approximately preserved in expectation.
+
+    Raises
+    ------
+    ValueError
+        If the rounded split sizes would leave any of the three sets empty
+        (small domains, extreme fractions).  An empty validation or test set
+        would not fail here but poison everything downstream — standardisers
+        fitted on zero rows, NaN metrics from ``evaluate_many`` — so the
+        offending sizes are reported where the cause is still visible.
     """
     if not 0.0 < train_fraction < 1.0 or not 0.0 <= val_fraction < 1.0:
         raise ValueError("fractions must lie in (0, 1)")
@@ -173,13 +182,19 @@ def train_val_test_split(
         raise ValueError("train_fraction + val_fraction must leave room for a test set")
     rng = rng if rng is not None else np.random.default_rng()
     n = len(dataset)
-    if n < 3:
-        raise ValueError("dataset too small to split into train/val/test")
     permutation = rng.permutation(n)
-    n_train = max(1, int(round(train_fraction * n)))
-    n_val = max(1, int(round(val_fraction * n)))
-    n_train = min(n_train, n - 2)
-    n_val = min(n_val, n - n_train - 1)
+    n_train = int(round(train_fraction * n))
+    n_val = int(round(val_fraction * n))
+    n_test = n - n_train - n_val
+    if n_train <= 0 or n_val <= 0 or n_test <= 0:
+        raise ValueError(
+            f"cannot split the {n} units of '{dataset.name}' into non-empty "
+            f"train/val/test sets: fractions "
+            f"({train_fraction:g}, {val_fraction:g}, "
+            f"{1.0 - train_fraction - val_fraction:g}) round to sizes "
+            f"(train={n_train}, val={n_val}, test={n_test}); "
+            f"use a larger domain or adjust the fractions"
+        )
     train_idx = permutation[:n_train]
     val_idx = permutation[n_train : n_train + n_val]
     test_idx = permutation[n_train + n_val :]

@@ -82,6 +82,13 @@ class EarlyStopping(Callback):
     plain ``np.copy`` images of the raw parameter arrays, taken and restored
     without re-wrapping them in fresh tensors, so restoration preserves
     parameter object identity for optimisers holding references.
+
+    A NaN validation loss (a diverged run) counts as *no improvement*: the
+    patience budget keeps draining, so divergence stops training after
+    ``patience`` epochs instead of burning the full epoch budget.  The
+    starting parameters are snapshotted at ``on_train_begin``, so even a run
+    whose every validation loss is NaN restores a usable (pre-divergence)
+    state instead of keeping the diverged weights.
     """
 
     def __init__(self, modules: Sequence, patience: int, min_delta: float = 0.0) -> None:
@@ -93,6 +100,7 @@ class EarlyStopping(Callback):
         self.best_loss = float("inf")
         self._epochs_without_improvement = 0
         self._best_arrays: Optional[List[np.ndarray]] = None
+        self._observed_validation = False
 
     @property
     def enabled(self) -> bool:
@@ -102,7 +110,16 @@ class EarlyStopping(Callback):
     def on_train_begin(self, state) -> None:
         self.best_loss = float("inf")
         self._epochs_without_improvement = 0
-        self._best_arrays = None
+        self._observed_validation = False
+        # Seed the snapshot with the starting parameters: a run that never
+        # improves (every validation loss NaN) must still have a state to
+        # restore.  Any finite first validation loss immediately replaces it,
+        # and restore() ignores it entirely unless a validation loss was
+        # actually observed (a run without validation keeps its final
+        # weights, as before).
+        self._best_arrays = (
+            [np.copy(p.data) for p in self._parameters] if self.enabled else None
+        )
 
     def on_epoch_end(self, state) -> None:
         if not self.enabled or state.validation_loss is None:
@@ -118,8 +135,15 @@ class EarlyStopping(Callback):
     # imperative interface (usable outside a Trainer as well)
     # ------------------------------------------------------------------ #
     def update(self, validation_loss: float) -> None:
-        """Record the latest validation loss and snapshot on improvement."""
-        if validation_loss < self.best_loss - self.min_delta:
+        """Record the latest validation loss and snapshot on improvement.
+
+        NaN is explicitly no-improvement: the bare ``<`` comparison below is
+        already False for NaN, but the explicit check documents the contract
+        and keeps it safe against future rewrites of the condition (e.g. a
+        ``not (loss >= best)`` form, for which NaN would count as improved).
+        """
+        self._observed_validation = True
+        if not np.isnan(validation_loss) and validation_loss < self.best_loss - self.min_delta:
             self.best_loss = validation_loss
             self._epochs_without_improvement = 0
             self._best_arrays = [np.copy(p.data) for p in self._parameters]
@@ -131,8 +155,13 @@ class EarlyStopping(Callback):
         return self.enabled and self._epochs_without_improvement >= self.patience
 
     def restore(self) -> None:
-        """Load the best snapshot back into the monitored parameters."""
-        if self._best_arrays is None:
+        """Load the best snapshot back into the monitored parameters.
+
+        No-op unless a validation loss was observed: without one, the only
+        snapshot is the initial-parameters fallback, and restoring it would
+        silently throw away a training run that simply had no validation.
+        """
+        if self._best_arrays is None or not self._observed_validation:
             return
         for param, best in zip(self._parameters, self._best_arrays):
             param.data = best.copy()

@@ -1,5 +1,6 @@
 """Experiment drivers regenerating the paper's tables and figures."""
 
+from .deployment import DeploymentResult, DeploymentStage, run_continual_deployment
 from .parallel import derive_seed, parallel_map, seeded_tasks
 from .profiles import PAPER, QUICK, SMOKE, ExperimentProfile
 from .runner import (
@@ -22,6 +23,9 @@ from .figure3 import (
 )
 
 __all__ = [
+    "DeploymentResult",
+    "DeploymentStage",
+    "run_continual_deployment",
     "derive_seed",
     "parallel_map",
     "seeded_tasks",

@@ -245,14 +245,11 @@ class Dropout(Module):
         return x * Tensor(mask)
 
     def infer(self, x: np.ndarray) -> np.ndarray:
-        if not self.training or self.p == 0.0:
-            return x
-        # Training-mode inference consumes the RNG stream exactly like the
-        # Tensor forward, so mixing the two paths keeps runs reproducible.
-        keep = 1.0 - self.p
-        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
-        out = self.workspace().get("out", x.shape)
-        return np.multiply(x, mask, out=out)
+        # ``infer`` always has eval semantics, even when the module was left
+        # in training mode: a prediction path must neither inject masking
+        # noise nor consume the RNG stream (which would silently perturb the
+        # next training minibatch drawn from the same generator).
+        return x
 
 
 def make_activation(name: str) -> Module:

@@ -163,7 +163,7 @@ class Module:
         return ws
 
     def infer(self, x: np.ndarray) -> np.ndarray:
-        """Graph-free forward pass on a raw ndarray.
+        """Graph-free forward pass on a raw ndarray, with eval semantics.
 
         Layers with a hand-written kernel override this to compute into
         preallocated workspace buffers (zero allocation at steady state); this
@@ -171,9 +171,23 @@ class Module:
         Tensor forward under ``no_grad``, so every single-input module supports
         ``infer`` and the two paths produce bitwise-identical numbers.
 
-        The returned array may be a workspace buffer that is overwritten by
-        the next ``infer`` call on this module — copy it to keep it.
+        ``infer`` is a *prediction* path: it always runs with evaluation
+        semantics, even on a module left in training mode (stochastic layers
+        like dropout stay inactive and no RNG state is consumed), matching
+        the Tensor forward of the module in eval mode.  The returned array
+        may be a workspace buffer that is overwritten by the next ``infer``
+        call on this module — copy it to keep it.
         """
-        with no_grad():
-            out = self.forward(Tensor(x))
+        # Temporarily drop to eval mode so stochastic layers inside the
+        # fallback forward stay inactive; restore the exact per-module flags
+        # afterwards (children may intentionally be in mixed modes).
+        was_training = [m for m in self.modules() if m.training]
+        for module in was_training:
+            module.training = False
+        try:
+            with no_grad():
+                out = self.forward(Tensor(x))
+        finally:
+            for module in was_training:
+                module.training = True
         return out.data

@@ -1,0 +1,34 @@
+"""Continual serving layer: versioned model registry + prediction service.
+
+Turns a trained continual learner into a long-lived deployment, per the
+paper's scenario (data arrive over days / from different subsidiaries, only
+the model and representation memory persist):
+
+* :class:`ModelRegistry` — versioned CERL checkpoints per stream
+  (save on every domain advance, list/load/rollback by ``(stream,
+  domain_index)``, atomic writes, format-versioned manifests);
+* :class:`PredictionService` / :class:`MicroBatcher` — single-unit ITE
+  queries coalesced into batches on the no-graph inference fast path,
+  bit-identical to a direct batched ``predict``;
+* the end-to-end deployment protocol lives in
+  :func:`repro.experiments.run_continual_deployment`.
+"""
+
+from .registry import ModelRegistry, RegistryEntry
+from .service import (
+    MicroBatcher,
+    PendingPrediction,
+    Prediction,
+    PredictionService,
+    ServiceStats,
+)
+
+__all__ = [
+    "ModelRegistry",
+    "RegistryEntry",
+    "MicroBatcher",
+    "PendingPrediction",
+    "Prediction",
+    "PredictionService",
+    "ServiceStats",
+]

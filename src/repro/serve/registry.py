@@ -1,0 +1,245 @@
+"""Versioned checkpoint registry for continual learners.
+
+In the paper's deployment scenario data arrive over days or from different
+subsidiaries; between arrivals only the model and its representation memory
+persist.  :class:`ModelRegistry` turns that into a serving lifecycle: every
+domain advance of a stream is saved as one immutable version (the ``.npz``
+format of :mod:`repro.core.persistence`, written atomically), versions are
+listed/loaded by ``(stream, domain_index)``, and a mutable *head* pointer per
+stream selects which version serves — rollback moves the pointer without
+deleting anything, so a bad model can be undone and later re-promoted.
+
+Layout on disk (one directory per stream under the registry root)::
+
+    <root>/<stream>/manifest.json      # versions + head pointer, atomic JSON
+    <root>/<stream>/domain_0000.npz    # one archive per domain advance
+    <root>/<stream>/domain_0001.npz
+
+Both the manifest and every archive carry a format version that is checked on
+load, so a registry written by a future incompatible layout fails loudly
+instead of deserialising garbage.  All mutating operations are atomic on the
+filesystem (temp file + ``os.replace``) and serialised by a per-registry lock,
+so a registry instance can be shared by serving and training threads.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from ..core.cerl import CERL
+from ..core.persistence import load_cerl, save_cerl
+from ..utils import atomic_write
+
+__all__ = ["ModelRegistry", "RegistryEntry"]
+
+_MANIFEST_VERSION = 1
+_MANIFEST_NAME = "manifest.json"
+_STREAM_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One immutable version of one stream's model."""
+
+    stream: str
+    domain_index: int
+    path: Path
+    domains_seen: int
+    n_features: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Directory-backed store of versioned CERL checkpoints, one per stream.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one subdirectory per stream; created if missing.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def save(
+        self,
+        stream: str,
+        domain_index: int,
+        learner: CERL,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> RegistryEntry:
+        """Persist ``learner`` as version ``domain_index`` of ``stream``.
+
+        The archive is written atomically, then the manifest is updated (also
+        atomically) to record the version and advance the head pointer to it.
+        Saving the same ``(stream, domain_index)`` again overwrites that
+        version — the registry keys versions by position in the stream, not
+        by wall-clock, so re-running a deployment is idempotent.
+        """
+        if domain_index < 0:
+            raise ValueError("domain_index must be non-negative")
+        directory = self._stream_dir(stream)
+        directory.mkdir(parents=True, exist_ok=True)
+        # The archive write can take a while for a large representation
+        # memory; it is already atomic on its own (temp + os.replace), so do
+        # it outside the lock and hold the lock only for the manifest
+        # read-modify-write.  Serving-side readers never stall on a save.
+        path = save_cerl(learner, directory / f"domain_{domain_index:04d}.npz")
+        with self._lock:
+            manifest = self._read_manifest_locked(stream, missing_ok=True)
+            manifest["versions"][str(domain_index)] = {
+                "file": path.name,
+                "domain_index": domain_index,
+                "domains_seen": learner.domains_seen,
+                "n_features": learner.n_features,
+                "metadata": dict(metadata) if metadata else {},
+            }
+            manifest["head"] = domain_index
+            self._write_manifest_locked(stream, manifest)
+        return self._entry_from_record(
+            stream, manifest["versions"][str(domain_index)]
+        )
+
+    def saver(self, stream: str, learner: CERL) -> Callable[[int], Path]:
+        """Adapter for :class:`repro.engine.Checkpoint`.
+
+        Returns ``save_fn(domain_index) -> Path`` so the engine's existing
+        checkpoint callback can drive save-on-domain-advance::
+
+            checkpointer = Checkpoint(registry.saver("news", learner), every=1)
+        """
+
+        def save_fn(domain_index: int) -> Path:
+            return self.save(stream, domain_index, learner).path
+
+        return save_fn
+
+    def rollback(self, stream: str, domain_index: int) -> RegistryEntry:
+        """Point the stream's head at an existing earlier (or later) version.
+
+        Non-destructive: every version stays on disk, so a rollback can be
+        rolled forward again.  Returns the entry now at the head.
+        """
+        with self._lock:
+            manifest = self._read_manifest_locked(stream)
+            record = manifest["versions"].get(str(domain_index))
+            if record is None:
+                raise KeyError(
+                    f"stream '{stream}' has no version {domain_index}; "
+                    f"available: {self._version_indices(manifest)}"
+                )
+            manifest["head"] = domain_index
+            self._write_manifest_locked(stream, manifest)
+        return self._entry_from_record(stream, record)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def streams(self) -> List[str]:
+        """Names of all streams with at least one saved version."""
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / _MANIFEST_NAME).exists()
+        )
+
+    def list_versions(self, stream: str) -> List[int]:
+        """Sorted domain indices of every saved version of ``stream``."""
+        with self._lock:
+            return self._version_indices(self._read_manifest_locked(stream))
+
+    def head_version(self, stream: str) -> int:
+        """Domain index currently served (the head pointer)."""
+        with self._lock:
+            return int(self._read_manifest_locked(stream)["head"])
+
+    def entry(self, stream: str, domain_index: Optional[int] = None) -> RegistryEntry:
+        """Metadata of one version (default: the head) without loading it."""
+        with self._lock:
+            manifest = self._read_manifest_locked(stream)
+            if domain_index is None:
+                domain_index = int(manifest["head"])
+            record = manifest["versions"].get(str(domain_index))
+            if record is None:
+                raise KeyError(
+                    f"stream '{stream}' has no version {domain_index}; "
+                    f"available: {self._version_indices(manifest)}"
+                )
+        return self._entry_from_record(stream, record)
+
+    def load(self, stream: str, domain_index: Optional[int] = None) -> CERL:
+        """Restore the learner of one version (default: the head).
+
+        The archive's own format version is checked by
+        :func:`repro.core.persistence.load_cerl`; a missing file (archive
+        deleted behind the manifest's back) raises ``FileNotFoundError``.
+        """
+        entry = self.entry(stream, domain_index)
+        if not entry.path.exists():
+            raise FileNotFoundError(
+                f"archive for stream '{stream}' version {entry.domain_index} "
+                f"is missing on disk: {entry.path}"
+            )
+        return load_cerl(entry.path)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _stream_dir(self, stream: str) -> Path:
+        if not _STREAM_NAME_RE.match(stream):
+            raise ValueError(
+                f"invalid stream name {stream!r}: must match "
+                f"{_STREAM_NAME_RE.pattern} (it becomes a directory name)"
+            )
+        return self.root / stream
+
+    def _entry_from_record(self, stream: str, record: dict) -> RegistryEntry:
+        return RegistryEntry(
+            stream=stream,
+            domain_index=int(record["domain_index"]),
+            path=self._stream_dir(stream) / record["file"],
+            domains_seen=int(record["domains_seen"]),
+            n_features=int(record["n_features"]),
+            metadata=dict(record.get("metadata", {})),
+        )
+
+    @staticmethod
+    def _version_indices(manifest: dict) -> List[int]:
+        return sorted(int(key) for key in manifest["versions"])
+
+    def _read_manifest_locked(self, stream: str, missing_ok: bool = False) -> dict:
+        path = self._stream_dir(stream) / _MANIFEST_NAME
+        if not path.exists():
+            if missing_ok:
+                return {
+                    "format_version": _MANIFEST_VERSION,
+                    "stream": stream,
+                    "head": None,
+                    "versions": {},
+                }
+            raise FileNotFoundError(
+                f"no checkpoints registered for stream '{stream}' under {self.root}"
+            )
+        manifest = json.loads(path.read_text())
+        if manifest.get("format_version") != _MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported registry manifest format "
+                f"{manifest.get('format_version')!r} for stream '{stream}'; "
+                f"expected {_MANIFEST_VERSION}"
+            )
+        return manifest
+
+    def _write_manifest_locked(self, stream: str, manifest: dict) -> None:
+        path = self._stream_dir(stream) / _MANIFEST_NAME
+        with atomic_write(path) as tmp:
+            tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")

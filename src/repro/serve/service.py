@@ -1,0 +1,370 @@
+"""High-throughput prediction serving over the no-graph inference fast path.
+
+A deployed CERL learner answers single-unit queries ("what is the treatment
+effect for this customer?"), but the inference substrate is fastest when it
+runs one large GEMM per layer.  :class:`MicroBatcher` bridges the two: client
+threads submit single-unit queries, a dispatcher thread coalesces whatever is
+queued into one batch (up to ``max_batch``, waiting at most ``max_wait_ms``
+after the first query), runs the batch through the learner's
+workspace-backed :meth:`~repro.nn.module.Module.infer` path, and scatters the
+per-row results back to the waiting callers.
+
+Exactness under micro-batching needs care: every layer of the inference path
+is row-wise (dense layers, row-normalisation, element-wise activations), but
+BLAS picks its GEMM kernel — and with it the summation order of each row's
+dot products — from the *batch size*, so the same unit can round one ulp
+differently in a 3-row batch than in a 400-row batch.  The batcher therefore
+pads every batch up to a fixed canonical size (``max_batch``, repeating the
+last row; padded outputs are dropped) so every query executes in a GEMM of
+identical shape.  Within a fixed shape each output row is a pure function of
+its own input row, independent of batch position and of the other rows'
+values, so a response is bitwise identical to the corresponding row of a
+direct batched ``predict`` over any ``max_batch``-row batch containing that
+unit — the serving tests pin exactly this against a serial reference.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics import EffectEstimate
+
+__all__ = ["MicroBatcher", "PendingPrediction", "Prediction", "PredictionService", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Response to one single-unit ITE query."""
+
+    mu0: float
+    mu1: float
+    ite: float
+    model_version: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Lifetime counters of one service/batcher instance."""
+
+    queries: int
+    batches: int
+    #: Largest number of queries coalesced into one batch so far (not the
+    #: configured ``max_batch`` knob).
+    largest_batch: int
+
+    @property
+    def mean_batch(self) -> float:
+        """Average number of queries coalesced per executed batch."""
+        return self.queries / self.batches if self.batches else 0.0
+
+
+class PendingPrediction:
+    """Future-like handle for one submitted query."""
+
+    __slots__ = ("_event", "_result", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Optional[Prediction] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """Whether a result (or error) has been delivered."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Prediction:
+        """Block until the batch containing this query has executed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("prediction did not complete in time")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _set_result(self, result: Prediction) -> None:
+        self._result = result
+        self._event.set()
+
+    def _set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class MicroBatcher:
+    """Coalesce single-row queries into batches executed by one function.
+
+    Parameters
+    ----------
+    run_batch:
+        Callable mapping a stacked ``(n, p)`` array to per-row results
+        ``(mu0, mu1, ite, version)`` arrays/scalars; executed on the
+        dispatcher thread, outside the queue lock.
+    max_batch:
+        Number of queries answered per executed batch — and the *canonical
+        execution size*: smaller batches are padded up to exactly this many
+        rows (see the module docstring), so responses do not depend on how
+        traffic happened to be cut into batches.
+    max_wait_ms:
+        Extra time the dispatcher waits for more queries after the first one
+        arrives.  The default ``0`` dispatches immediately: batches still
+        form naturally because everything that queues up while the previous
+        batch executes is coalesced into the next one — under load that
+        adapts batch size to throughput without adding a fixed latency floor.
+        A positive wait only pays off when execution is far more expensive
+        than a thread wake-up and traffic is sparse but bursty.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[int]]],
+        max_batch: int = 128,
+        max_wait_ms: float = 0.0,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self._run_batch = run_batch
+        self.max_batch = max_batch
+        self.max_wait = max_wait_ms / 1000.0
+        self._queue: List[Tuple[np.ndarray, PendingPrediction]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._queries = 0
+        self._batches = 0
+        self._largest_batch = 0
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+    def submit(self, row: np.ndarray) -> PendingPrediction:
+        """Enqueue one query row; returns a handle to wait on."""
+        pending = PendingPrediction()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            self._queue.append((row, pending))
+            self._cond.notify_all()
+        return pending
+
+    def stats(self) -> ServiceStats:
+        """Lifetime queue counters (thread-safe snapshot)."""
+        with self._cond:
+            return ServiceStats(
+                queries=self._queries,
+                batches=self._batches,
+                largest_batch=self._largest_batch,
+            )
+
+    def close(self) -> None:
+        """Drain the queue, stop the dispatcher thread and reject new work."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join()
+
+    # ------------------------------------------------------------------ #
+    # dispatcher side
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                if self.max_wait > 0.0 and not self._closed:
+                    # Coalescing window: give concurrent clients a moment to
+                    # pile on before the batch is cut.
+                    deadline = time.monotonic() + self.max_wait
+                    while len(self._queue) < self.max_batch and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0.0:
+                            break
+                        self._cond.wait(remaining)
+                batch = self._queue[: self.max_batch]
+                del self._queue[: self.max_batch]
+                self._queries += len(batch)
+                self._batches += 1
+                self._largest_batch = max(self._largest_batch, len(batch))
+            self._execute(batch)
+
+    def _execute(self, batch: Sequence[Tuple[np.ndarray, PendingPrediction]]) -> None:
+        try:
+            rows = [row for row, _ in batch]
+            if len(rows) < self.max_batch:
+                # Pad to the canonical execution size so BLAS picks the same
+                # GEMM kernel (same per-row summation order) for every batch;
+                # the padded rows' outputs are simply dropped below.
+                rows.extend([rows[-1]] * (self.max_batch - len(rows)))
+            stacked = np.stack(rows)
+            mu0, mu1, ite, version = self._run_batch(stacked)
+            for index, (_, pending) in enumerate(batch):
+                pending._set_result(
+                    Prediction(
+                        mu0=float(mu0[index]),
+                        mu1=float(mu1[index]),
+                        ite=float(ite[index]),
+                        model_version=version,
+                    )
+                )
+        except BaseException as error:  # deliver, don't kill the dispatcher
+            for _, pending in batch:
+                pending._set_error(error)
+
+
+class PredictionService:
+    """Long-lived ITE prediction service over one (hot-swappable) learner.
+
+    Single-unit queries go through :meth:`submit`/:meth:`predict_one` and are
+    micro-batched onto the learner's inference fast path; whole-array queries
+    go through :meth:`predict` directly.  The learner can be swapped while
+    serving (:meth:`swap_model` / :meth:`reload`), e.g. after a new domain is
+    trained or a registry rollback — in-flight batches finish on the model
+    they started with, and every response carries the model version that
+    produced it.
+
+    Parameters
+    ----------
+    learner:
+        Any fitted learner exposing ``predict(covariates) -> EffectEstimate``
+        (CERL, the baseline model, or a strategy wrapper).
+    model_version:
+        Version tag stamped on responses (the registry's domain index).
+    max_batch, max_wait_ms:
+        Micro-batching knobs, see :class:`MicroBatcher`.
+    """
+
+    def __init__(
+        self,
+        learner,
+        model_version: Optional[int] = None,
+        max_batch: int = 128,
+        max_wait_ms: float = 0.0,
+    ) -> None:
+        self._model_lock = threading.Lock()
+        self._learner = learner
+        self._model_version = model_version
+        self._n_features = self._learner_features(learner)
+        self._batcher = MicroBatcher(
+            self._run_batch, max_batch=max_batch, max_wait_ms=max_wait_ms
+        )
+
+    # ------------------------------------------------------------------ #
+    # construction from a registry
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_registry(
+        cls, registry, stream: str, domain_index: Optional[int] = None, **kwargs
+    ) -> "PredictionService":
+        """Serve a checkpointed model (default: the stream's head version)."""
+        entry = registry.entry(stream, domain_index)
+        return cls(
+            registry.load(stream, entry.domain_index),
+            model_version=entry.domain_index,
+            **kwargs,
+        )
+
+    def reload(self, registry, stream: str, domain_index: Optional[int] = None) -> int:
+        """Hot-swap to a registry version (default head); returns its index."""
+        entry = registry.entry(stream, domain_index)
+        self.swap_model(
+            registry.load(stream, entry.domain_index), model_version=entry.domain_index
+        )
+        return entry.domain_index
+
+    def swap_model(self, learner, model_version: Optional[int] = None) -> None:
+        """Replace the served learner atomically w.r.t. in-flight batches."""
+        n_features = self._learner_features(learner)
+        with self._model_lock:
+            self._learner = learner
+            self._model_version = model_version
+            self._n_features = n_features
+
+    @property
+    def model_version(self) -> Optional[int]:
+        """Version tag of the learner currently serving."""
+        with self._model_lock:
+            return self._model_version
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def submit(self, covariates: np.ndarray) -> PendingPrediction:
+        """Enqueue one unit's covariates; returns a waitable handle."""
+        return self._batcher.submit(self._as_row(covariates))
+
+    def predict_one(
+        self, covariates: np.ndarray, timeout: Optional[float] = None
+    ) -> Prediction:
+        """Blocking single-unit query through the micro-batcher."""
+        return self.submit(covariates).result(timeout)
+
+    def predict(self, covariates: np.ndarray) -> EffectEstimate:
+        """Direct batched prediction, bypassing the micro-batcher.
+
+        This is the reference path the micro-batched responses are
+        bit-identical to; it shares the model lock so it also serialises
+        correctly against hot swaps.
+        """
+        with self._model_lock:
+            return self._learner.predict(np.asarray(covariates, dtype=np.float64))
+
+    def stats(self) -> ServiceStats:
+        """Micro-batching counters (queries, batches, largest batch)."""
+        return self._batcher.stats()
+
+    def close(self) -> None:
+        """Finish queued work and stop the dispatcher thread."""
+        self._batcher.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _learner_features(learner) -> Optional[int]:
+        return getattr(learner, "n_features", None)
+
+    def _as_row(self, covariates: np.ndarray) -> np.ndarray:
+        row = np.asarray(covariates, dtype=np.float64)
+        if row.ndim == 2 and row.shape[0] == 1:
+            row = row[0]
+        if row.ndim != 1:
+            raise ValueError(
+                f"a single-unit query must be a 1-D covariate vector "
+                f"(or a (1, p) array); got shape {row.shape}"
+            )
+        expected = self._n_features
+        if expected is not None and row.shape[0] != expected:
+            raise ValueError(
+                f"query has {row.shape[0]} covariates, model expects {expected}"
+            )
+        # Snapshot the row: the dispatcher reads it later, and a client that
+        # reuses one buffer across asynchronous submits must not have queued
+        # queries silently follow the buffer's later contents.
+        return row.copy()
+
+    def _run_batch(self, stacked: np.ndarray):
+        with self._model_lock:
+            estimate = self._learner.predict(stacked)
+            version = self._model_version
+        # ite is elementwise over rows, so per-row results stay bitwise
+        # identical to a direct batched predict over the same units.
+        return estimate.y0_hat, estimate.y1_hat, estimate.ite_hat, version

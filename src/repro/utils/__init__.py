@@ -1,5 +1,6 @@
-"""Shared utilities: standardisation and seeding helpers."""
+"""Shared utilities: standardisation, seeding and file helpers."""
 
+from .files import atomic_write
 from .scaling import Standardizer
 
-__all__ = ["Standardizer"]
+__all__ = ["Standardizer", "atomic_write"]

@@ -1,0 +1,27 @@
+"""Atomic file-write helper shared by persistence and the serving registry."""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+
+@contextmanager
+def atomic_write(path: Union[str, Path]) -> Iterator[Path]:
+    """Yield a temporary sibling of ``path``; on success move it over ``path``.
+
+    The caller writes the complete content to the yielded temporary path; the
+    final ``os.replace`` is atomic on POSIX (same directory, hence same
+    filesystem), so readers only ever observe the previous complete file or
+    the new complete file — a crash mid-write can never leave a truncated
+    target.  The temporary file is cleaned up on failure.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

@@ -158,3 +158,54 @@ class TestPersistence:
         learner.observe(tiny_dataset)
         checkpoint = save_cerl(learner, tmp_path / "model.bin")
         assert checkpoint.suffix == ".npz"
+
+    def test_dotted_names_are_not_mangled(
+        self, tiny_dataset, fast_model_config, fast_continual_config, tmp_path
+    ):
+        """Regression: ``Path("model.v1").with_suffix(".npz")`` used to drop
+        the ``.v1`` component, so two versions collided on ``model.npz``."""
+        learner = CERL(tiny_dataset.n_features, fast_model_config, fast_continual_config)
+        learner.observe(tiny_dataset)
+        v1 = save_cerl(learner, tmp_path / "model.v1")
+        v2 = save_cerl(learner, tmp_path / "model.v2")
+        assert v1.name == "model.v1.npz"
+        assert v2.name == "model.v2.npz"
+        assert v1.exists() and v2.exists()
+        # An explicit .npz suffix is kept verbatim.
+        explicit = save_cerl(learner, tmp_path / "model.v3.npz")
+        assert explicit.name == "model.v3.npz"
+        assert load_cerl(v1).domains_seen == learner.domains_seen
+
+    def test_save_modules_dotted_names(self, tmp_path):
+        from repro.core import load_modules, save_modules
+        from repro.nn import Linear
+
+        module = Linear(3, 2, rng=np.random.default_rng(0))
+        path = save_modules({"m": module}, tmp_path / "enc.stage1")
+        assert path.name == "enc.stage1.npz"
+        clone = Linear(3, 2, rng=np.random.default_rng(1))
+        load_modules({"m": clone}, path)
+        np.testing.assert_array_equal(clone.weight.data, module.weight.data)
+
+    def test_crash_mid_save_never_truncates_existing_checkpoint(
+        self, tiny_dataset, fast_model_config, fast_continual_config, tmp_path, monkeypatch
+    ):
+        """Saves go through a temp file + ``os.replace``: a crash while
+        writing must leave the previous archive intact and no debris."""
+        learner = CERL(tiny_dataset.n_features, fast_model_config, fast_continual_config)
+        learner.observe(tiny_dataset)
+        target = save_cerl(learner, tmp_path / "stable")
+        good_bytes = target.read_bytes()
+
+        import repro.core.persistence as persistence
+
+        def explode(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(persistence.np, "savez_compressed", explode)
+        with pytest.raises(RuntimeError, match="disk full"):
+            save_cerl(learner, target)
+        assert target.read_bytes() == good_bytes  # old checkpoint untouched
+        assert list(tmp_path.iterdir()) == [target]  # no temp debris
+        assert load_cerl(target).domains_seen == learner.domains_seen

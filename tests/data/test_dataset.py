@@ -111,6 +111,26 @@ class TestSplits:
         with pytest.raises(ValueError):
             train_val_test_split(make_dataset(2))
 
+    def test_empty_split_raises_with_offending_sizes(self):
+        """Fraction rounding that would produce an empty val or test set must
+        fail loudly here, not as NaN metrics downstream."""
+        with pytest.raises(ValueError, match=r"train=6, val=0, test=4"):
+            train_val_test_split(
+                make_dataset(10), train_fraction=0.6, val_fraction=0.01
+            )
+        with pytest.raises(ValueError, match=r"test=0"):
+            train_val_test_split(
+                make_dataset(10), train_fraction=0.55, val_fraction=0.44
+            )
+
+    def test_smallest_valid_split(self):
+        """n=4 at 0.5/0.25 is the smallest clean 2/1/1 split — must succeed."""
+        train, val, test = train_val_test_split(
+            make_dataset(4), train_fraction=0.5, val_fraction=0.25,
+            rng=np.random.default_rng(0),
+        )
+        assert (len(train), len(val), len(test)) == (2, 1, 1)
+
     def test_deterministic_given_rng_seed(self):
         dataset = make_dataset(50)
         a = train_val_test_split(dataset, rng=np.random.default_rng(5))[0]

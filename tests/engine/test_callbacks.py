@@ -155,6 +155,63 @@ class TestEarlyStopping:
         assert stopper.should_stop()
 
 
+class TestEarlyStoppingNaN:
+    def test_nan_counts_as_no_improvement(self):
+        """NaN compares False against every threshold; it must still drain
+        the patience budget instead of training to the epoch limit."""
+        stopper = EarlyStopping([TinyModel()], patience=2)
+        stopper.update(float("nan"))
+        stopper.update(float("nan"))
+        assert stopper.should_stop()
+
+    def test_nan_never_becomes_the_best_loss(self):
+        stopper = EarlyStopping([TinyModel()], patience=5)
+        stopper.update(float("nan"))
+        assert stopper.best_loss == float("inf")
+        stopper.update(2.0)  # a later finite loss still registers
+        assert stopper.best_loss == 2.0
+
+    def test_diverged_run_stops_early_and_restores_initial_state(self):
+        """A run whose every validation loss is NaN must stop after
+        ``patience`` epochs and restore the pre-training parameters — not
+        silently keep the diverged weights."""
+        model = TinyModel(5.0)
+        initial = model.parameters()[0].data.copy()
+        history = TrainingHistory()
+        state = run_trainer(
+            model,
+            [History(history), EarlyStopping([model], patience=2)],
+            epochs=50,
+            validate=lambda: float("nan"),
+        )
+        assert state.stop_training
+        assert len(history) == 2  # patience exhausted immediately
+        np.testing.assert_array_equal(model.parameters()[0].data, initial)
+
+    def test_run_without_validation_keeps_final_weights(self):
+        """An enabled EarlyStopping attached to a run that never produces a
+        validation loss must not restore the initial-parameters fallback —
+        that would silently revert the whole training run."""
+        model = TinyModel(5.0)
+        initial = model.parameters()[0].data.copy()
+        run_trainer(model, [EarlyStopping([model], patience=2)], epochs=4)
+        trained = model.parameters()[0].data
+        assert not np.array_equal(trained, initial)  # training happened
+        # and restore() stays a no-op even when called again by hand
+        stopper = EarlyStopping([model], patience=2)
+        stopper.restore()
+        np.testing.assert_array_equal(model.parameters()[0].data, trained)
+
+    def test_nan_after_finite_losses_restores_best_finite_snapshot(self):
+        model = TinyModel(1.0)
+        stopper = EarlyStopping([model], patience=3)
+        stopper.update(0.5)  # snapshot of the 1.0 weights
+        model.parameters()[0].data = np.array([[123.0]])  # diverges
+        stopper.update(float("nan"))
+        stopper.restore()
+        assert model.parameters()[0].data.item() == pytest.approx(1.0)
+
+
 class TestCheckpoint:
     def test_periodic_saves_and_final_save(self, tmp_path):
         model = TinyModel(1.0)

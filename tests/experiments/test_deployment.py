@@ -1,0 +1,76 @@
+"""End-to-end continual deployment: checkpoint each domain, reload, verify."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DomainStream, SyntheticDomainGenerator
+from repro.experiments import SMOKE, run_continual_deployment
+from repro.serve import ModelRegistry, PredictionService
+
+
+@pytest.fixture(scope="module")
+def deployment(tmp_path_factory):
+    """One three-domain deployment run, shared by the assertions below."""
+    generator = SyntheticDomainGenerator(SMOKE.synthetic_config(n_units=200), seed=0)
+    stream = DomainStream(generator.generate_stream(3), seed=0)
+    registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
+    result = run_continual_deployment(
+        stream,
+        registry,
+        SMOKE.model_config(seed=0, epochs=3),
+        SMOKE.continual_config(memory_budget=50),
+        stream_name="smoke",
+        epochs=3,
+    )
+    return stream, registry, result
+
+
+class TestContinualDeployment:
+    def test_every_domain_checkpointed_and_head_is_latest(self, deployment):
+        _, registry, result = deployment
+        assert registry.list_versions("smoke") == [0, 1, 2]
+        assert registry.head_version("smoke") == 2
+        assert [stage.domain_index for stage in result.stages] == [0, 1, 2]
+
+    def test_reloaded_versions_reproduce_live_metrics_exactly(self, deployment):
+        """The acceptance criterion: for every checkpointed domain, the
+        reloaded model's test metrics (incl. PEHE) are identical to the live
+        learner's at the same point in the stream."""
+        _, _, result = deployment
+        assert result.parity, f"diverged at domains {result.mismatches()}"
+        for stage in result.stages:
+            assert len(stage.live_metrics) == stage.domain_index + 1
+            assert stage.live_metrics == stage.reloaded_metrics  # exact floats
+
+    def test_pehe_trajectory_is_finite(self, deployment):
+        _, _, result = deployment
+        trajectory = result.live_pehe_trajectory()
+        assert len(trajectory) == 3
+        assert all(np.isfinite(value) for value in trajectory)
+
+    def test_registry_head_serves_like_the_final_live_learner(self, deployment):
+        stream, registry, result = deployment
+        covariates = stream[2].test.covariates
+        with PredictionService.from_registry(
+            registry, "smoke", max_batch=len(covariates)
+        ) as service:
+            assert service.model_version == 2
+            reference = registry.load("smoke", 2).predict(covariates)
+            response = service.predict_one(covariates[0])
+            assert response.ite == reference.ite_hat[0]
+
+    def test_verify_false_skips_reload_sweep(self, tmp_path):
+        generator = SyntheticDomainGenerator(SMOKE.synthetic_config(n_units=200), seed=1)
+        stream = DomainStream(generator.generate_stream(2), seed=1)
+        result = run_continual_deployment(
+            stream,
+            ModelRegistry(tmp_path),
+            SMOKE.model_config(seed=1, epochs=2),
+            SMOKE.continual_config(memory_budget=40),
+            stream_name="quickcheck",
+            epochs=2,
+            verify=False,
+        )
+        assert all(stage.reloaded_metrics == [] for stage in result.stages)

@@ -165,6 +165,22 @@ class TestStandardizer:
         assert np.all(np.isfinite(transformed))
         np.testing.assert_allclose(transformed[:, 0], np.zeros(10))
 
+    def test_zero_variance_scale_is_one_not_zero(self):
+        """Degenerate columns must get scale exactly 1.0 — a 0 scale would
+        divide by zero on transform and collapse inverse_transform."""
+        scaler = Standardizer().fit(np.full((8, 2), 3.5))
+        np.testing.assert_array_equal(scaler.std_, np.ones(2))
+        out = scaler.transform(np.full((4, 2), 3.5))
+        np.testing.assert_array_equal(out, np.zeros((4, 2)))
+        np.testing.assert_array_equal(scaler.inverse_transform(out), np.full((4, 2), 3.5))
+
+    def test_single_row_fit_is_safe(self):
+        """A one-unit split (the smallest a valid split can produce) has zero
+        variance in every column; transforms must stay finite."""
+        scaler = Standardizer().fit(np.array([[2.0, -1.0]]))
+        np.testing.assert_array_equal(scaler.std_, np.ones(2))
+        assert np.all(np.isfinite(scaler.transform(np.array([[4.0, 0.0]]))))
+
     def test_unfitted_raises(self):
         with pytest.raises(RuntimeError):
             Standardizer().transform(np.ones(3))

@@ -84,13 +84,59 @@ class TestDropoutParity:
         x = rng.normal(size=(16, 4))
         assert layer.infer(x) is x
 
-    def test_training_mode_matches_tensor_path_and_rng_stream(self, rng):
+    def test_training_mode_infer_has_eval_semantics(self, rng):
+        """``infer`` is a prediction path: a module left in training mode must
+        not inject dropout noise (regression for the documented contract —
+        "bit-identical to the Tensor forward under ``no_grad``" in eval)."""
         x = rng.normal(size=(64, 8))
-        fast = Dropout(0.4, rng=np.random.default_rng(9))
-        slow = Dropout(0.4, rng=np.random.default_rng(9))
-        # Same rng stream => same masks on both paths, call after call.
+        layer = Dropout(0.4, rng=np.random.default_rng(9))
+        assert layer.training
+        assert layer.infer(x) is x
+
+    def test_training_mode_infer_does_not_consume_rng(self, rng):
+        """A training-mode ``infer`` must not advance the dropout RNG: that
+        would silently perturb the next training minibatch's mask."""
+        x = rng.normal(size=(32, 5))
+        touched = Dropout(0.4, rng=np.random.default_rng(9))
+        untouched = Dropout(0.4, rng=np.random.default_rng(9))
         for _ in range(3):
-            np.testing.assert_array_equal(fast.infer(x), tensor_forward(slow, x))
+            touched.infer(x)
+        np.testing.assert_array_equal(
+            tensor_forward(touched, x), tensor_forward(untouched, x)
+        )
+
+    def test_mlp_with_dropout_infer_matches_eval_forward(self, rng):
+        """Through a full MLP: training-mode ``infer`` == eval-mode forward."""
+        mlp = MLP(7, (12,), 4, activation="elu", dropout=0.3, rng=np.random.default_rng(3))
+        x = rng.normal(size=(50, 7))
+        assert any(isinstance(m, Dropout) for m in mlp.modules())
+        out = mlp.infer(x).copy()
+        mlp.eval()
+        np.testing.assert_array_equal(out, tensor_forward(mlp, x))
+
+    def test_fallback_infer_restores_training_flags(self, rng):
+        """The generic fallback drops to eval during the call and restores the
+        exact per-module mode flags afterwards."""
+
+        class WithDropout(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(4, 4, rng=np.random.default_rng(0))
+                self.drop = Dropout(0.5, rng=np.random.default_rng(1))
+
+            def forward(self, x):
+                return self.drop(self.lin(x))
+
+        module = WithDropout()
+        module.lin.training = False  # deliberately mixed modes
+        x = rng.normal(size=(6, 4))
+        module.eval()
+        expected = tensor_forward(module, x)
+        module.train()
+        module.lin.training = False
+        np.testing.assert_array_equal(module.infer(x), expected)
+        assert module.training and module.drop.training
+        assert not module.lin.training
 
 
 class TestWorkspace:

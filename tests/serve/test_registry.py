@@ -1,0 +1,169 @@
+"""Tests for the versioned model registry (save → list → load → rollback)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import CERL
+from repro.data import DomainStream
+from repro.engine import Checkpoint, TrainerState
+from repro.serve import ModelRegistry, PredictionService
+
+
+@pytest.fixture
+def stream(tiny_domains):
+    return DomainStream(list(tiny_domains), seed=0)
+
+
+@pytest.fixture
+def trained_learner(stream, fast_model_config, fast_continual_config):
+    learner = CERL(stream.n_features, fast_model_config, fast_continual_config)
+    learner.observe(stream.train_data(0))
+    return learner
+
+
+class TestSaveListLoad:
+    def test_round_trip_predictions_are_bit_identical(
+        self, stream, trained_learner, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", 0, trained_learner)
+        trained_learner.observe(stream.train_data(1))
+        registry.save("tiny", 1, trained_learner)
+
+        assert registry.list_versions("tiny") == [0, 1]
+        assert registry.head_version("tiny") == 1
+
+        covariates = stream[1].test.covariates
+        restored = registry.load("tiny")  # default: head
+        np.testing.assert_array_equal(
+            restored.predict(covariates).ite_hat,
+            trained_learner.predict(covariates).ite_hat,
+        )
+        assert restored.domains_seen == 2
+
+    def test_versions_are_immutable_snapshots(self, stream, trained_learner, tmp_path):
+        """Saving later versions must not disturb earlier ones."""
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", 0, trained_learner)
+        covariates = stream[0].test.covariates
+        before = trained_learner.predict(covariates).ite_hat.copy()
+        trained_learner.observe(stream.train_data(1))
+        registry.save("tiny", 1, trained_learner)
+
+        v0 = registry.load("tiny", 0)
+        np.testing.assert_array_equal(v0.predict(covariates).ite_hat, before)
+        assert v0.domains_seen == 1
+
+    def test_entry_metadata(self, trained_learner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", 0, trained_learner, metadata={"note": "first arrival"})
+        entry = registry.entry("tiny", 0)
+        assert entry.domains_seen == 1
+        assert entry.n_features == trained_learner.n_features
+        assert entry.metadata == {"note": "first arrival"}
+        assert entry.path.exists()
+
+    def test_streams_listing(self, trained_learner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        assert registry.streams() == []
+        registry.save("alpha", 0, trained_learner)
+        registry.save("beta.v2", 0, trained_learner)
+        assert registry.streams() == ["alpha", "beta.v2"]
+
+    def test_saver_drives_engine_checkpoint_callback(
+        self, trained_learner, tmp_path
+    ):
+        """The registry plugs into repro.engine.Checkpoint unchanged."""
+        registry = ModelRegistry(tmp_path)
+        checkpointer = Checkpoint(registry.saver("tiny", trained_learner), every=1)
+        state = TrainerState()
+        state.epoch = 0
+        checkpointer.on_epoch_end(state)
+        checkpointer.on_train_end(state)  # dedup: must not save twice
+        assert checkpointer.saved_epochs == [0]
+        assert registry.list_versions("tiny") == [0]
+
+
+class TestRollback:
+    def test_rollback_moves_head_without_deleting(
+        self, stream, trained_learner, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", 0, trained_learner)
+        trained_learner.observe(stream.train_data(1))
+        registry.save("tiny", 1, trained_learner)
+
+        entry = registry.rollback("tiny", 0)
+        assert entry.domain_index == 0
+        assert registry.head_version("tiny") == 0
+        assert registry.list_versions("tiny") == [0, 1]  # nothing deleted
+        assert registry.load("tiny").domains_seen == 1  # head serves v0
+
+        registry.rollback("tiny", 1)  # roll forward again
+        assert registry.load("tiny").domains_seen == 2
+
+    def test_rollback_to_unknown_version_raises(self, trained_learner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", 0, trained_learner)
+        with pytest.raises(KeyError, match="no version 7"):
+            registry.rollback("tiny", 7)
+
+
+class TestValidationAndFailureModes:
+    def test_unknown_stream_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(FileNotFoundError, match="no checkpoints"):
+            registry.load("ghost")
+
+    def test_invalid_stream_name_rejected(self, trained_learner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for bad in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(ValueError, match="invalid stream name"):
+                registry.save(bad, 0, trained_learner)
+
+    def test_negative_domain_index_rejected(self, trained_learner, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            ModelRegistry(tmp_path).save("tiny", -1, trained_learner)
+
+    def test_manifest_format_version_checked(self, trained_learner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", 0, trained_learner)
+        manifest_path = tmp_path / "tiny" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="unsupported registry manifest format"):
+            registry.load("tiny")
+
+    def test_missing_archive_behind_manifest_raises(self, trained_learner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        entry = registry.save("tiny", 0, trained_learner)
+        entry.path.unlink()
+        with pytest.raises(FileNotFoundError, match="missing on disk"):
+            registry.load("tiny", 0)
+
+
+class TestServiceRegistryIntegration:
+    def test_service_from_registry_and_reload_after_rollback(
+        self, stream, trained_learner, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", 0, trained_learner)
+        covariates = stream[0].test.covariates
+        v0_reference = trained_learner.predict(covariates)
+        trained_learner.observe(stream.train_data(1))
+        registry.save("tiny", 1, trained_learner)
+
+        with PredictionService.from_registry(
+            registry, "tiny", max_batch=len(covariates)
+        ) as service:
+            assert service.model_version == 1
+            registry.rollback("tiny", 0)
+            assert service.reload(registry, "tiny") == 0
+            response = service.predict_one(covariates[0])
+            assert response.model_version == 0
+            assert response.ite == v0_reference.ite_hat[0]
