@@ -1,6 +1,6 @@
 """Engine perf guard: substrate hot paths versus the frozen seed implementation.
 
-Measures seven things and records them into ``BENCH_engine.json`` (via the
+Measures eight things and records them into ``BENCH_engine.json`` (via the
 ``engine_bench`` fixture in ``conftest.py``):
 
 * the autograd **backward pass** of a CERL-shaped batch loss (encoder MLP,
@@ -20,6 +20,10 @@ Measures seven things and records them into ``BENCH_engine.json`` (via the
   under pipelined multi-thread load versus naive per-query (batch-1)
   serving, with every response asserted bit-identical to the direct batched
   reference;
+* **drift detection**: one ``repro.monitor`` drift check (RBF-MMD of the
+  rolling traffic window against the frozen reference) on the cached ndarray
+  scorer versus recomputing the full statistic through the Tensor IPM path,
+  scores asserted bit-identical;
 * one **CERL continual stage** (fit_next) at a small fixed size, as an
   absolute wall-time trajectory point for future PRs.
 
@@ -497,6 +501,59 @@ def test_bench_serve_throughput(engine_bench):
         f"{service_qps:,.0f} q/s ({speedup:.2f}x, mean batch {mean_batch:.1f})"
     )
     assert speedup > 1.0, f"micro-batched serving regressed: {speedup:.2f}x vs per-query"
+
+
+# --------------------------------------------------------------------------- #
+# drift detection
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="engine")
+def test_bench_drift_detection(engine_bench):
+    """Drift-check throughput: cached ndarray scorer vs the Tensor IPM path.
+
+    The monitor scores every traffic window against a *frozen* reference, so
+    the reference-side kernel term of the RBF MMD is computed once at
+    calibration; a naive monitor would rebuild the full statistic through the
+    Tensor IPM (graph bookkeeping plus the reference self-kernel) on every
+    check.  Scores are asserted bit-identical before timing — caching must
+    not change a single ulp of the detection decision.
+    """
+    from repro.balance import mmd2_rbf
+    from repro.monitor import DriftDetector
+
+    rng = np.random.default_rng(5)
+    reference = rng.normal(size=(512, 25))
+    window = rng.normal(size=(128, 25)) + 0.25
+    detector = DriftDetector("mmd_rbf", quantile=0.95, n_permutations=20, seed=0)
+    detector.calibrate(reference, window_size=128)
+    sigma = detector.bandwidth
+    reference_tensor, window_tensor = Tensor(reference), Tensor(window)
+
+    def tensor_check() -> float:
+        with no_grad():
+            return float(mmd2_rbf(reference_tensor, window_tensor, sigma=sigma).data)
+
+    def monitor_check() -> float:
+        return detector.score(window).statistic
+
+    assert monitor_check() == tensor_check()
+
+    tensor_time, monitor_time = _interleaved_best(
+        _timed_round(tensor_check, 40), _timed_round(monitor_check, 40)
+    )
+    speedup = tensor_time / monitor_time
+    engine_bench(
+        "drift_detection",
+        checks_per_s=round(1.0 / monitor_time, 1),
+        tensor_us=round(tensor_time * 1e6, 2),
+        monitor_us=round(monitor_time * 1e6, 2),
+        speedup=round(speedup, 3),
+        workload="rbf-MMD drift check, reference 512x25, window 128x25, median bandwidth",
+    )
+    print(
+        f"\ndrift detection: tensor {tensor_time * 1e6:.1f}us -> monitor "
+        f"{monitor_time * 1e6:.1f}us ({speedup:.2f}x, {1.0 / monitor_time:,.0f} checks/s)"
+    )
+    assert speedup > 1.0, f"cached drift scoring regressed: {speedup:.2f}x vs Tensor path"
 
 
 @pytest.mark.benchmark(group="engine")

@@ -5,8 +5,11 @@ Public API highlights
 * :class:`repro.core.CERL` — the continual causal-effect learner (the paper's contribution).
 * :class:`repro.core.BaselineCausalModel` — the CFR-style selective & balanced learner.
 * :func:`repro.core.make_strategy` — build CFR-A / CFR-B / CFR-C / CERL by name.
-* :mod:`repro.data` — News, BlogCatalog and synthetic multi-domain benchmarks.
+* :mod:`repro.data` — News, BlogCatalog and synthetic multi-domain benchmarks
+  (including the drift scenario generators).
 * :mod:`repro.experiments` — drivers that regenerate the paper's tables and figures.
+* :mod:`repro.serve` — versioned model registry + micro-batched prediction service.
+* :mod:`repro.monitor` — drift monitoring and automatic continual adaptation.
 """
 
 from .core import (

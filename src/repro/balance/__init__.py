@@ -3,7 +3,10 @@
 from .ipm import (
     ipm_distance,
     mmd2_linear,
+    mmd2_linear_np,
     mmd2_rbf,
+    mmd2_rbf_np,
+    rbf_kernel_mean_np,
     sinkhorn_wasserstein,
     wasserstein_1d_exact,
 )
@@ -11,7 +14,10 @@ from .ipm import (
 __all__ = [
     "ipm_distance",
     "mmd2_linear",
+    "mmd2_linear_np",
     "mmd2_rbf",
+    "mmd2_rbf_np",
+    "rbf_kernel_mean_np",
     "sinkhorn_wasserstein",
     "wasserstein_1d_exact",
 ]

@@ -14,7 +14,13 @@ Wasserstein distance from the 1-Lipschitz IPM family, following CFR
   through the cost matrix itself (the "envelope" approximation used by the
   reference CFR implementation);
 * :func:`wasserstein_1d_exact` — exact one-dimensional Wasserstein distance
-  on raw NumPy arrays, used by tests to validate the Sinkhorn approximation.
+  on raw NumPy arrays, used by tests to validate the Sinkhorn approximation;
+* :func:`mmd2_linear_np` and :func:`mmd2_rbf_np` — ndarray front-doors of the
+  MMD estimators for graph-free callers (drift monitoring, diagnostics).
+  They evaluate exactly the floating-point expressions of the Tensor versions
+  (including the Tensor idiom ``mean = sum * (1/n)``), so their results are
+  bit-for-bit identical — pinned by a parity test — while never touching the
+  autograd substrate.
 """
 
 from __future__ import annotations
@@ -27,7 +33,10 @@ from ..nn.tensor import Tensor, no_grad
 
 __all__ = [
     "mmd2_linear",
+    "mmd2_linear_np",
     "mmd2_rbf",
+    "mmd2_rbf_np",
+    "rbf_kernel_mean_np",
     "sinkhorn_wasserstein",
     "wasserstein_1d_exact",
     "ipm_distance",
@@ -74,6 +83,72 @@ def mmd2_rbf(treated: Tensor, control: Tensor, sigma: float = 1.0) -> Tensor:
         return (d2 * (-gamma)).exp().mean()
 
     return kernel_mean(treated, treated) + kernel_mean(control, control) - 2.0 * kernel_mean(treated, control)
+
+
+def _as_group_array(values, label: str) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"{label} must be a 2-D array (n_units, dim); got shape {array.shape}")
+    return array
+
+
+def _validate_groups_np(treated: np.ndarray, control: np.ndarray) -> None:
+    if treated.shape[1] != control.shape[1]:
+        raise ValueError(
+            "treated and control samples must share the same dimensionality; "
+            f"got {treated.shape[1]} and {control.shape[1]}"
+        )
+    if treated.shape[0] == 0 or control.shape[0] == 0:
+        raise ValueError("IPM inputs must contain at least one unit per group")
+
+
+def mmd2_linear_np(treated: np.ndarray, control: np.ndarray) -> float:
+    """Squared linear-kernel MMD on raw ndarrays, bit-identical to :func:`mmd2_linear`.
+
+    The Tensor version computes each group mean as ``sum(axis=0) * (1/n)``
+    (not ``np.mean``); this front-door reproduces that expression exactly, so
+    graph-free callers (the drift monitor, diagnostics) get the same float to
+    the last bit without paying for Tensor wrappers.
+    """
+    treated = _as_group_array(treated, "treated")
+    control = _as_group_array(control, "control")
+    _validate_groups_np(treated, control)
+    diff = treated.sum(axis=0) * (1.0 / treated.shape[0]) - control.sum(axis=0) * (
+        1.0 / control.shape[0]
+    )
+    return float((diff * diff).sum())
+
+
+def rbf_kernel_mean_np(a: np.ndarray, b: np.ndarray, gamma: float) -> float:
+    """Mean RBF kernel value between all pairs of rows of ``a`` and ``b``.
+
+    The shared building block of :func:`mmd2_rbf_np` and the drift monitor's
+    cached scorer; evaluates exactly the expression sequence of the Tensor
+    ``kernel_mean`` closure in :func:`mmd2_rbf` so composed results stay
+    bitwise identical to the Tensor path.
+    """
+    a_sq = (a * a).sum(axis=1, keepdims=True)
+    b_sq = (b * b).sum(axis=1, keepdims=True)
+    cross = a @ b.T
+    d2 = a_sq + b_sq.T - 2.0 * cross
+    d2 = np.clip(d2, 0.0, np.inf)
+    kernel = np.exp(d2 * (-gamma))
+    return float(kernel.sum() * (1.0 / kernel.size))
+
+
+def mmd2_rbf_np(treated: np.ndarray, control: np.ndarray, sigma: float = 1.0) -> float:
+    """Squared RBF-kernel MMD on raw ndarrays, bit-identical to :func:`mmd2_rbf`."""
+    treated = _as_group_array(treated, "treated")
+    control = _as_group_array(control, "control")
+    _validate_groups_np(treated, control)
+    if sigma <= 0.0:
+        raise ValueError("sigma must be positive")
+    gamma = 1.0 / (2.0 * sigma ** 2)
+    return (
+        rbf_kernel_mean_np(treated, treated, gamma)
+        + rbf_kernel_mean_np(control, control, gamma)
+        - 2.0 * rbf_kernel_mean_np(treated, control, gamma)
+    )
 
 
 def _pairwise_sq_dists(a: Tensor, b: Tensor) -> Tensor:

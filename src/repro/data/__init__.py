@@ -18,6 +18,7 @@ from .synthetic import (
     build_block_correlation,
     hub_toeplitz_correlation,
 )
+from .drift import DRIFT_KINDS, DRIFT_MODES, DriftConfig, DriftScenario, TrafficTick
 
 __all__ = [
     "CausalDataset",
@@ -41,4 +42,9 @@ __all__ = [
     "SyntheticDomainGenerator",
     "hub_toeplitz_correlation",
     "build_block_correlation",
+    "DRIFT_KINDS",
+    "DRIFT_MODES",
+    "DriftConfig",
+    "DriftScenario",
+    "TrafficTick",
 ]

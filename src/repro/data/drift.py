@@ -1,0 +1,242 @@
+"""Parameterised drift injectors over the synthetic generator.
+
+The monitoring subsystem (:mod:`repro.monitor`) needs traffic whose
+distribution shifts in controlled, diverse ways.  :class:`DriftScenario`
+turns a :class:`~repro.data.synthetic.SyntheticDomainGenerator` into a
+**traffic tape** — a sequence of labelled ticks — across a scenario grid:
+
+* **covariate shift**: query covariates move from the base domain's
+  distribution toward another domain's (the generator's own inter-domain
+  mean/covariance shift), interpolated by ``magnitude``.  The causal
+  mechanism (``tau``, ``g``, the propensity) is shared across domains, so
+  ground-truth labels remain well-defined for every shifted row.
+* **concept shift**: covariates stay on the base distribution while the
+  treatment-effect surface ``tau`` blends toward an independently drawn
+  mechanism.  Covariate-window detectors *cannot* see this (the paper's
+  monitors watch ``X``, not ``Y | X``) — the scenario exists precisely to
+  pin that blind spot in tests and docs.
+* **abrupt vs gradual**: the drifted fraction of each tick's rows jumps to 1
+  at ``drift_at`` or ramps linearly over ``ramp_ticks``.
+
+Everything is a deterministic function of the generator seed, the scenario
+seed and the tick index, so a tape can be replayed bit-identically — the
+property the auto-adaptation replay tests are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .dataset import CausalDataset
+from .synthetic import SyntheticDomainGenerator
+
+__all__ = ["DriftConfig", "DriftScenario", "TrafficTick", "DRIFT_KINDS", "DRIFT_MODES"]
+
+DRIFT_KINDS = ("covariate", "concept")
+DRIFT_MODES = ("abrupt", "gradual")
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Shape of one drift scenario.
+
+    Attributes
+    ----------
+    kind:
+        ``"covariate"`` (detectable from query rows) or ``"concept"``
+        (invisible to covariate-window detectors).
+    mode:
+        ``"abrupt"`` — the drifted fraction jumps straight to 1;
+        ``"gradual"`` — it ramps linearly over ``ramp_ticks`` ticks.
+    magnitude:
+        Severity of the drifted source in ``[0, 1]``-ish scale: 0 is no
+        drift, 1 interpolates fully to the drifted domain / mechanism.
+    ramp_ticks:
+        Length of the gradual ramp (ignored for ``"abrupt"``).
+    """
+
+    kind: str = "covariate"
+    mode: str = "abrupt"
+    magnitude: float = 1.0
+    ramp_ticks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in DRIFT_KINDS:
+            raise ValueError(f"kind must be one of {DRIFT_KINDS}; got '{self.kind}'")
+        if self.mode not in DRIFT_MODES:
+            raise ValueError(f"mode must be one of {DRIFT_MODES}; got '{self.mode}'")
+        if self.magnitude < 0.0:
+            raise ValueError("magnitude must be non-negative")
+        if self.ramp_ticks < 1:
+            raise ValueError("ramp_ticks must be at least 1")
+
+
+@dataclass(frozen=True)
+class TrafficTick:
+    """One tick of a traffic tape: labelled units whose covariates are queries."""
+
+    index: int
+    #: Fraction of this tick's rows drawn from the drifted source (0 to 1).
+    drift_fraction: float
+    dataset: CausalDataset
+
+
+class DriftScenario:
+    """Deterministic drift injector over one synthetic generator.
+
+    Parameters
+    ----------
+    generator:
+        The synthetic multi-domain generator; its ``base_domain`` plays the
+        training distribution, ``drifted_domain`` the post-drift one.
+    config:
+        The scenario shape (:class:`DriftConfig`).
+    seed:
+        Scenario-level seed for treatment draws, noise and row mixing —
+        independent of the generator's own seed so several tapes can share
+        one generator.
+    """
+
+    def __init__(
+        self,
+        generator: SyntheticDomainGenerator,
+        config: Optional[DriftConfig] = None,
+        seed: int = 0,
+        base_domain: int = 0,
+        drifted_domain: int = 1,
+    ) -> None:
+        if base_domain == drifted_domain:
+            raise ValueError("base_domain and drifted_domain must differ")
+        self.generator = generator
+        self.config = config if config is not None else DriftConfig()
+        self.seed = seed
+        self.base_domain = base_domain
+        self.drifted_domain = drifted_domain
+        # Independent causal mechanism for concept shift: same covariate
+        # config, different mechanism weights.
+        self._shifted_mechanism = SyntheticDomainGenerator(
+            generator.config, seed=generator.seed + 7919
+        )
+
+    # ------------------------------------------------------------------ #
+    # pieces
+    # ------------------------------------------------------------------ #
+    def base_dataset(self, n_units: Optional[int] = None, repetition: int = 0) -> CausalDataset:
+        """The training-domain dataset the served model starts from."""
+        return self.generator.generate_domain(
+            self.base_domain, n_units=n_units, repetition=repetition
+        )
+
+    def drift_fraction(self, tick: int, drift_at: int) -> float:
+        """Drifted fraction of tick ``tick`` when drift starts at ``drift_at``."""
+        if tick < drift_at:
+            return 0.0
+        if self.config.mode == "abrupt":
+            return 1.0
+        return min(1.0, (tick - drift_at + 1) / self.config.ramp_ticks)
+
+    def tick_covariates(self, tick: int, rows: int, fraction: float) -> np.ndarray:
+        """Sample one tick's query covariates with the given drifted fraction."""
+        base = self.generator.generate_domain(
+            self.base_domain, n_units=rows, repetition=tick + 1
+        ).covariates
+        if self.config.kind != "covariate" or fraction <= 0.0 or self.config.magnitude == 0.0:
+            return base
+        drifted_draw = self.generator.generate_domain(
+            self.drifted_domain, n_units=rows, repetition=tick + 1
+        ).covariates
+        # Interpolate each drifted row from the base draw toward the drifted
+        # domain's draw: magnitude 1 is exactly the drifted distribution.
+        drifted = base + self.config.magnitude * (drifted_draw - base)
+        n_drifted = int(round(fraction * rows))
+        if n_drifted <= 0:
+            return base
+        mixed = base.copy()
+        rng = np.random.default_rng([self.seed, 3, tick])
+        replaced = rng.choice(rows, size=n_drifted, replace=False)
+        mixed[replaced] = drifted[replaced]
+        return mixed
+
+    def label(
+        self, covariates: np.ndarray, key: int, fraction: float = 1.0, name: str = "drift"
+    ) -> CausalDataset:
+        """Assemble covariate rows into a labelled dataset (ground truth).
+
+        The outcome mechanism is the generator's shared structural functions;
+        under concept shift ``tau`` blends toward the independently drawn
+        mechanism by ``magnitude * fraction``.  ``key`` seeds the treatment
+        and noise draws, so the same (rows, key) always labels identically.
+        """
+        covariates = np.asarray(covariates, dtype=np.float64)
+        if covariates.ndim != 2:
+            raise ValueError("covariates must be a 2-D array (n, p)")
+        generator = self.generator
+        tau = generator.treatment_effect(covariates)
+        if self.config.kind == "concept" and fraction > 0.0 and self.config.magnitude > 0.0:
+            blend = min(1.0, self.config.magnitude * fraction)
+            tau = (1.0 - blend) * tau + blend * self._shifted_mechanism.treatment_effect(
+                covariates
+            )
+        g = generator.baseline_outcome(covariates)
+        propensity = generator.propensity(covariates)
+        rng = np.random.default_rng([self.seed, 7, key])
+        treatments = (rng.random(covariates.shape[0]) < propensity).astype(np.int64)
+        noise = rng.normal(0.0, generator.config.noise_std, size=covariates.shape[0])
+        mu0 = g
+        mu1 = g + tau
+        outcomes = np.where(treatments == 1, mu1, mu0) + noise
+        return CausalDataset(
+            covariates=covariates,
+            treatments=treatments,
+            outcomes=outcomes,
+            mu0=mu0,
+            mu1=mu1,
+            domain=self.drifted_domain if fraction > 0.0 else self.base_domain,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # assembly
+    # ------------------------------------------------------------------ #
+    def make_tape(self, n_ticks: int, rows_per_tick: int, drift_at: int) -> List[TrafficTick]:
+        """Build the full labelled traffic tape for one scenario run."""
+        if n_ticks < 1:
+            raise ValueError("n_ticks must be at least 1")
+        if rows_per_tick < 10:
+            raise ValueError("rows_per_tick must be at least 10 (generator minimum)")
+        if not 0 <= drift_at <= n_ticks:
+            raise ValueError("drift_at must lie in [0, n_ticks]")
+        tape = []
+        for tick in range(n_ticks):
+            fraction = self.drift_fraction(tick, drift_at)
+            covariates = self.tick_covariates(tick, rows_per_tick, fraction)
+            dataset = self.label(
+                covariates,
+                key=tick,
+                fraction=fraction,
+                name=f"drift/{self.config.kind}-{self.config.mode}/tick{tick}",
+            )
+            tape.append(TrafficTick(index=tick, drift_fraction=fraction, dataset=dataset))
+        return tape
+
+    def make_labeler(self, fraction: float = 1.0) -> Callable[[np.ndarray], CausalDataset]:
+        """Ground-truth feedback for the adaptation controller.
+
+        Returns ``labeler(covariates) -> CausalDataset`` labelling drained
+        traffic with the *post-drift steady-state* mechanism (``fraction``
+        defaults to 1).  Each call uses a fresh deterministic key, so a
+        replayed run labels every adaptation identically.
+        """
+        calls = {"count": 0}
+
+        def labeler(covariates: np.ndarray) -> CausalDataset:
+            key = 100_000 + calls["count"]
+            calls["count"] += 1
+            return self.label(
+                covariates, key=key, fraction=fraction, name=f"drift/adapt{key - 100_000}"
+            )
+
+        return labeler

@@ -1,5 +1,6 @@
 """Experiment drivers regenerating the paper's tables and figures."""
 
+from .autoadapt import AutoAdaptationResult, TickTrace, run_auto_adaptation
 from .deployment import DeploymentResult, DeploymentStage, run_continual_deployment
 from .parallel import derive_seed, parallel_map, seeded_tasks
 from .profiles import PAPER, QUICK, SMOKE, ExperimentProfile
@@ -23,6 +24,9 @@ from .figure3 import (
 )
 
 __all__ = [
+    "AutoAdaptationResult",
+    "TickTrace",
+    "run_auto_adaptation",
     "DeploymentResult",
     "DeploymentStage",
     "run_continual_deployment",

@@ -1,0 +1,269 @@
+"""End-to-end auto-adaptation: serve → drift → detect → retrain → swap → verify.
+
+:func:`run_auto_adaptation` wires the whole closed loop together:
+
+1. train a CERL learner on the base domain and save it as version 0 of a
+   stream in a :class:`~repro.serve.ModelRegistry`;
+2. serve it through a :class:`~repro.serve.PredictionService`, with a
+   :class:`~repro.monitor.TrafficMonitor` attached as a traffic observer and
+   a permutation-calibrated :class:`~repro.monitor.DriftDetector`;
+3. replay a :class:`~repro.data.drift.DriftScenario` traffic tape through
+   the service tick by tick, running one
+   :meth:`~repro.monitor.AdaptationController.check` per tick;
+4. on confirmed drift the controller retrains (one CERL continual stage over
+   the buffered traffic), versions the adapted model, hot-swaps the service
+   and rebases the monitor — or rolls back when validation regresses.
+
+Everything is a deterministic function of ``seed``: replaying the same tape
+yields identical detection ticks, identical registry versions and
+bit-identical post-adaptation predictions (pinned by
+``tests/monitor/test_replay.py``).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..core.cerl import CERL
+from ..data.drift import DriftConfig, DriftScenario
+from ..data.streams import DomainStream
+from ..data.synthetic import SyntheticDomainGenerator
+from ..monitor import (
+    AdaptationController,
+    AdaptationEvent,
+    DriftCheck,
+    DriftDetector,
+    TrafficMonitor,
+    TriggerPolicy,
+)
+from ..serve import ModelRegistry, PredictionService, ServiceStats
+from .profiles import SMOKE, ExperimentProfile
+
+__all__ = ["AutoAdaptationResult", "TickTrace", "run_auto_adaptation"]
+
+
+@dataclass(frozen=True)
+class TickTrace:
+    """One traffic tick of the closed loop, as observed from outside."""
+
+    tick: int
+    drift_fraction: float
+    check: DriftCheck
+    #: Version the service reports after this tick's check.
+    served_version: int
+
+
+@dataclass
+class AutoAdaptationResult:
+    """Full trajectory of one auto-adaptation run."""
+
+    stream_name: str
+    statistic: str
+    ticks: List[TickTrace] = field(default_factory=list)
+    events: List[AdaptationEvent] = field(default_factory=list)
+    registry_versions: List[int] = field(default_factory=list)
+    head_version: int = 0
+    #: Final served model's ITE predictions on the fixed probe set.
+    final_predictions: np.ndarray = field(default_factory=lambda: np.empty(0))
+    service_stats: Optional[ServiceStats] = None
+
+    @property
+    def detection_ticks(self) -> List[int]:
+        """Ticks whose check ended in an accepted adaptation."""
+        return [t.tick for t in self.ticks if t.check.action == "adapted"]
+
+    @property
+    def rollback_ticks(self) -> List[int]:
+        """Ticks whose adaptation was rolled back by the validation gate."""
+        return [t.tick for t in self.ticks if t.check.action == "rolled_back"]
+
+    def summary_rows(self) -> List[dict]:
+        """Per-tick rows for :func:`repro.experiments.reporting.format_table`."""
+        return [
+            {
+                "tick": trace.tick,
+                "drift %": round(100.0 * trace.drift_fraction, 1),
+                "statistic": float("nan")
+                if np.isnan(trace.check.statistic)
+                else round(trace.check.statistic, 5),
+                "threshold": round(trace.check.threshold, 5),
+                "action": trace.check.action,
+                "served": f"v{trace.served_version}",
+            }
+            for trace in self.ticks
+        ]
+
+
+def run_auto_adaptation(
+    drift: Optional[DriftConfig] = None,
+    profile: ExperimentProfile = SMOKE,
+    n_ticks: int = 12,
+    rows_per_tick: int = 40,
+    drift_at: int = 4,
+    window_capacity: Optional[int] = None,
+    statistic: str = "mmd_rbf",
+    quantile: float = 0.95,
+    n_permutations: int = 100,
+    policy: Optional[TriggerPolicy] = None,
+    registry_root: Optional[Union[str, Path]] = None,
+    stream_name: str = "autoadapt",
+    seed: int = 0,
+    epochs: Optional[int] = None,
+    adapt_epochs: Optional[int] = None,
+    memory_budget: Optional[int] = None,
+) -> AutoAdaptationResult:
+    """Run the serve → drift → detect → retrain → swap loop over one tape.
+
+    Parameters
+    ----------
+    drift:
+        Scenario shape (default: abrupt covariate shift at full magnitude).
+    profile:
+        Scale of the base-domain training (units, epochs, model size).
+    n_ticks, rows_per_tick, drift_at:
+        Tape geometry: total ticks, queries per tick, first drifted tick.
+    window_capacity:
+        Rolling-window size (default ``2 * rows_per_tick``).
+    statistic, quantile, n_permutations:
+        Drift-detector configuration (see :class:`DriftDetector`).
+    policy:
+        Trigger policy (default: 2 consecutive breaches, cooldown 2).
+    registry_root:
+        Registry directory; when omitted an ephemeral temporary directory is
+        used and deleted on return (pass a path to keep the checkpoints).
+    epochs, adapt_epochs:
+        Epoch budgets of the base fit and of each adaptation stage
+        (defaults: the profile's epochs, and ``epochs`` respectively).
+    memory_budget:
+        CERL memory budget (default: the profile's Table-I budget).
+
+    Returns
+    -------
+    AutoAdaptationResult
+        Per-tick traces, adaptation events, the registry trajectory, and the
+        final served model's predictions on a fixed probe set.
+    """
+    drift = drift if drift is not None else DriftConfig()
+    epochs = epochs if epochs is not None else profile.epochs
+    adapt_epochs = adapt_epochs if adapt_epochs is not None else epochs
+    window_capacity = window_capacity if window_capacity is not None else 2 * rows_per_tick
+    memory_budget = (
+        memory_budget if memory_budget is not None else profile.memory_budget_table1
+    )
+
+    with ExitStack() as stack:
+        if registry_root is None:
+            # Ephemeral registry: the result carries everything callers
+            # need, so the checkpoints are deleted on exit, not leaked.
+            registry_root = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="cerl_autoadapt_")
+            )
+        return _run_auto_adaptation(
+            drift,
+            profile,
+            n_ticks,
+            rows_per_tick,
+            drift_at,
+            window_capacity,
+            statistic,
+            quantile,
+            n_permutations,
+            policy,
+            registry_root,
+            stream_name,
+            seed,
+            epochs,
+            adapt_epochs,
+            memory_budget,
+        )
+
+
+def _run_auto_adaptation(
+    drift: DriftConfig,
+    profile: ExperimentProfile,
+    n_ticks: int,
+    rows_per_tick: int,
+    drift_at: int,
+    window_capacity: int,
+    statistic: str,
+    quantile: float,
+    n_permutations: int,
+    policy: Optional[TriggerPolicy],
+    registry_root: Union[str, Path],
+    stream_name: str,
+    seed: int,
+    epochs: int,
+    adapt_epochs: int,
+    memory_budget: int,
+) -> AutoAdaptationResult:
+    """The loop body, with all defaults resolved by :func:`run_auto_adaptation`."""
+    generator = SyntheticDomainGenerator(profile.synthetic_config(), seed=seed)
+    scenario = DriftScenario(generator, drift, seed=seed)
+    stream = DomainStream([scenario.base_dataset()], seed=seed)
+    train, val, probe = stream[0].train, stream[0].val, stream[0].test
+
+    learner = CERL(
+        stream.n_features,
+        profile.model_config(seed=seed, epochs=epochs),
+        profile.continual_config(memory_budget=memory_budget),
+    )
+    learner.observe(train, epochs=epochs, val_dataset=val)
+
+    registry = ModelRegistry(registry_root)
+    registry.save(stream_name, 0, learner, metadata={"trigger": "initial"})
+
+    monitor = TrafficMonitor(train.covariates, window_capacity=window_capacity)
+    detector = DriftDetector(
+        statistic,
+        quantile=quantile,
+        n_permutations=n_permutations,
+        seed=seed,
+    ).calibrate(monitor.reference, monitor.window_capacity)
+
+    tape = scenario.make_tape(n_ticks, rows_per_tick, drift_at)
+    result = AutoAdaptationResult(stream_name=stream_name, statistic=statistic)
+
+    with PredictionService.from_registry(
+        registry, stream_name, max_batch=rows_per_tick
+    ) as service:
+        monitor.attach(service)
+        controller = AdaptationController(
+            learner,
+            monitor,
+            detector,
+            registry,
+            stream_name,
+            labeler=scenario.make_labeler(),
+            service=service,
+            policy=policy,
+            epochs=adapt_epochs,
+            seed=seed,
+        )
+        for tick in tape:
+            pendings = [service.submit(row) for row in tick.dataset.covariates]
+            for pending in pendings:
+                pending.result(timeout=120.0)
+            check = controller.check()
+            result.ticks.append(
+                TickTrace(
+                    tick=tick.index,
+                    drift_fraction=tick.drift_fraction,
+                    check=check,
+                    served_version=service.model_version,
+                )
+            )
+        # The probe is evaluation, not traffic: stop recording before it.
+        monitor.detach(service)
+        result.final_predictions = service.predict(probe.covariates).ite_hat.copy()
+        result.service_stats = service.stats()
+
+    result.events = list(controller.events)
+    result.registry_versions = registry.list_versions(stream_name)
+    result.head_version = registry.head_version(stream_name)
+    return result

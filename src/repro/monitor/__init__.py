@@ -1,0 +1,45 @@
+"""Drift monitoring and automatic continual adaptation.
+
+Turns the continual serving stack (:mod:`repro.serve`) into a closed loop:
+
+* :class:`TrafficMonitor` / :class:`RollingWindow` — tap the rows flowing
+  through a :class:`~repro.serve.PredictionService` (observer hook) into a
+  bounded rolling window, next to a frozen reference window from the
+  training domain;
+* :class:`DriftDetector` — graph-free two-sample statistics (linear/RBF MMD
+  via the :mod:`repro.balance` ndarray front-doors, exact per-feature 1-D
+  Wasserstein) with a permutation-calibrated, seeded threshold;
+* :class:`AdaptationController` — consecutive-breach trigger with cooldown;
+  on confirmed drift it assembles the buffered traffic into a new domain,
+  retrains the learner (one ordinary ``observe`` stage — CERL with memory
+  herding), versions the result in the :class:`~repro.serve.ModelRegistry`,
+  hot-swaps the live service, and rolls back if validation regresses.
+
+The end-to-end loop is driven by
+:func:`repro.experiments.run_auto_adaptation` and demonstrated by
+``examples/auto_adaptation.py``.
+"""
+
+from .controller import (
+    AdaptationController,
+    AdaptationEvent,
+    DriftCheck,
+    TriggerPolicy,
+    validation_factual_rmse,
+)
+from .detectors import DRIFT_STATISTICS, DriftDetector, DriftScore, drift_statistic
+from .window import RollingWindow, TrafficMonitor
+
+__all__ = [
+    "AdaptationController",
+    "AdaptationEvent",
+    "DriftCheck",
+    "TriggerPolicy",
+    "validation_factual_rmse",
+    "DRIFT_STATISTICS",
+    "DriftDetector",
+    "DriftScore",
+    "drift_statistic",
+    "RollingWindow",
+    "TrafficMonitor",
+]

@@ -1,0 +1,341 @@
+"""Automatic continual adaptation: the policy side of drift monitoring.
+
+:class:`AdaptationController` closes the serving loop: a
+:class:`~repro.monitor.window.TrafficMonitor` taps the rows flowing through a
+:class:`~repro.serve.PredictionService`, a
+:class:`~repro.monitor.detectors.DriftDetector` scores the rolling window
+against the frozen training reference, and when drift is *confirmed* (a
+consecutive-breach trigger, not a single noisy check) the controller:
+
+1. drains the buffered traffic and asks a ``labeler`` to assemble it into a
+   labelled :class:`~repro.data.dataset.CausalDataset` (in the experiment
+   drivers the synthetic generator's structural functions play the role of
+   the delayed ground-truth feedback a production system would collect);
+2. retrains the held learner on the new domain through the ordinary
+   ``ContinualEstimator.observe`` protocol — for CERL that is one continual
+   stage with memory herding, exactly as if an experiment driver had advanced
+   a stream;
+3. compares a validation metric before/after; if the adapted model holds up,
+   it is saved as the next version of the stream in the
+   :class:`~repro.serve.ModelRegistry` and hot-swapped into the live service,
+   and the monitor is rebased onto the new domain;
+4. otherwise the adaptation is **rolled back**: the learner is restored from
+   the registry's current head and the service keeps serving the old version.
+
+A cooldown after every decision keeps a persistently drifting window from
+re-triggering before fresh traffic has been observed.  ``check()`` is
+synchronous and deterministic; drive it from the serving loop at whatever
+cadence suits the deployment (the auto-adaptation driver checks once per
+traffic tick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..data.dataset import CausalDataset
+from ..metrics import factual_rmse
+from .detectors import DriftDetector
+from .window import TrafficMonitor
+
+__all__ = [
+    "AdaptationController",
+    "AdaptationEvent",
+    "DriftCheck",
+    "TriggerPolicy",
+    "validation_factual_rmse",
+]
+
+
+@dataclass(frozen=True)
+class TriggerPolicy:
+    """When a drift signal becomes an adaptation.
+
+    Attributes
+    ----------
+    consecutive_breaches:
+        Checks in a row that must breach before adapting; absorbs the
+        false-alarm rate of a single check (``1`` adapts on first breach).
+    cooldown_checks:
+        Checks skipped after every adaptation decision (accepted or rolled
+        back), giving the window time to refill with fresh traffic.
+    """
+
+    consecutive_breaches: int = 2
+    cooldown_checks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.consecutive_breaches < 1:
+            raise ValueError("consecutive_breaches must be at least 1")
+        if self.cooldown_checks < 0:
+            raise ValueError("cooldown_checks must be non-negative")
+
+
+@dataclass(frozen=True)
+class DriftCheck:
+    """Outcome of one :meth:`AdaptationController.check` call."""
+
+    index: int
+    #: Drift statistic of this check (``nan`` when the check was skipped).
+    statistic: float
+    threshold: float
+    breach: bool
+    #: Consecutive breaches including this check (0 when not breaching).
+    consecutive: int
+    #: ``"none" | "warming" | "cooldown" | "breach" | "adapted" | "rolled_back"``
+    action: str
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One confirmed-drift adaptation attempt (accepted or rolled back)."""
+
+    check_index: int
+    trigger_statistic: float
+    threshold: float
+    #: Validation metric of the serving model on the new domain, before/after.
+    baseline_metric: float
+    adapted_metric: float
+    previous_version: int
+    #: Registry version the adapted model was saved under (equals
+    #: ``previous_version`` when the adaptation was rolled back).
+    new_version: int
+    accepted: bool
+
+
+def validation_factual_rmse(learner, dataset: CausalDataset) -> float:
+    """Default adaptation gate: factual-outcome RMSE on the validation split.
+
+    Uses only observable quantities (treatments and factual outcomes), so it
+    works when the labelled feedback has no counterfactuals.
+    """
+    estimate = learner.predict(dataset.covariates)
+    return factual_rmse(dataset.outcomes, estimate.factual_predictions(dataset.treatments))
+
+
+class AdaptationController:
+    """Confirmed-drift trigger → retrain → version → hot-swap (or roll back).
+
+    Parameters
+    ----------
+    learner:
+        The live continual learner (must match the registry head — save it as
+        the stream's current version before constructing the controller).
+        Access the current learner via :attr:`learner`: a rolled-back
+        adaptation replaces it with the checkpoint reloaded from the
+        registry.
+    monitor, detector:
+        A warm :class:`TrafficMonitor` and a calibrated
+        :class:`DriftDetector`.
+    registry, stream_name:
+        Destination of adapted versions; ``registry.head_version(stream_name)``
+        must resolve (the pre-adaptation model is version 0 by convention).
+    labeler:
+        ``labeler(covariates) -> CausalDataset`` assembling drained traffic
+        into a labelled domain (ground-truth feedback).  Must return one unit
+        per input row, in input order.
+    service:
+        Optional live :class:`~repro.serve.PredictionService`; accepted
+        adaptations are hot-swapped into it via ``service.reload``.
+    epochs:
+        Epoch budget of each adaptation stage (``None``: the learner's
+        configured default).
+    val_fraction:
+        Fraction of the assembled domain held out for the accept/rollback
+        gate.
+    regression_tolerance:
+        Relative slack of the gate: the adapted model is accepted when
+        ``adapted <= baseline * (1 + regression_tolerance)``.
+    metric_fn:
+        ``metric_fn(learner, val_dataset) -> float`` (lower is better);
+        defaults to :func:`validation_factual_rmse`.
+    seed:
+        Seeds the train/validation splits of the assembled domains.
+    """
+
+    def __init__(
+        self,
+        learner,
+        monitor: TrafficMonitor,
+        detector: DriftDetector,
+        registry,
+        stream_name: str,
+        labeler: Callable[[np.ndarray], CausalDataset],
+        service=None,
+        policy: Optional[TriggerPolicy] = None,
+        epochs: Optional[int] = None,
+        val_fraction: float = 0.25,
+        regression_tolerance: float = 0.05,
+        metric_fn: Callable[[object, CausalDataset], float] = validation_factual_rmse,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < val_fraction < 1.0:
+            raise ValueError("val_fraction must lie in (0, 1)")
+        # The adaptation transaction must be able to finish once it starts:
+        # after the validation hold-out, the drained window's training split
+        # becomes the next reference and must still satisfy the detector's
+        # calibration minimum.  Reject impossible geometries up front instead
+        # of crashing after the registry save and hot-swap have committed.
+        n_window = monitor.window_capacity
+        n_train = n_window - max(1, int(round(val_fraction * n_window)))
+        if n_train < 4:
+            raise ValueError(
+                f"window_capacity={n_window} with val_fraction={val_fraction:g} "
+                f"leaves only {n_train} training rows per adaptation; at least "
+                f"4 are needed to rebase and recalibrate the detector"
+            )
+        self._learner = learner
+        self.monitor = monitor
+        self.detector = detector
+        self.registry = registry
+        self.stream_name = stream_name
+        self.labeler = labeler
+        self.service = service
+        self.policy = policy if policy is not None else TriggerPolicy()
+        self.epochs = epochs
+        self.val_fraction = val_fraction
+        self.regression_tolerance = regression_tolerance
+        self.metric_fn = metric_fn
+        self.seed = seed
+        # Fail fast if the serving lifecycle was not bootstrapped: the
+        # rollback path restores the registry head, so one must exist.
+        registry.head_version(stream_name)
+        self.checks: List[DriftCheck] = []
+        self.events: List[AdaptationEvent] = []
+        self._consecutive = 0
+        self._cooldown = 0
+        self._adaptations = 0
+
+    @property
+    def learner(self):
+        """The learner currently backing the stream (post-rollback aware)."""
+        return self._learner
+
+    # ------------------------------------------------------------------ #
+    # the drift check
+    # ------------------------------------------------------------------ #
+    def check(self) -> DriftCheck:
+        """Run one drift check; adapt when the trigger policy confirms drift."""
+        index = len(self.checks)
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            result = self._skipped(index, "cooldown")
+        elif not self.monitor.is_warm:
+            result = self._skipped(index, "warming")
+        else:
+            score = self.detector.score(self.monitor.window_values())
+            if score.breach:
+                self._consecutive += 1
+            else:
+                self._consecutive = 0
+            if score.breach and self._consecutive >= self.policy.consecutive_breaches:
+                event = self._adapt(index, score.statistic, score.threshold)
+                result = DriftCheck(
+                    index=index,
+                    statistic=score.statistic,
+                    threshold=score.threshold,
+                    breach=True,
+                    consecutive=self._consecutive,
+                    action="adapted" if event.accepted else "rolled_back",
+                )
+                self._consecutive = 0
+                self._cooldown = self.policy.cooldown_checks
+            else:
+                result = DriftCheck(
+                    index=index,
+                    statistic=score.statistic,
+                    threshold=score.threshold,
+                    breach=score.breach,
+                    consecutive=self._consecutive,
+                    action="breach" if score.breach else "none",
+                )
+        self.checks.append(result)
+        return result
+
+    def _skipped(self, index: int, action: str) -> DriftCheck:
+        return DriftCheck(
+            index=index,
+            statistic=float("nan"),
+            threshold=self.detector.threshold,
+            breach=False,
+            consecutive=self._consecutive,
+            action=action,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the adaptation transaction
+    # ------------------------------------------------------------------ #
+    def _adapt(self, check_index: int, statistic: float, threshold: float) -> AdaptationEvent:
+        covariates = self.monitor.drain()
+        dataset = self.labeler(covariates)
+        if len(dataset) != covariates.shape[0]:
+            raise ValueError(
+                f"labeler returned {len(dataset)} units for {covariates.shape[0]} rows"
+            )
+        train, val = self._split(dataset)
+        baseline_metric = self.metric_fn(self._learner, val)
+        previous_version = int(self.registry.head_version(self.stream_name))
+
+        self._learner.observe(train, epochs=self.epochs, val_dataset=val)
+        adapted_metric = self.metric_fn(self._learner, val)
+        accepted = adapted_metric <= baseline_metric * (1.0 + self.regression_tolerance)
+
+        if accepted:
+            new_version = previous_version + 1
+            self.registry.save(
+                self.stream_name,
+                new_version,
+                self._learner,
+                metadata={
+                    "trigger": "drift",
+                    "check_index": check_index,
+                    "statistic": statistic,
+                    "threshold": threshold,
+                },
+            )
+            if self.service is not None:
+                self.service.reload(self.registry, self.stream_name)
+            # Future drift is measured against the domain just adapted to.
+            self.monitor.rebase(train.covariates)
+            self.detector.calibrate(self.monitor.reference, self.monitor.window_capacity)
+        else:
+            # The observe() above mutated the learner in place; restore the
+            # serving checkpoint.  The service may be wired to share that
+            # very learner object, so it must be reloaded too — the registry
+            # head never moved, making this a swap back to the same version.
+            new_version = previous_version
+            self._learner = self.registry.load(self.stream_name, previous_version)
+            if self.service is not None:
+                self.service.reload(self.registry, self.stream_name, previous_version)
+
+        self._adaptations += 1
+        event = AdaptationEvent(
+            check_index=check_index,
+            trigger_statistic=statistic,
+            threshold=threshold,
+            baseline_metric=baseline_metric,
+            adapted_metric=adapted_metric,
+            previous_version=previous_version,
+            new_version=new_version,
+            accepted=accepted,
+        )
+        self.events.append(event)
+        return event
+
+    def _split(self, dataset: CausalDataset):
+        """Deterministic train/validation split of one assembled domain."""
+        n = len(dataset)
+        n_val = max(1, int(round(self.val_fraction * n)))
+        if n_val >= n:
+            raise ValueError(
+                f"assembled domain of {n} units is too small to hold out "
+                f"a validation split (val_fraction={self.val_fraction:g})"
+            )
+        rng = np.random.default_rng([self.seed, 1 + self._adaptations])
+        permutation = rng.permutation(n)
+        train = dataset.subset(permutation[n_val:], name=f"{dataset.name}/adapt-train")
+        val = dataset.subset(permutation[:n_val], name=f"{dataset.name}/adapt-val")
+        return train, val

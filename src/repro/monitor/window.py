@@ -1,0 +1,205 @@
+"""Traffic windows: the data side of drift monitoring.
+
+Drift detection compares *what the model is being asked about now* against
+*what it was trained on*.  :class:`RollingWindow` is a bounded ring buffer of
+the most recent query rows; :class:`TrafficMonitor` pairs one rolling window
+with a frozen **reference window** captured from the training domain and
+plugs into :meth:`repro.serve.PredictionService.add_observer` so every row
+flowing through the service is recorded as a side effect of serving it.
+
+The monitor is thread-safe (client threads submit concurrently) but makes no
+ordering promise under concurrency; the deterministic-replay guarantees of
+``repro.experiments.autoadapt`` hold for sequential traffic tapes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RollingWindow", "TrafficMonitor"]
+
+
+class RollingWindow:
+    """Bounded ring buffer of the most recent ``capacity`` covariate rows.
+
+    Rows are stored in one preallocated ``(capacity, n_features)`` array, so
+    steady-state recording performs no allocation; :meth:`values` materialises
+    the contents in arrival order (oldest first) as a copy.
+    """
+
+    def __init__(self, capacity: int, n_features: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if n_features < 1:
+            raise ValueError("n_features must be at least 1")
+        self.capacity = capacity
+        self.n_features = n_features
+        self._buffer = np.empty((capacity, n_features), dtype=np.float64)
+        self._cursor = 0
+        self._count = 0
+        self._total = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def total_seen(self) -> int:
+        """Rows recorded over the window's lifetime (including evicted ones)."""
+        return self._total
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer holds ``capacity`` rows."""
+        return self._count == self.capacity
+
+    def extend(self, rows: np.ndarray) -> None:
+        """Record a ``(k, n_features)`` block of rows (values are copied)."""
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        if rows.ndim != 2 or rows.shape[1] != self.n_features:
+            raise ValueError(
+                f"rows must have shape (k, {self.n_features}); got {rows.shape}"
+            )
+        self._total += rows.shape[0]
+        if rows.shape[0] >= self.capacity:
+            # Only the trailing ``capacity`` rows survive; reset the ring.
+            self._buffer[:] = rows[-self.capacity :]
+            self._cursor = 0
+            self._count = self.capacity
+            return
+        first = min(rows.shape[0], self.capacity - self._cursor)
+        self._buffer[self._cursor : self._cursor + first] = rows[:first]
+        if first < rows.shape[0]:
+            self._buffer[: rows.shape[0] - first] = rows[first:]
+        self._cursor = (self._cursor + rows.shape[0]) % self.capacity
+        self._count = min(self._count + rows.shape[0], self.capacity)
+
+    def values(self) -> np.ndarray:
+        """Contents in arrival order, oldest row first (copy)."""
+        if self._count < self.capacity:
+            return self._buffer[: self._count].copy()
+        if self._cursor == 0:
+            return self._buffer.copy()
+        return np.concatenate(
+            [self._buffer[self._cursor :], self._buffer[: self._cursor]], axis=0
+        )
+
+    def clear(self) -> None:
+        """Drop the contents (``total_seen`` keeps counting)."""
+        self._cursor = 0
+        self._count = 0
+
+
+class TrafficMonitor:
+    """Frozen reference window + rolling window over live serving traffic.
+
+    Parameters
+    ----------
+    reference:
+        ``(n_ref, p)`` covariates of the domain the served model was trained
+        on.  Copied and frozen; drift is always measured against it until
+        :meth:`rebase` installs a post-adaptation reference.
+    window_capacity:
+        Size of the rolling traffic window.  Defaults to ``n_ref // 2``
+        (at least 2) so the permutation calibration of
+        :class:`~repro.monitor.detectors.DriftDetector` can split the
+        reference into pseudo-windows of the serving-time size.
+    """
+
+    def __init__(self, reference: np.ndarray, window_capacity: Optional[int] = None) -> None:
+        reference = np.asarray(reference, dtype=np.float64)
+        if reference.ndim != 2 or reference.shape[0] < 2:
+            raise ValueError("reference must be a 2-D array with at least two rows")
+        if window_capacity is None:
+            window_capacity = max(2, reference.shape[0] // 2)
+        if window_capacity < 2:
+            raise ValueError("window_capacity must be at least 2")
+        self._reference = reference.copy()
+        self._reference.setflags(write=False)
+        self._window = RollingWindow(window_capacity, reference.shape[1])
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # recording (the service observer hook)
+    # ------------------------------------------------------------------ #
+    def observe(self, rows: np.ndarray) -> None:
+        """Record query rows; the signature of a ``PredictionService`` observer."""
+        with self._lock:
+            self._window.extend(rows)
+
+    def attach(self, service) -> "TrafficMonitor":
+        """Register :meth:`observe` on a :class:`~repro.serve.PredictionService`."""
+        service.add_observer(self.observe)
+        return self
+
+    def detach(self, service) -> None:
+        """Unregister from a previously attached service."""
+        service.remove_observer(self.observe)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    @property
+    def reference(self) -> np.ndarray:
+        """The frozen training-domain covariates (read-only array)."""
+        return self._reference
+
+    @property
+    def n_features(self) -> int:
+        """Covariate dimensionality of the monitored traffic."""
+        return self._reference.shape[1]
+
+    @property
+    def window_capacity(self) -> int:
+        """Rolling-window size used for drift scoring."""
+        return self._window.capacity
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether the rolling window is full (drift scores are meaningful)."""
+        with self._lock:
+            return self._window.is_full
+
+    @property
+    def rows_seen(self) -> int:
+        """Total rows recorded since construction (or the last rebase)."""
+        with self._lock:
+            return self._window.total_seen
+
+    def window_values(self) -> np.ndarray:
+        """Snapshot of the rolling window, oldest row first."""
+        with self._lock:
+            return self._window.values()
+
+    # ------------------------------------------------------------------ #
+    # adaptation support
+    # ------------------------------------------------------------------ #
+    def drain(self) -> np.ndarray:
+        """Return the window contents and clear it (the adaptation hand-off)."""
+        with self._lock:
+            values = self._window.values()
+            self._window.clear()
+            return values
+
+    def rebase(self, reference: np.ndarray) -> None:
+        """Install a new frozen reference (after adapting to a new domain).
+
+        The rolling window is cleared: traffic served before the swap was
+        answered by the old model and must not count against the new
+        reference.  The window capacity is preserved.
+        """
+        reference = np.asarray(reference, dtype=np.float64)
+        if reference.ndim != 2 or reference.shape[1] != self.n_features:
+            raise ValueError(
+                f"new reference must have shape (n, {self.n_features}); got {reference.shape}"
+            )
+        if reference.shape[0] < 2:
+            raise ValueError("reference must contain at least two rows")
+        with self._lock:
+            self._reference = reference.copy()
+            self._reference.setflags(write=False)
+            self._window = RollingWindow(self._window.capacity, self.n_features)

@@ -9,9 +9,12 @@ the model and representation memory persist):
   domain_index)``, atomic writes, format-versioned manifests);
 * :class:`PredictionService` / :class:`MicroBatcher` — single-unit ITE
   queries coalesced into batches on the no-graph inference fast path,
-  bit-identical to a direct batched ``predict``;
+  bit-identical to a direct batched ``predict``; traffic observers
+  (``add_observer``) let :mod:`repro.monitor` tap the query stream for
+  drift detection;
 * the end-to-end deployment protocol lives in
-  :func:`repro.experiments.run_continual_deployment`.
+  :func:`repro.experiments.run_continual_deployment`, the drift-driven
+  closed loop in :func:`repro.experiments.run_auto_adaptation`.
 """
 
 from .registry import ModelRegistry, RegistryEntry

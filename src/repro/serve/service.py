@@ -117,6 +117,14 @@ class MicroBatcher:
         adapts batch size to throughput without adding a fixed latency floor.
         A positive wait only pays off when execution is far more expensive
         than a thread wake-up and traffic is sparse but bursty.
+    on_batch:
+        Optional hook ``on_batch(rows)`` invoked on the dispatcher thread
+        after each *successfully* executed batch, with the read-only
+        ``(k, p)`` array of real (unpadded) query rows in submission order,
+        before the per-row results are delivered.  A failed batch never
+        reaches the hook, so taps (drift monitors) only ever see answered
+        queries.  A hook exception is delivered to the batch's callers like
+        an execution failure.
     """
 
     def __init__(
@@ -124,12 +132,14 @@ class MicroBatcher:
         run_batch: Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[int]]],
         max_batch: int = 128,
         max_wait_ms: float = 0.0,
+        on_batch: Optional[Callable[[np.ndarray], None]] = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be non-negative")
         self._run_batch = run_batch
+        self._on_batch = on_batch
         self.max_batch = max_batch
         self.max_wait = max_wait_ms / 1000.0
         self._queue: List[Tuple[np.ndarray, PendingPrediction]] = []
@@ -210,6 +220,10 @@ class MicroBatcher:
                 rows.extend([rows[-1]] * (self.max_batch - len(rows)))
             stacked = np.stack(rows)
             mu0, mu1, ite, version = self._run_batch(stacked)
+            if self._on_batch is not None:
+                executed = stacked[: len(batch)]
+                executed.setflags(write=False)
+                self._on_batch(executed)
             for index, (_, pending) in enumerate(batch):
                 pending._set_result(
                     Prediction(
@@ -257,8 +271,13 @@ class PredictionService:
         self._learner = learner
         self._model_version = model_version
         self._n_features = self._learner_features(learner)
+        self._observer_lock = threading.Lock()
+        self._observers: List[Callable[[np.ndarray], None]] = []
         self._batcher = MicroBatcher(
-            self._run_batch, max_batch=max_batch, max_wait_ms=max_wait_ms
+            self._run_batch,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            on_batch=self._notify_observers,
         )
 
     # ------------------------------------------------------------------ #
@@ -299,10 +318,50 @@ class PredictionService:
             return self._model_version
 
     # ------------------------------------------------------------------ #
+    # traffic observers
+    # ------------------------------------------------------------------ #
+    def add_observer(self, observer: Callable[[np.ndarray], None]) -> None:
+        """Register a traffic tap: ``observer(rows)`` with a ``(k, p)`` array.
+
+        Observers see every *answered* query flowing through the service:
+        each successfully executed micro-batch's real rows (one call per
+        batch, rows in submission order, on the dispatcher thread, before
+        the per-row results are delivered), and each successful direct
+        :meth:`predict` matrix (on the calling thread).  Rejected submits
+        and failed batches are never recorded, so drift windows only ever
+        hold traffic the model actually served.  The row arrays are
+        read-only views; observers must not block (they sit on the serving
+        path) and an observer exception surfaces to the affected callers —
+        monitoring is in-process code, failing loudly beats losing the tap.
+        """
+        with self._observer_lock:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[np.ndarray], None]) -> None:
+        """Unregister a previously added traffic tap."""
+        with self._observer_lock:
+            self._observers.remove(observer)
+
+    def _notify_observers(self, rows: np.ndarray) -> None:
+        if not self._observers:
+            # Unlocked fast path: the common no-monitor deployment must not
+            # pay a lock acquire per query (list truthiness is atomic enough
+            # — a racing add_observer only ever misses in-flight rows).
+            return
+        with self._observer_lock:
+            observers = list(self._observers)
+        for observer in observers:
+            observer(rows)
+
+    # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
     def submit(self, covariates: np.ndarray) -> PendingPrediction:
-        """Enqueue one unit's covariates; returns a waitable handle."""
+        """Enqueue one unit's covariates; returns a waitable handle.
+
+        Traffic observers are notified by the batcher's post-execution hook,
+        not here: a query only enters drift windows once it was answered.
+        """
         return self._batcher.submit(self._as_row(covariates))
 
     def predict_one(
@@ -318,8 +377,18 @@ class PredictionService:
         bit-identical to; it shares the model lock so it also serialises
         correctly against hot swaps.
         """
+        covariates = np.asarray(covariates, dtype=np.float64)
         with self._model_lock:
-            return self._learner.predict(np.asarray(covariates, dtype=np.float64))
+            estimate = self._learner.predict(covariates)
+        # Notify only after a successful prediction, mirroring the batcher
+        # hook: queries that were never answered must not enter drift
+        # windows.  Observers get a read-only view — the caller's array
+        # itself must not be frozen.
+        if covariates.ndim == 2 and self._observers:
+            readonly = covariates[:]
+            readonly.setflags(write=False)
+            self._notify_observers(readonly)
+        return estimate
 
     def stats(self) -> ServiceStats:
         """Micro-batching counters (queries, batches, largest batch)."""

@@ -208,3 +208,48 @@ class TestSinkhornVectorisedParity:
         plan = _sinkhorn_plan(cost, epsilon=0.05, num_iters=200)
         np.testing.assert_allclose(plan.sum(axis=1), np.full(40, 1.0 / 40), atol=1e-6)
         np.testing.assert_allclose(plan.sum(axis=0), np.full(60, 1.0 / 60), atol=1e-6)
+
+
+class TestNdarrayFrontDoorParity:
+    """mmd2_*_np must be bit-identical to the Tensor versions (the contract
+    that lets the drift monitor skip the autograd substrate entirely)."""
+
+    @pytest.mark.parametrize("shift", [0.0, 0.3, 2.5])
+    @pytest.mark.parametrize("shapes", [(60, 60, 4), (33, 47, 7), (2, 9, 1)])
+    def test_linear_np_matches_tensor_bitwise(self, shift, shapes):
+        from repro.balance import mmd2_linear_np
+
+        n_treated, n_control, dim = shapes
+        rng = np.random.default_rng(42)
+        treated = rng.normal(0.0, 1.3, size=(n_treated, dim)) + shift
+        control = rng.normal(0.0, 0.7, size=(n_control, dim))
+        assert mmd2_linear_np(treated, control) == float(
+            mmd2_linear(Tensor(treated), Tensor(control)).data
+        )
+
+    @pytest.mark.parametrize("sigma", [0.5, 1.0, 4.0])
+    @pytest.mark.parametrize("shapes", [(60, 60, 4), (33, 47, 7), (2, 9, 1)])
+    def test_rbf_np_matches_tensor_bitwise(self, sigma, shapes):
+        from repro.balance import mmd2_rbf_np
+
+        n_treated, n_control, dim = shapes
+        rng = np.random.default_rng(43)
+        treated = rng.normal(0.0, 1.3, size=(n_treated, dim))
+        control = rng.normal(0.5, 0.7, size=(n_control, dim))
+        assert mmd2_rbf_np(treated, control, sigma=sigma) == float(
+            mmd2_rbf(Tensor(treated), Tensor(control), sigma=sigma).data
+        )
+
+    def test_np_front_doors_validate_like_tensor_versions(self):
+        from repro.balance import mmd2_linear_np, mmd2_rbf_np
+
+        rng = np.random.default_rng(0)
+        good = rng.normal(size=(5, 3))
+        with pytest.raises(ValueError, match="2-D"):
+            mmd2_linear_np(np.ones(3), good)
+        with pytest.raises(ValueError, match="dimensionality"):
+            mmd2_linear_np(good, rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError, match="at least one unit"):
+            mmd2_linear_np(good, np.empty((0, 3)))
+        with pytest.raises(ValueError, match="sigma"):
+            mmd2_rbf_np(good, good, sigma=0.0)

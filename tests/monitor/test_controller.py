@@ -1,0 +1,248 @@
+"""Tests for the trigger policy and the adapt / hot-swap / rollback transaction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CERL
+from repro.data import DomainStream, DriftScenario, SyntheticDomainGenerator
+from repro.monitor import (
+    AdaptationController,
+    DriftDetector,
+    TrafficMonitor,
+    TriggerPolicy,
+)
+from repro.serve import ModelRegistry, PredictionService
+
+
+@pytest.fixture
+def generator(tiny_synthetic_config):
+    return SyntheticDomainGenerator(tiny_synthetic_config, seed=7)
+
+
+@pytest.fixture
+def scenario(generator):
+    return DriftScenario(generator, seed=3)
+
+
+@pytest.fixture
+def loop(generator, scenario, fast_model_config, fast_continual_config, tmp_path):
+    """A trained learner saved as v0, plus a warm monitor and calibrated detector."""
+    stream = DomainStream([scenario.base_dataset()], seed=0)
+    learner = CERL(stream.n_features, fast_model_config, fast_continual_config)
+    learner.observe(stream.train_data(0), val_dataset=stream.val_data(0))
+    registry = ModelRegistry(tmp_path)
+    registry.save("tiny", 0, learner)
+    monitor = TrafficMonitor(stream.train_data(0).covariates, window_capacity=24)
+    detector = DriftDetector("mmd_rbf", n_permutations=40, seed=0)
+    detector.calibrate(monitor.reference, monitor.window_capacity)
+    return learner, registry, monitor, detector, scenario
+
+
+def _drifted_rows(generator, n: int) -> np.ndarray:
+    return generator.generate_domain(1, n_units=max(n, 10)).covariates[:n]
+
+
+def _base_rows(generator, n: int) -> np.ndarray:
+    return generator.generate_domain(0, n_units=max(n, 10), repetition=5).covariates[:n]
+
+
+class TestTriggerPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="consecutive_breaches"):
+            TriggerPolicy(consecutive_breaches=0)
+        with pytest.raises(ValueError, match="cooldown_checks"):
+            TriggerPolicy(cooldown_checks=-1)
+
+    def test_warming_then_none_then_breach_then_adapt(self, loop, generator):
+        learner, registry, monitor, detector, scenario = loop
+        controller = AdaptationController(
+            learner,
+            monitor,
+            detector,
+            registry,
+            "tiny",
+            labeler=scenario.make_labeler(),
+            policy=TriggerPolicy(consecutive_breaches=2, cooldown_checks=1),
+            regression_tolerance=100.0,  # always accept: this test is about the trigger
+            seed=0,
+        )
+        assert controller.check().action == "warming"  # window empty
+
+        monitor.observe(_base_rows(generator, 24))
+        assert controller.check().action == "none"  # stationary traffic
+
+        monitor.observe(_drifted_rows(generator, 24))
+        first = controller.check()
+        assert first.action == "breach" and first.consecutive == 1  # not confirmed yet
+
+        monitor.observe(_drifted_rows(generator, 24))
+        second = controller.check()
+        assert second.action == "adapted" and second.consecutive == 2
+
+        # Cooldown: the next check is skipped even though traffic keeps flowing.
+        monitor.observe(_drifted_rows(generator, 24))
+        assert controller.check().action == "cooldown"
+
+    def test_non_consecutive_breaches_do_not_trigger(self, loop, generator):
+        learner, registry, monitor, detector, scenario = loop
+        controller = AdaptationController(
+            learner,
+            monitor,
+            detector,
+            registry,
+            "tiny",
+            labeler=scenario.make_labeler(),
+            policy=TriggerPolicy(consecutive_breaches=2, cooldown_checks=0),
+            seed=0,
+        )
+        monitor.observe(_drifted_rows(generator, 24))
+        assert controller.check().action == "breach"
+        monitor.observe(_base_rows(generator, 24))  # back to stationary
+        assert controller.check().action == "none"
+        monitor.observe(_drifted_rows(generator, 24))
+        assert controller.check().action == "breach"  # counter restarted
+        assert controller.events == []
+
+
+class TestAdaptationTransaction:
+    def test_accepted_adaptation_versions_swaps_and_rebases(self, loop, generator):
+        learner, registry, monitor, detector, scenario = loop
+        old_reference = monitor.reference.copy()
+        old_threshold = detector.threshold
+        with PredictionService.from_registry(registry, "tiny", max_batch=8) as service:
+            controller = AdaptationController(
+                learner,
+                monitor,
+                detector,
+                registry,
+                "tiny",
+                labeler=scenario.make_labeler(),
+                service=service,
+                policy=TriggerPolicy(consecutive_breaches=1, cooldown_checks=0),
+                regression_tolerance=100.0,
+                seed=0,
+            )
+            monitor.observe(_drifted_rows(generator, 24))
+            check = controller.check()
+            assert check.action == "adapted"
+            assert service.model_version == 1  # hot-swapped
+
+        assert registry.list_versions("tiny") == [0, 1]
+        assert registry.head_version("tiny") == 1
+        entry = registry.entry("tiny", 1)
+        assert entry.metadata["trigger"] == "drift"
+        assert entry.domains_seen == 2  # one continual stage ran
+
+        event = controller.events[0]
+        assert event.accepted and event.previous_version == 0 and event.new_version == 1
+        # The monitor now measures drift against the adapted-to domain…
+        assert not np.array_equal(monitor.reference, old_reference)
+        assert not monitor.is_warm  # …with a cleared window…
+        assert detector.threshold != old_threshold  # …and a recalibrated detector.
+
+        # The saved version serves exactly what the live learner predicts.
+        probe = _drifted_rows(generator, 12)
+        np.testing.assert_array_equal(
+            registry.load("tiny", 1).predict(probe).ite_hat,
+            controller.learner.predict(probe).ite_hat,
+        )
+
+    def test_regressing_adaptation_rolls_back(self, loop, generator):
+        learner, registry, monitor, detector, scenario = loop
+        probe = _drifted_rows(generator, 12)
+        before = learner.predict(probe).ite_hat.copy()
+        # Share the learner object with the service — the harshest wiring:
+        # the rejected adaptation mutates it in place, so rollback must also
+        # swap the service back to the checkpointed state.
+        with PredictionService(learner, model_version=0, max_batch=8) as service:
+            controller = AdaptationController(
+                learner,
+                monitor,
+                detector,
+                registry,
+                "tiny",
+                labeler=scenario.make_labeler(),
+                service=service,
+                policy=TriggerPolicy(consecutive_breaches=1, cooldown_checks=1),
+                regression_tolerance=-1.0,  # accept only if RMSE <= 0: impossible
+                seed=0,
+            )
+            monitor.observe(_drifted_rows(generator, 24))
+            check = controller.check()
+            assert check.action == "rolled_back"
+            assert service.model_version == 0
+            # The service no longer answers with the mutated learner.
+            np.testing.assert_array_equal(service.predict(probe).ite_hat, before)
+
+        assert registry.list_versions("tiny") == [0]  # nothing new saved
+        assert registry.head_version("tiny") == 0
+        event = controller.events[0]
+        assert not event.accepted and event.new_version == 0
+        # The controller's learner is the restored v0 checkpoint, bit for bit —
+        # not the mutated post-observe learner.
+        assert controller.learner is not learner
+        np.testing.assert_array_equal(controller.learner.predict(probe).ite_hat, before)
+        # The drained window stays drained; cooldown prevents an immediate retry.
+        assert controller.check().action == "cooldown"
+        assert controller.check().action == "warming"
+
+    def test_requires_bootstrapped_registry(self, loop, scenario, tmp_path):
+        learner, _, monitor, detector, _ = loop
+        empty = ModelRegistry(tmp_path / "empty")
+        with pytest.raises(FileNotFoundError, match="no checkpoints"):
+            AdaptationController(
+                learner, monitor, detector, empty, "tiny", labeler=scenario.make_labeler()
+            )
+
+    def test_labeler_row_count_enforced(self, loop, generator):
+        learner, registry, monitor, detector, scenario = loop
+        controller = AdaptationController(
+            learner,
+            monitor,
+            detector,
+            registry,
+            "tiny",
+            labeler=lambda covariates: scenario.label(covariates[:-1], key=0),
+            policy=TriggerPolicy(consecutive_breaches=1, cooldown_checks=0),
+            seed=0,
+        )
+        monitor.observe(_drifted_rows(generator, 24))
+        with pytest.raises(ValueError, match="labeler returned"):
+            controller.check()
+
+    def test_val_fraction_validation(self, loop, scenario):
+        learner, registry, monitor, detector, _ = loop
+        with pytest.raises(ValueError, match="val_fraction"):
+            AdaptationController(
+                learner,
+                monitor,
+                detector,
+                registry,
+                "tiny",
+                labeler=scenario.make_labeler(),
+                val_fraction=1.0,
+            )
+
+    def test_window_too_small_to_adapt_rejected_up_front(self, loop, scenario):
+        """The adaptation transaction must never crash after the registry
+        save and hot-swap have committed: impossible window geometries
+        (training split below the detector's calibration minimum) are
+        rejected at construction."""
+        learner, registry, _, detector, _ = loop
+        tiny_monitor = TrafficMonitor(learner_reference(learner), window_capacity=4)
+        with pytest.raises(ValueError, match="at least\\s+4"):
+            AdaptationController(
+                learner,
+                tiny_monitor,
+                detector,
+                registry,
+                "tiny",
+                labeler=scenario.make_labeler(),
+            )
+
+
+def learner_reference(learner) -> np.ndarray:
+    """Any plausible reference matrix matching the learner's feature count."""
+    return np.random.default_rng(0).normal(size=(32, learner.n_features))

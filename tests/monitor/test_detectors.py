@@ -1,0 +1,138 @@
+"""Tests for the drift statistics and the permutation-calibrated detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.balance import mmd2_linear, mmd2_rbf, wasserstein_1d_exact
+from repro.monitor import DRIFT_STATISTICS, DriftDetector, drift_statistic
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def reference(rng):
+    return rng.normal(size=(120, 6))
+
+
+@pytest.fixture
+def null_window(rng):
+    return rng.normal(size=(40, 6))
+
+
+@pytest.fixture
+def shifted_window(rng):
+    return rng.normal(size=(40, 6)) + 2.0
+
+
+class TestDriftStatistic:
+    def test_shifted_window_scores_higher(self, reference, null_window, shifted_window):
+        for statistic in DRIFT_STATISTICS:
+            near = drift_statistic(reference, null_window, statistic)
+            far = drift_statistic(reference, shifted_window, statistic)
+            assert far > near, statistic
+
+    def test_unknown_statistic_rejected(self, reference, null_window):
+        with pytest.raises(ValueError, match="unknown drift statistic"):
+            drift_statistic(reference, null_window, "energy")
+
+    def test_wasserstein_matches_per_feature_exact(self, reference, null_window):
+        value = drift_statistic(reference, null_window, "wasserstein_1d")
+        per_feature = [
+            wasserstein_1d_exact(reference[:, j], null_window[:, j])
+            for j in range(reference.shape[1])
+        ]
+        assert value == float(np.mean(per_feature))
+
+
+class TestCachedScoreParity:
+    """score() reuses reference-side caches; results must stay bit-identical
+    to the uncached statistic AND to the Tensor IPM path."""
+
+    @pytest.mark.parametrize("statistic", DRIFT_STATISTICS)
+    def test_score_equals_uncached_statistic(self, statistic, reference, shifted_window):
+        detector = DriftDetector(statistic, n_permutations=10, seed=0)
+        detector.calibrate(reference, window_size=40)
+        sigma = detector.bandwidth if statistic == "mmd_rbf" else 1.0
+        expected = drift_statistic(reference, shifted_window, statistic, sigma=sigma)
+        assert detector.score(shifted_window).statistic == expected
+
+    def test_mmd_scores_equal_tensor_path(self, reference, shifted_window):
+        linear = DriftDetector("mmd_linear", n_permutations=5, seed=0)
+        linear.calibrate(reference, window_size=40)
+        assert linear.score(shifted_window).statistic == float(
+            mmd2_linear(Tensor(reference), Tensor(shifted_window)).data
+        )
+        rbf = DriftDetector("mmd_rbf", n_permutations=5, seed=0)
+        rbf.calibrate(reference, window_size=40)
+        assert rbf.score(shifted_window).statistic == float(
+            mmd2_rbf(Tensor(reference), Tensor(shifted_window), sigma=rbf.bandwidth).data
+        )
+
+
+class TestCalibration:
+    def test_same_seed_same_threshold(self, reference):
+        first = DriftDetector("mmd_rbf", n_permutations=30, seed=5).calibrate(reference, 40)
+        second = DriftDetector("mmd_rbf", n_permutations=30, seed=5).calibrate(reference, 40)
+        assert first.threshold == second.threshold
+        assert first.bandwidth == second.bandwidth
+        np.testing.assert_array_equal(first.null_statistics, second.null_statistics)
+
+    def test_threshold_is_an_achieved_null_value(self, reference):
+        detector = DriftDetector("mmd_linear", n_permutations=25, seed=1).calibrate(reference, 40)
+        assert detector.threshold in detector.null_statistics
+
+    @pytest.mark.parametrize("statistic", DRIFT_STATISTICS)
+    def test_detects_shift_not_null(self, statistic, reference, null_window, shifted_window):
+        detector = DriftDetector(
+            statistic, quantile=0.95, n_permutations=60, seed=2
+        ).calibrate(reference, window_size=40)
+        assert detector.score(shifted_window).breach, statistic
+        assert not detector.score(null_window).breach, statistic
+
+    def test_small_reference_uses_half_splits(self, rng):
+        reference = rng.normal(size=(20, 3))
+        detector = DriftDetector("mmd_linear", n_permutations=10, seed=0)
+        detector.calibrate(reference, window_size=64)  # window larger than reference
+        assert detector.score(rng.normal(size=(64, 3)) + 3.0).breach
+
+    def test_median_bandwidth_tracks_data_scale(self, rng):
+        small = DriftDetector("mmd_rbf", n_permutations=5, seed=0)
+        small.calibrate(rng.normal(size=(60, 4)), 20)
+        large = DriftDetector("mmd_rbf", n_permutations=5, seed=0)
+        large.calibrate(rng.normal(size=(60, 4)) * 50.0, 20)
+        assert large.bandwidth > 10 * small.bandwidth
+
+    def test_fixed_sigma_is_honoured(self, reference):
+        detector = DriftDetector("mmd_rbf", sigma=3.5, n_permutations=5, seed=0)
+        detector.calibrate(reference, 40)
+        assert detector.bandwidth == 3.5
+
+
+class TestValidation:
+    def test_score_before_calibrate_raises(self, null_window):
+        with pytest.raises(RuntimeError, match="calibrate"):
+            DriftDetector().score(null_window)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="unknown drift statistic"):
+            DriftDetector("energy")
+        with pytest.raises(ValueError, match="sigma"):
+            DriftDetector(sigma=0.0)
+        with pytest.raises(ValueError, match="sigma"):
+            DriftDetector(sigma="auto")
+        with pytest.raises(ValueError, match="quantile"):
+            DriftDetector(quantile=1.5)
+        with pytest.raises(ValueError, match="n_permutations"):
+            DriftDetector(n_permutations=0)
+
+    def test_dimension_mismatch_rejected(self, reference, rng):
+        detector = DriftDetector("mmd_linear", n_permutations=5).calibrate(reference, 40)
+        with pytest.raises(ValueError, match="covariate dimension"):
+            detector.score(rng.normal(size=(40, 3)))
+
+    def test_calibrate_validation(self, rng):
+        with pytest.raises(ValueError, match="at least four"):
+            DriftDetector().calibrate(rng.normal(size=(3, 2)), 2)
+        with pytest.raises(ValueError, match="window_size"):
+            DriftDetector().calibrate(rng.normal(size=(10, 2)), 1)

@@ -1,0 +1,128 @@
+"""Tests for the rolling traffic window and the service-tapping monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monitor import RollingWindow, TrafficMonitor
+
+
+class TestRollingWindow:
+    def test_fills_in_arrival_order(self):
+        window = RollingWindow(capacity=4, n_features=2)
+        assert len(window) == 0 and not window.is_full
+        window.extend(np.array([[1.0, 1.0], [2.0, 2.0]]))
+        np.testing.assert_array_equal(window.values(), [[1.0, 1.0], [2.0, 2.0]])
+        assert window.total_seen == 2
+
+    def test_wraps_and_keeps_most_recent(self):
+        window = RollingWindow(capacity=3, n_features=1)
+        for value in range(5):
+            window.extend(np.array([[float(value)]]))
+        assert window.is_full
+        np.testing.assert_array_equal(window.values().ravel(), [2.0, 3.0, 4.0])
+        assert window.total_seen == 5
+
+    def test_block_larger_than_capacity_keeps_trailing_rows(self):
+        window = RollingWindow(capacity=3, n_features=1)
+        window.extend(np.arange(10.0).reshape(-1, 1))
+        np.testing.assert_array_equal(window.values().ravel(), [7.0, 8.0, 9.0])
+
+    def test_block_extend_wraps_mid_buffer(self):
+        window = RollingWindow(capacity=4, n_features=1)
+        window.extend(np.arange(3.0).reshape(-1, 1))
+        window.extend(np.array([[3.0], [4.0]]))  # wraps after one slot
+        np.testing.assert_array_equal(window.values().ravel(), [1.0, 2.0, 3.0, 4.0])
+
+    def test_values_are_copies(self):
+        window = RollingWindow(capacity=2, n_features=1)
+        window.extend(np.array([[1.0], [2.0]]))
+        snapshot = window.values()
+        snapshot[:] = -1.0
+        np.testing.assert_array_equal(window.values().ravel(), [1.0, 2.0])
+
+    def test_clear_keeps_total_seen(self):
+        window = RollingWindow(capacity=2, n_features=1)
+        window.extend(np.array([[1.0], [2.0]]))
+        window.clear()
+        assert len(window) == 0
+        assert window.total_seen == 2
+
+    def test_rejects_bad_shapes_and_sizes(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RollingWindow(capacity=0, n_features=1)
+        window = RollingWindow(capacity=2, n_features=3)
+        with pytest.raises(ValueError, match="shape"):
+            window.extend(np.ones((2, 2)))
+
+
+class _FakeService:
+    """Just the observer registry of a PredictionService."""
+
+    def __init__(self) -> None:
+        self.observers = []
+
+    def add_observer(self, observer):
+        self.observers.append(observer)
+
+    def remove_observer(self, observer):
+        self.observers.remove(observer)
+
+
+class TestTrafficMonitor:
+    def test_observe_accepts_rows_and_blocks(self, rng):
+        reference = rng.normal(size=(20, 3))
+        monitor = TrafficMonitor(reference, window_capacity=4)
+        monitor.observe(np.ones(3))  # single row
+        monitor.observe(np.zeros((2, 3)))  # block
+        assert monitor.rows_seen == 3
+        assert not monitor.is_warm
+        monitor.observe(np.full((5, 3), 2.0))
+        assert monitor.is_warm
+        assert monitor.window_values().shape == (4, 3)
+
+    def test_reference_is_frozen_copy(self, rng):
+        source = rng.normal(size=(10, 2))
+        monitor = TrafficMonitor(source)
+        source[:] = 0.0
+        assert not np.array_equal(monitor.reference, source)
+        with pytest.raises(ValueError):
+            monitor.reference[0, 0] = 1.0  # read-only
+
+    def test_default_window_is_half_the_reference(self, rng):
+        monitor = TrafficMonitor(rng.normal(size=(30, 2)))
+        assert monitor.window_capacity == 15
+
+    def test_attach_detach_round_trip(self, rng):
+        monitor = TrafficMonitor(rng.normal(size=(10, 2)), window_capacity=4)
+        service = _FakeService()
+        monitor.attach(service)
+        service.observers[0](np.ones((2, 2)))
+        assert monitor.rows_seen == 2
+        monitor.detach(service)
+        assert service.observers == []
+
+    def test_drain_returns_and_clears(self, rng):
+        monitor = TrafficMonitor(rng.normal(size=(10, 2)), window_capacity=3)
+        monitor.observe(np.arange(6.0).reshape(3, 2))
+        drained = monitor.drain()
+        np.testing.assert_array_equal(drained, np.arange(6.0).reshape(3, 2))
+        assert monitor.window_values().shape == (0, 2)
+
+    def test_rebase_replaces_reference_and_clears_window(self, rng):
+        monitor = TrafficMonitor(rng.normal(size=(10, 2)), window_capacity=4)
+        monitor.observe(np.ones((4, 2)))
+        new_reference = rng.normal(size=(8, 2))
+        monitor.rebase(new_reference)
+        np.testing.assert_array_equal(monitor.reference, new_reference)
+        assert not monitor.is_warm
+        assert monitor.window_capacity == 4
+        with pytest.raises(ValueError, match="shape"):
+            monitor.rebase(rng.normal(size=(8, 5)))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            TrafficMonitor(np.ones(5))
+        with pytest.raises(ValueError, match="window_capacity"):
+            TrafficMonitor(rng.normal(size=(10, 2)), window_capacity=1)

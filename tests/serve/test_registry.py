@@ -112,6 +112,54 @@ class TestRollback:
         with pytest.raises(KeyError, match="no version 7"):
             registry.rollback("tiny", 7)
 
+    def test_save_after_rollback_preserves_existing_versions(
+        self, stream, trained_learner, tmp_path
+    ):
+        """Rollback-then-save: the new version must join the history without
+        clobbering or reordering anything saved before the rollback."""
+        registry = ModelRegistry(tmp_path)
+        covariates = stream[0].test.covariates
+        references = {}
+        for domain_index in (0, 1):
+            if domain_index:
+                trained_learner.observe(stream.train_data(domain_index))
+            registry.save("tiny", domain_index, trained_learner)
+            references[domain_index] = trained_learner.predict(covariates).ite_hat.copy()
+
+        registry.rollback("tiny", 0)
+        assert registry.head_version("tiny") == 0
+
+        # Saving while head points at an older version: head semantics are
+        # pinned to "save promotes the saved version", and v1 — the version
+        # the head had skipped past — survives untouched.
+        registry.save("tiny", 2, trained_learner)
+        references[2] = trained_learner.predict(covariates).ite_hat.copy()
+        assert registry.list_versions("tiny") == [0, 1, 2]
+        assert registry.head_version("tiny") == 2
+        for domain_index, expected in references.items():
+            np.testing.assert_array_equal(
+                registry.load("tiny", domain_index).predict(covariates).ite_hat,
+                expected,
+            )
+
+    def test_resave_after_rollback_overwrites_only_that_version(
+        self, stream, trained_learner, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path)
+        covariates = stream[0].test.covariates
+        registry.save("tiny", 0, trained_learner)
+        v0_reference = trained_learner.predict(covariates).ite_hat.copy()
+        trained_learner.observe(stream.train_data(1))
+        registry.save("tiny", 1, trained_learner)
+
+        registry.rollback("tiny", 0)
+        registry.save("tiny", 1, trained_learner)  # idempotent re-deploy of v1
+        assert registry.list_versions("tiny") == [0, 1]
+        assert registry.head_version("tiny") == 1  # save promotes the version
+        np.testing.assert_array_equal(
+            registry.load("tiny", 0).predict(covariates).ite_hat, v0_reference
+        )
+
 
 class TestValidationAndFailureModes:
     def test_unknown_stream_raises(self, tmp_path):

@@ -261,3 +261,130 @@ class TestMicroBatcher:
             MicroBatcher(run, max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(run, max_wait_ms=-1.0)
+
+
+class TestMicroBatcherClose:
+    def test_submit_after_close_raises_instead_of_hanging(self):
+        """A query enqueued after close() would never be dispatched and its
+        caller would block forever on .result(); submit must fail loudly."""
+
+        def run_batch(stacked):
+            total = stacked.sum(axis=1)
+            return total, total, total, None
+
+        batcher = MicroBatcher(run_batch, max_batch=4)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed MicroBatcher"):
+            batcher.submit(np.ones(2))
+        batcher.close()  # idempotent
+
+    def test_close_concurrent_with_submitters_never_loses_answers(self):
+        """Racing submit against close: every submit either raises the closed
+        error or returns a handle that resolves — no silent hangs."""
+
+        def run_batch(stacked):
+            total = stacked.sum(axis=1)
+            return total, total, total, None
+
+        batcher = MicroBatcher(run_batch, max_batch=4)
+        outcomes: list = []
+        barrier = threading.Barrier(4)
+
+        def client() -> None:
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    pending = batcher.submit(np.ones(2))
+                except RuntimeError:
+                    outcomes.append("rejected")
+                    return
+                outcomes.append(pending.result(timeout=10.0).mu0)
+
+        def closer() -> None:
+            barrier.wait()
+            batcher.close()
+
+        threads = [threading.Thread(target=client) for _ in range(3)]
+        threads.append(threading.Thread(target=closer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(outcome == 2.0 or outcome == "rejected" for outcome in outcomes)
+
+
+class TestTrafficObservers:
+    def test_observers_see_submitted_rows_in_order(self, served):
+        learner, _, queries = served
+        seen: list = []
+        with PredictionService(learner, max_batch=8) as service:
+            service.add_observer(seen.append)
+            for index in range(3):
+                service.predict_one(queries[index])
+        assert [rows.shape for rows in seen] == [(1, queries.shape[1])] * 3
+        np.testing.assert_array_equal(np.concatenate(seen), queries[:3])
+
+    def test_observers_see_direct_predict_batches(self, served):
+        learner, _, queries = served
+        seen: list = []
+        with PredictionService(learner) as service:
+            service.add_observer(seen.append)
+            service.predict(queries[:5])
+        assert len(seen) == 1 and seen[0].shape == (5, queries.shape[1])
+
+    def test_removed_observer_stops_seeing_traffic(self, served):
+        learner, _, queries = served
+        seen: list = []
+        with PredictionService(learner) as service:
+            service.add_observer(seen.append)
+            service.predict_one(queries[0])
+            service.remove_observer(seen.append)
+            service.predict_one(queries[1])
+        assert len(seen) == 1
+
+    def test_rejected_submit_is_not_recorded(self, served):
+        """A closed service must not phantom-record queries it rejected."""
+        learner, _, queries = served
+        seen: list = []
+        service = PredictionService(learner)
+        service.add_observer(seen.append)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(queries[0])
+        assert seen == []
+
+    def test_failed_predict_is_not_recorded(self, served):
+        """Queries that were never answered must not enter drift windows."""
+        learner, _, queries = served
+        seen: list = []
+
+        class ExplodingLearner:
+            n_features = learner.n_features
+
+            def predict(self, covariates):
+                raise RuntimeError("model exploded")
+
+        with PredictionService(ExplodingLearner()) as service:
+            service.add_observer(seen.append)
+            with pytest.raises(RuntimeError, match="model exploded"):
+                service.predict(queries[:4])
+            failing = service.submit(queries[0])
+            with pytest.raises(RuntimeError, match="model exploded"):
+                failing.result(timeout=30.0)
+        assert seen == []
+
+    def test_observed_rows_are_read_only(self, served):
+        """A misbehaving observer must not be able to rewrite queued queries
+        or the caller's own covariate array."""
+        learner, _, queries = served
+        seen: list = []
+        with PredictionService(learner, max_batch=4) as service:
+            service.add_observer(seen.append)
+            service.predict_one(queries[0])
+            service.predict(queries[:3])
+        assert len(seen) == 2
+        for rows in seen:
+            assert not rows.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                rows[0, 0] = 0.0
+        assert queries.flags.writeable  # the caller's array stays writable
