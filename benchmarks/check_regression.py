@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare ``BENCH_engine.json`` against the baseline.
+
+The engine perf guard (``benchmarks/test_bench_engine.py``) records the
+speedup of every optimised hot path into ``BENCH_engine.json``, but recording
+alone enforces nothing — a PR could halve the micro-batcher's throughput and
+CI would still be green.  This script closes that gap: it compares the
+freshly emitted trajectory against the committed snapshot in
+``benchmarks/baseline/BENCH_baseline.json`` and fails when any speedup ratio
+degrades beyond the tolerance.
+
+Rules
+-----
+* every baseline section carrying a ``speedup`` is gated: the current run
+  must contain that section, and its speedup must be at least
+  ``baseline * (1 - tolerance)`` (default tolerance 20%, ``--tolerance`` /
+  ``BENCH_TOLERANCE`` override; ``--tolerance 0`` means any degradation
+  below the baseline fails);
+* sections without a ``speedup`` (absolute wall-time trajectory points like
+  ``cerl_stage``) and file metadata are not gated;
+* sections present in the current run but not in the baseline are reported
+  as new-and-ungated — commit them to the baseline to start gating them.
+
+Re-baselining
+-------------
+The committed baseline holds *conservative floors* (the minimum honestly
+observed across runs/machines), not a single lucky measurement — shared CI
+runners are noisy and the gate must only fail for real regressions.  After a
+deliberate perf change, re-baseline with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_engine.py -x -q
+    cp BENCH_engine.json benchmarks/baseline/BENCH_baseline.json
+
+then review the diff (lower the fresh numbers toward previously observed
+minima where a section is known to be noisy) and commit it alongside the
+change that justified it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_BASELINE = BENCH_DIR / "baseline" / "BENCH_baseline.json"
+DEFAULT_CURRENT = BENCH_DIR.parent / "BENCH_engine.json"
+
+#: Top-level keys that describe the file, not a benchmark section.
+METADATA_KEYS = {"generated_by", "python", "machine", "note"}
+
+
+def load_speedups(payload: dict) -> Dict[str, float]:
+    """Extract ``section -> speedup`` from a benchmark payload."""
+    speedups = {}
+    for section, values in payload.items():
+        if section in METADATA_KEYS or not isinstance(values, dict):
+            continue
+        if "speedup" in values:
+            speedups[section] = float(values["speedup"])
+    return speedups
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float
+) -> Tuple[List[str], List[str]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns ``(failures, report)`` — human-readable failure strings (empty
+    when the gate passes) and one status line per inspected section.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    baseline_speedups = load_speedups(baseline)
+    current_speedups = load_speedups(current)
+    failures: List[str] = []
+    report: List[str] = []
+    for section, base in sorted(baseline_speedups.items()):
+        floor = base * (1.0 - tolerance)
+        got = current_speedups.get(section)
+        if got is None:
+            failures.append(
+                f"{section}: missing from the current run (baseline {base:.3f}x) — "
+                f"a deleted benchmark must be removed from the baseline explicitly"
+            )
+            report.append(f"FAIL {section}: missing (baseline {base:.3f}x)")
+        elif got < floor:
+            failures.append(
+                f"{section}: {got:.3f}x is below the gate "
+                f"({base:.3f}x baseline - {100 * tolerance:.0f}% tolerance = "
+                f"{floor:.3f}x floor)"
+            )
+            report.append(f"FAIL {section}: {got:.3f}x < floor {floor:.3f}x")
+        else:
+            report.append(
+                f"ok   {section}: {got:.3f}x (floor {floor:.3f}x, baseline {base:.3f}x)"
+            )
+    for section in sorted(set(current_speedups) - set(baseline_speedups)):
+        report.append(
+            f"new  {section}: {current_speedups[section]:.3f}x (not in baseline, ungated)"
+        )
+    return failures, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when BENCH_engine.json regresses against the baseline."
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE, help="committed snapshot"
+    )
+    parser.add_argument(
+        "--current", type=Path, default=DEFAULT_CURRENT, help="freshly emitted results"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_TOLERANCE", "0.2")),
+        help="allowed fractional degradation of each speedup (default 0.2; "
+        "0 fails on any degradation)",
+    )
+    args = parser.parse_args(argv)
+
+    for label, path in (("baseline", args.baseline), ("current", args.current)):
+        if not path.exists():
+            print(f"perf gate: {label} file not found: {path}", file=sys.stderr)
+            return 2
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    failures, report = compare(baseline, current, args.tolerance)
+
+    print(f"perf gate: {args.current} vs {args.baseline} (tolerance {args.tolerance})")
+    for line in report:
+        print(f"  {line}")
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "\nIf the regression is intended (or the baseline was set too "
+            "optimistically), re-baseline as described in "
+            "benchmarks/check_regression.py.",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,12 +16,14 @@ Engine perf guard
 -----------------
 ``benchmarks/test_bench_engine.py`` measures the substrate hot paths (autograd
 backward pass, Sinkhorn inner loop, inference fast path, batched suite
-evaluation, parallel Table I execution, micro-batched serving throughput, one
-CERL continual stage) against the frozen seed implementations in
+evaluation, parallel Table I execution, micro-batched serving throughput,
+gateway fleet throughput and response cache, drift-check scoring, one CERL
+continual stage) against the frozen seed implementations in
 ``benchmarks/_seed_reference.py`` and the reference serial/Tensor paths.  Whatever it records through the
 :func:`engine_bench` fixture is written to ``BENCH_engine.json`` in the
 repository root at session end, giving future PRs a perf trajectory to
-compare against.
+compare against — and ``benchmarks/check_regression.py`` *enforces* it in CI
+against the committed floor snapshot ``benchmarks/baseline/BENCH_baseline.json``.
 """
 
 from __future__ import annotations

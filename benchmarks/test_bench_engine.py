@@ -1,7 +1,8 @@
 """Engine perf guard: substrate hot paths versus the frozen seed implementation.
 
-Measures eight things and records them into ``BENCH_engine.json`` (via the
-``engine_bench`` fixture in ``conftest.py``):
+Measures the hot paths below and records them into ``BENCH_engine.json`` (via
+the ``engine_bench`` fixture in ``conftest.py``; enforced against
+``benchmarks/baseline/BENCH_baseline.json`` by ``check_regression.py``):
 
 * the autograd **backward pass** of a CERL-shaped batch loss (encoder MLP,
   two outcome heads, elastic net, group-balancing term) — new ``repro.nn``
@@ -20,6 +21,11 @@ Measures eight things and records them into ``BENCH_engine.json`` (via the
   under pipelined multi-thread load versus naive per-query (batch-1)
   serving, with every response asserted bit-identical to the direct batched
   reference;
+* **gateway throughput**: the sharded multi-tenant ``ServingGateway`` under
+  interleaved multi-stream traffic versus a single-service front door that
+  must hot-swap models between queries, responses asserted bit-identical;
+* **gateway cache**: the TTL+LRU response-cache hit path versus re-executing
+  repeated queries, transparency asserted bitwise first;
 * **drift detection**: one ``repro.monitor`` drift check (RBF-MMD of the
   rolling traffic window against the frozen reference) on the cached ndarray
   scorer versus recomputing the full statistic through the Tensor IPM path,
@@ -501,6 +507,202 @@ def test_bench_serve_throughput(engine_bench):
         f"{service_qps:,.0f} q/s ({speedup:.2f}x, mean batch {mean_batch:.1f})"
     )
     assert speedup > 1.0, f"micro-batched serving regressed: {speedup:.2f}x vs per-query"
+
+
+# --------------------------------------------------------------------------- #
+# multi-tenant gateway
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="engine")
+def test_bench_gateway_throughput(engine_bench):
+    """Sharded ``ServingGateway`` vs one ``PredictionService`` front door.
+
+    The load is interleaved multi-stream traffic: 8 client threads each
+    pipeline single-unit ITE queries that cycle across 4 streams (4 distinct
+    models).  The gateway digest-routes each stream to its own shard, so
+    every shard's micro-batcher coalesces its stream's queries onto one
+    canonical-size inference batch.  The baseline is what a deployment
+    without the gateway would do: a single ``PredictionService`` front door
+    must hot-swap to the right model whenever consecutive queries hit
+    different streams, which reduces it to swap + batch-1 ``predict`` per
+    query — batching cannot survive model interleaving.  Every gateway
+    response is asserted bit-identical to the direct batched reference of
+    its stream before any timing is trusted.
+    """
+    import copy
+    import threading
+
+    from repro.serve import PredictionService, ServingGateway
+
+    base_model, _ = _fitted_eval_model(n_units=600, n_domains=1)
+    n_streams = 4
+    streams = [f"s{i:02d}" for i in range(n_streams)]
+    # Each stream's service must own its learner (inference workspaces are
+    # per-module); identical copies keep the reference check trivial.
+    models = {name: copy.deepcopy(base_model) for name in streams}
+    rng = np.random.default_rng(13)
+    queries = rng.normal(size=(256, base_model.n_features))
+    reference = base_model.predict(queries)
+    n_threads, per_thread = 8, 96
+    thread_indices = [
+        np.random.default_rng(thread).integers(0, len(queries), size=per_thread)
+        for thread in range(n_threads)
+    ]
+
+    def gateway_round() -> float:
+        with ServingGateway(
+            loader=lambda stream: (models[stream], 0),
+            n_shards=n_streams,
+            max_batch=len(queries),
+            cache_capacity=0,
+        ) as gateway:
+            for name in streams:  # spin up + warm the inference workspaces
+                gateway.predict_one(name, queries[0])
+            failures: list = []
+            barrier = threading.Barrier(n_threads)
+
+            def client(thread_index: int) -> None:
+                barrier.wait()
+                pendings = [
+                    (index, gateway.submit(streams[(thread_index + q) % n_streams], queries[index]))
+                    for q, index in enumerate(thread_indices[thread_index])
+                ]
+                mine = []
+                for index, pending in pendings:
+                    response = pending.result(timeout=60.0)
+                    if (
+                        response.mu0 != reference.y0_hat[index]
+                        or response.mu1 != reference.y1_hat[index]
+                        or response.ite != reference.ite_hat[index]
+                    ):
+                        mine.append(int(index))
+                if mine:
+                    failures.append(mine)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(n_threads)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+        assert failures == [], "gateway responses diverged from the batched reference"
+        return elapsed
+
+    # The no-gateway baseline: one service, forced to swap models whenever
+    # the stream changes (every query under interleaved traffic).
+    flat = [
+        (streams[(thread + q) % n_streams], index)
+        for thread in range(n_threads)
+        for q, index in enumerate(thread_indices[thread])
+    ]
+
+    def single_service_round() -> float:
+        with PredictionService(models[streams[0]], model_version=0) as service:
+            service.predict(queries[:1])  # warm
+            start = time.perf_counter()
+            current = streams[0]
+            for stream, index in flat:
+                if stream != current:
+                    service.swap_model(models[stream], model_version=0)
+                    current = stream
+                service.predict(queries[index : index + 1])
+            return time.perf_counter() - start
+
+    single_time, gateway_time = _interleaved_best(
+        single_service_round, gateway_round, rounds=4
+    )
+    total = n_threads * per_thread
+    gateway_qps = total / gateway_time
+    single_qps = total / single_time
+    speedup = gateway_qps / single_qps
+    engine_bench(
+        "gateway_throughput",
+        gateway_qps=round(gateway_qps, 1),
+        single_service_qps=round(single_qps, 1),
+        speedup=round(speedup, 3),
+        streams=n_streams,
+        shards=n_streams,
+        threads=n_threads,
+        queries=total,
+        workload="8 threads x 96 queries interleaved over 4 streams, canonical batch 256",
+    )
+    print(
+        f"\ngateway throughput: single service {single_qps:,.0f} q/s -> "
+        f"{n_streams}-shard gateway {gateway_qps:,.0f} q/s ({speedup:.2f}x)"
+    )
+    assert speedup > 1.0, f"gateway throughput regressed: {speedup:.2f}x vs single service"
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_gateway_cache(engine_bench):
+    """Response-cache hit path vs re-executing repeated queries.
+
+    Serving traffic repeats (refreshes, dashboards, replayed tapes); the
+    gateway's TTL+LRU cache answers a repeat without touching the batcher.
+    Transparency is asserted first: every cached response is bit-identical
+    to the direct batched reference at the canonical execution size.
+    """
+    import copy
+
+    from repro.serve import ServingGateway
+
+    model, _ = _fitted_eval_model(n_units=600, n_domains=1)
+    rng = np.random.default_rng(17)
+    hot_rows = rng.normal(size=(64, model.n_features))
+    reference = model.predict(hot_rows)
+    lookups = np.random.default_rng(23).integers(0, len(hot_rows), size=2000)
+
+    def make_gateway(cache_capacity: int) -> ServingGateway:
+        # Each gateway's service owns its learner copy (workspace hygiene).
+        return ServingGateway(
+            loader=lambda stream: (copy.deepcopy(model), 0),
+            n_shards=1,
+            max_batch=len(hot_rows),
+            cache_capacity=cache_capacity,
+        )
+
+    with make_gateway(cache_capacity=4096) as cached, make_gateway(
+        cache_capacity=0
+    ) as uncached:
+        for index in range(len(hot_rows)):  # prime the cache / warm workspaces
+            response = cached.predict_one("hot", hot_rows[index])
+            assert response.mu0 == reference.y0_hat[index]
+            assert response.ite == reference.ite_hat[index]
+            uncached.predict_one("hot", hot_rows[index])
+
+        def cached_round() -> None:
+            for index in lookups:
+                cached.predict_one("hot", hot_rows[index])
+
+        def uncached_round() -> None:
+            for index in lookups:
+                uncached.predict_one("hot", hot_rows[index])
+
+        uncached_time, cached_time = _interleaved_best(
+            _timed_round(uncached_round, 1), _timed_round(cached_round, 1), rounds=4
+        )
+        sample = cached.predict_one("hot", hot_rows[5])
+        assert sample.mu0 == reference.y0_hat[5] and sample.ite == reference.ite_hat[5]
+        hit_rate = cached.stats().cache_hit_rate
+
+    cached_qps = len(lookups) / cached_time
+    uncached_qps = len(lookups) / uncached_time
+    speedup = cached_qps / uncached_qps
+    engine_bench(
+        "gateway_cache",
+        cached_qps=round(cached_qps, 1),
+        uncached_qps=round(uncached_qps, 1),
+        speedup=round(speedup, 3),
+        hit_rate=round(hit_rate, 4),
+        workload="2000 repeated single-unit queries over 64 hot rows, canonical batch 64",
+    )
+    print(
+        f"\ngateway cache: uncached {uncached_qps:,.0f} q/s -> cached "
+        f"{cached_qps:,.0f} q/s ({speedup:.2f}x, hit rate {100 * hit_rate:.0f}%)"
+    )
+    assert speedup > 1.0, f"gateway cache regressed: {speedup:.2f}x vs uncached"
 
 
 # --------------------------------------------------------------------------- #

@@ -29,7 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.data import DomainStream, SyntheticConfig, SyntheticDomainGenerator
+from repro.data import DomainStream, SyntheticDomainGenerator
 from repro.experiments import format_table, run_continual_deployment
 from repro.serve import ModelRegistry, PredictionService
 from repro.experiments import SMOKE, QUICK

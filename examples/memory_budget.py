@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import argparse
 
-from repro.data import SyntheticDomainGenerator
 from repro.experiments import QUICK, run_figure3_memory
 
 

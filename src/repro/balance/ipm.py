@@ -25,7 +25,7 @@ Wasserstein distance from the 1-Lipschitz IPM family, following CFR
 
 from __future__ import annotations
 
-from typing import Literal, Optional
+from typing import Literal
 
 import numpy as np
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Literal, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Literal, Tuple
 
 __all__ = ["ModelConfig", "ContinualConfig"]
 

@@ -18,8 +18,8 @@ of the topic-model substrate in :mod:`repro.data.topics`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional, Tuple
 
 import numpy as np
 

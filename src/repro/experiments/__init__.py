@@ -2,6 +2,7 @@
 
 from .autoadapt import AutoAdaptationResult, TickTrace, run_auto_adaptation
 from .deployment import DeploymentResult, DeploymentStage, run_continual_deployment
+from .fleet import FleetDeploymentResult, FleetStreamReport, run_fleet_deployment
 from .parallel import derive_seed, parallel_map, seeded_tasks
 from .profiles import PAPER, QUICK, SMOKE, ExperimentProfile
 from .runner import (
@@ -30,6 +31,9 @@ __all__ = [
     "DeploymentResult",
     "DeploymentStage",
     "run_continual_deployment",
+    "FleetDeploymentResult",
+    "FleetStreamReport",
+    "run_fleet_deployment",
     "derive_seed",
     "parallel_map",
     "seeded_tasks",

@@ -24,7 +24,7 @@ from ..data.streams import DomainStream
 from ..data.synthetic import SyntheticConfig, SyntheticDomainGenerator
 from .profiles import ExperimentProfile, QUICK
 from .reporting import format_series, format_table
-from .runner import StreamResult, run_stream
+from .runner import run_stream
 
 __all__ = [
     "MemoryCurveResult",

@@ -1,0 +1,300 @@
+"""Fleet deployment: many streams, one gateway, adaptation under live load.
+
+The single-stream drivers (:mod:`.deployment`, :mod:`.autoadapt`) prove the
+serving stack for one model lineage.  :func:`run_fleet_deployment` proves the
+*multi-tenant* story the gateway exists for:
+
+1. ``n_streams`` independent streams are trained (one CERL per stream, each
+   on its own synthetic domain sequence with a derived seed) and registered
+   as version 0 of their stream in one shared
+   :class:`~repro.serve.ModelRegistry`;
+2. a :class:`~repro.serve.ServingGateway` fronts the registry — every
+   stream's service is spun up lazily by its first query, placed on its
+   digest-routed shard;
+3. concurrent client threads hammer all streams at once with single-unit ITE
+   queries; **while they are serving**, one stream is adapted end-to-end
+   (observe the next domain → save version 1 → hot-swap through the
+   gateway), and the other streams keep answering undisturbed;
+4. every response is verified bitwise against the direct batched ``predict``
+   of the model version it reports — across shards, cache hits, and the
+   mid-flight swap.
+
+The per-stream seeds come from :func:`~.parallel.derive_seed`, so a fleet is
+reproducible regardless of how many streams it has or which one adapts.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.cerl import CERL
+from ..data.streams import DomainStream
+from ..data.synthetic import SyntheticDomainGenerator
+from ..serve import GatewayStats, ModelRegistry, ServingGateway
+from .parallel import derive_seed
+from .profiles import SMOKE, ExperimentProfile
+
+__all__ = ["FleetDeploymentResult", "FleetStreamReport", "run_fleet_deployment"]
+
+
+@dataclass
+class FleetStreamReport:
+    """One stream's view of the fleet run."""
+
+    name: str
+    shard: int
+    #: Registry versions existing for the stream when the run ended.
+    versions: List[int]
+    #: Distinct model versions observed in this stream's responses.
+    versions_served: List[int]
+    queries: int
+    #: Query indices whose response diverged from the reference of the
+    #: version it reported (empty == bitwise healthy).
+    mismatches: List[int] = field(default_factory=list)
+
+    @property
+    def parity(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass
+class FleetDeploymentResult:
+    """Full outcome of one fleet deployment."""
+
+    streams: List[FleetStreamReport] = field(default_factory=list)
+    adapted_stream: str = ""
+    #: Version the adapted stream's gateway service reported after the swap.
+    adapted_version: int = 0
+    stats: Optional[GatewayStats] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def parity(self) -> bool:
+        """Whether every response matched its version's batched reference."""
+        return all(report.parity for report in self.streams)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(report.queries for report in self.streams)
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.total_queries / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def summary_rows(self) -> List[dict]:
+        """Per-stream rows for :func:`repro.experiments.reporting.format_table`."""
+        return [
+            {
+                "stream": report.name,
+                "shard": report.shard,
+                "versions": str(report.versions),
+                "served": str(report.versions_served),
+                "queries": report.queries,
+                "parity": "exact" if report.parity else "DIVERGED",
+            }
+            for report in self.streams
+        ]
+
+
+def run_fleet_deployment(
+    n_streams: int = 3,
+    profile: ExperimentProfile = SMOKE,
+    n_shards: Optional[int] = None,
+    queries_per_stream: int = 48,
+    clients_per_stream: int = 2,
+    adapt_stream: int = 0,
+    registry_root: Optional[Union[str, Path]] = None,
+    stream_prefix: str = "stream",
+    cache_capacity: int = 1024,
+    max_pending_per_shard: Optional[int] = None,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+) -> FleetDeploymentResult:
+    """Train, register, and concurrently serve a fleet; adapt one stream live.
+
+    Parameters
+    ----------
+    n_streams, n_shards:
+        Fleet size and routing-target count (default: one shard per stream,
+        capped at 4 — several streams sharing a shard is part of the test).
+    queries_per_stream, clients_per_stream:
+        Serving load: each client thread submits ``queries_per_stream``
+        queries drawn (with replacement, seeded) from its stream's test set.
+    adapt_stream:
+        Index of the stream that is adapted mid-serving (observe the next
+        domain, save version 1, hot-swap through the gateway).
+    registry_root:
+        Registry directory; an ephemeral temporary directory when omitted.
+    cache_capacity, max_pending_per_shard:
+        Gateway knobs (see :class:`~repro.serve.ServingGateway`).
+    seed, epochs:
+        Base seed for the per-stream derived seeds, and the per-domain epoch
+        budget (default: the profile's).
+
+    Returns
+    -------
+    FleetDeploymentResult
+        Per-stream bitwise parity verdicts, gateway stats, and throughput.
+    """
+    if not 0 <= adapt_stream < n_streams:
+        raise ValueError(f"adapt_stream must be in [0, {n_streams}); got {adapt_stream}")
+    epochs = epochs if epochs is not None else profile.epochs
+    n_shards = n_shards if n_shards is not None else min(n_streams, 4)
+
+    with ExitStack() as stack:
+        if registry_root is None:
+            registry_root = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="cerl_fleet_")
+            )
+        return _run_fleet_deployment(
+            n_streams,
+            profile,
+            n_shards,
+            queries_per_stream,
+            clients_per_stream,
+            adapt_stream,
+            registry_root,
+            stream_prefix,
+            cache_capacity,
+            max_pending_per_shard,
+            seed,
+            epochs,
+        )
+
+
+def _run_fleet_deployment(
+    n_streams: int,
+    profile: ExperimentProfile,
+    n_shards: int,
+    queries_per_stream: int,
+    clients_per_stream: int,
+    adapt_stream: int,
+    registry_root: Union[str, Path],
+    stream_prefix: str,
+    cache_capacity: int,
+    max_pending_per_shard: Optional[int],
+    seed: int,
+    epochs: int,
+) -> FleetDeploymentResult:
+    """The run body, with all defaults resolved by :func:`run_fleet_deployment`."""
+    registry = ModelRegistry(registry_root)
+    names = [f"{stream_prefix}-{index:02d}" for index in range(n_streams)]
+
+    # --- train one lineage per stream, register version 0 ----------------- #
+    learners: Dict[str, CERL] = {}
+    streams: Dict[str, DomainStream] = {}
+    for name in names:
+        stream_seed = derive_seed(seed, "fleet", name)
+        generator = SyntheticDomainGenerator(profile.synthetic_config(), seed=stream_seed)
+        stream = DomainStream(
+            [generator.generate_domain(0), generator.generate_domain(1)],
+            seed=stream_seed,
+        )
+        learner = CERL(
+            stream.n_features,
+            profile.model_config(seed=stream_seed, epochs=epochs),
+            profile.continual_config(memory_budget=profile.memory_budget_table1),
+        )
+        learner.observe(stream.train_data(0), epochs=epochs)
+        registry.save(name, 0, learner, metadata={"trigger": "initial"})
+        learners[name] = learner
+        streams[name] = stream
+
+    # Query banks and per-version batched references.  The canonical batch
+    # equals the bank size, so every micro-batched response must be bitwise
+    # one row of these reference arrays.
+    banks = {name: streams[name][0].test.covariates for name in names}
+    bank_size = {len(bank) for bank in banks.values()}
+    assert len(bank_size) == 1, "profile splits must give equal test sizes"
+    max_batch = bank_size.pop()
+    references = {(name, 0): learners[name].predict(banks[name]) for name in names}
+
+    adapted_name = names[adapt_stream]
+    result = FleetDeploymentResult(adapted_stream=adapted_name)
+
+    with ServingGateway(
+        registry=registry,
+        n_shards=n_shards,
+        max_batch=max_batch,
+        cache_capacity=cache_capacity,
+        max_pending_per_shard=max_pending_per_shard,
+    ) as gateway:
+        responses: Dict[str, List[tuple]] = {name: [] for name in names}
+        response_lock = threading.Lock()
+        barrier = threading.Barrier(n_streams * clients_per_stream + 1)
+
+        def client(name: str, client_index: int) -> None:
+            rng = np.random.default_rng(derive_seed(seed, "client", name, client_index))
+            indices = rng.integers(0, max_batch, size=queries_per_stream)
+            barrier.wait()
+            pendings = [(int(i), gateway.submit(name, banks[name][i])) for i in indices]
+            collected = [(i, pending.result(timeout=120.0)) for i, pending in pendings]
+            with response_lock:
+                responses[name].extend(collected)
+
+        threads = [
+            threading.Thread(target=client, args=(name, c), name=f"fleet-{name}-{c}")
+            for name in names
+            for c in range(clients_per_stream)
+        ]
+        for thread in threads:
+            thread.start()
+        start = time.perf_counter()
+        barrier.wait()
+
+        # --- adapt one stream while the whole fleet keeps serving --------- #
+        adapted = learners[adapted_name]
+        adapted.observe(streams[adapted_name].train_data(1), epochs=epochs)
+        registry.save(adapted_name, 1, adapted, metadata={"trigger": "fleet-adapt"})
+        result.adapted_version = gateway.reload(adapted_name)
+        references[(adapted_name, 1)] = adapted.predict(banks[adapted_name])
+
+        for thread in threads:
+            thread.join()
+
+        # Post-swap wave: under a light load the concurrent clients may all
+        # finish before the swap lands, so drive one more seeded round per
+        # stream — the adapted stream must now answer from version 1, the
+        # others still from version 0.
+        wave_rng = np.random.default_rng(derive_seed(seed, "post-swap"))
+        for name in names:
+            indices = wave_rng.integers(0, max_batch, size=min(8, queries_per_stream))
+            pendings = [(int(i), gateway.submit(name, banks[name][i])) for i in indices]
+            responses[name].extend(
+                (i, pending.result(timeout=120.0)) for i, pending in pendings
+            )
+        result.elapsed_s = time.perf_counter() - start
+        result.stats = gateway.stats()
+
+        # --- verify every response against its version's reference -------- #
+        for name in names:
+            mismatches = []
+            served_versions = set()
+            for index, response in responses[name]:
+                served_versions.add(response.model_version)
+                reference = references[(name, response.model_version)]
+                if (
+                    response.mu0 != reference.y0_hat[index]
+                    or response.mu1 != reference.y1_hat[index]
+                    or response.ite != reference.ite_hat[index]
+                ):
+                    mismatches.append(index)
+            result.streams.append(
+                FleetStreamReport(
+                    name=name,
+                    shard=gateway.shard_for(name),
+                    versions=registry.list_versions(name),
+                    versions_served=sorted(served_versions),
+                    queries=len(responses[name]),
+                    mismatches=mismatches,
+                )
+            )
+    return result

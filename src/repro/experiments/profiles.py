@@ -88,9 +88,7 @@ class ExperimentProfile:
             domain_mean_shift=self.synthetic_domain_shift,
         )
         if overrides:
-            from dataclasses import replace as _replace
-
-            config = _replace(config, **overrides)
+            config = replace(config, **overrides)
         return config
 
 

@@ -8,7 +8,7 @@ plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 __all__ = ["format_table", "format_series", "summarize_two_domain_results"]
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from .module import Module, Parameter
+from .module import Parameter
 from .tensor import Tensor
 
 __all__ = [

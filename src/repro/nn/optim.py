@@ -6,7 +6,7 @@ is provided as a simpler alternative for tests and ablations.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

@@ -12,11 +12,28 @@ the model and representation memory persist):
   bit-identical to a direct batched ``predict``; traffic observers
   (``add_observer``) let :mod:`repro.monitor` tap the query stream for
   drift detection;
+* :class:`ServingGateway` — the multi-tenant front door: deterministic
+  digest routing of stream keys onto shards, lazy per-stream service
+  spin-up from registry heads, a bitwise-transparent TTL+LRU response
+  cache keyed on ``(stream, model version, row digest)``, and admission
+  control that sheds overload with a typed :class:`Overloaded` error
+  before it can reach any service or traffic observer;
 * the end-to-end deployment protocol lives in
   :func:`repro.experiments.run_continual_deployment`, the drift-driven
-  closed loop in :func:`repro.experiments.run_auto_adaptation`.
+  closed loop in :func:`repro.experiments.run_auto_adaptation`, and the
+  multi-stream fleet scenario in
+  :func:`repro.experiments.run_fleet_deployment`.
 """
 
+from .cache import CacheStats, TTLLRUCache
+from .gateway import (
+    GatewayStats,
+    Overloaded,
+    ServingGateway,
+    ShardRouter,
+    ShardStats,
+    stable_stream_digest,
+)
 from .registry import ModelRegistry, RegistryEntry
 from .service import (
     MicroBatcher,
@@ -27,6 +44,14 @@ from .service import (
 )
 
 __all__ = [
+    "CacheStats",
+    "TTLLRUCache",
+    "GatewayStats",
+    "Overloaded",
+    "ServingGateway",
+    "ShardRouter",
+    "ShardStats",
+    "stable_stream_digest",
     "ModelRegistry",
     "RegistryEntry",
     "MicroBatcher",

@@ -66,12 +66,14 @@ class ServiceStats:
 class PendingPrediction:
     """Future-like handle for one submitted query."""
 
-    __slots__ = ("_event", "_result", "_error")
+    __slots__ = ("_event", "_result", "_error", "_lock", "_callbacks")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: Optional[Prediction] = None
         self._error: Optional[BaseException] = None
+        self._lock = threading.Lock()
+        self._callbacks: List[Callable[["PendingPrediction"], None]] = []
 
     def done(self) -> bool:
         """Whether a result (or error) has been delivered."""
@@ -86,13 +88,34 @@ class PendingPrediction:
         assert self._result is not None
         return self._result
 
+    def add_done_callback(self, callback: Callable[["PendingPrediction"], None]) -> None:
+        """Invoke ``callback(self)`` once a result or error is delivered.
+
+        Runs on the delivering (dispatcher) thread, after the waiter is
+        released; if the handle is already done the callback runs immediately
+        on the calling thread.  Used by the gateway for in-flight accounting
+        and cache fills — callbacks must be cheap and must not raise.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _deliver(self) -> None:
+        self._event.set()
+        with self._lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
     def _set_result(self, result: Prediction) -> None:
         self._result = result
-        self._event.set()
+        self._deliver()
 
     def _set_error(self, error: BaseException) -> None:
         self._error = error
-        self._event.set()
+        self._deliver()
 
 
 class MicroBatcher:
@@ -316,6 +339,18 @@ class PredictionService:
         """Version tag of the learner currently serving."""
         with self._model_lock:
             return self._model_version
+
+    @property
+    def version_hint(self) -> Optional[int]:
+        """Lock-free read of the version tag (may lag an in-flight swap).
+
+        The model lock is held by the dispatcher for the whole batch
+        execution, so readers that only need an *advisory* version — the
+        gateway's cache-key lookup — must not take it on the submit path.
+        A stale hint costs at most one cache miss; cache fills key by the
+        version the response actually reports, never by this hint.
+        """
+        return self._model_version
 
     # ------------------------------------------------------------------ #
     # traffic observers

@@ -8,7 +8,6 @@ import pytest
 from repro.data import (
     BlogCatalogBenchmark,
     NewsBenchmark,
-    SemiSyntheticBenchmark,
     SemiSyntheticConfig,
     blogcatalog_config,
     load_news_domain_pair,

@@ -7,7 +7,6 @@ import pytest
 
 from repro.engine import (
     Callback,
-    EarlyStopping,
     History,
     LossBundle,
     Trainer,

@@ -1,0 +1,84 @@
+"""Tests for the fleet deployment driver (gateway + registry, end to end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SMOKE, run_fleet_deployment
+from repro.serve import ModelRegistry, ShardRouter
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """One fleet run shared by the assertions (training twice is waste)."""
+    root = tmp_path_factory.mktemp("fleet_registry")
+    result = run_fleet_deployment(
+        n_streams=2,
+        profile=SMOKE,
+        queries_per_stream=12,
+        clients_per_stream=2,
+        registry_root=root,
+        seed=5,
+        epochs=2,
+    )
+    return result, root
+
+
+class TestFleetDeployment:
+    def test_every_response_is_bitwise_exact(self, fleet):
+        result, _ = fleet
+        assert result.parity
+        assert all(report.mismatches == [] for report in result.streams)
+
+    def test_adapted_stream_served_both_versions(self, fleet):
+        result, _ = fleet
+        adapted = next(r for r in result.streams if r.name == result.adapted_stream)
+        assert adapted.versions == [0, 1]
+        assert adapted.versions_served == [0, 1]
+        assert result.adapted_version == 1
+
+    def test_other_streams_kept_serving_version_zero(self, fleet):
+        result, _ = fleet
+        others = [r for r in result.streams if r.name != result.adapted_stream]
+        assert others  # the fleet has more than the adapted stream
+        for report in others:
+            assert report.versions == [0]
+            assert report.versions_served == [0]
+
+    def test_shards_follow_the_deterministic_router(self, fleet):
+        result, _ = fleet
+        router = ShardRouter(2)  # n_shards defaults to min(n_streams, 4)
+        for report in result.streams:
+            assert report.shard == router.shard_for(report.name)
+
+    def test_gateway_accounted_every_query(self, fleet):
+        result, _ = fleet
+        assert result.stats.answered == result.total_queries
+        assert result.stats.shed == 0
+        assert result.stats.in_flight == 0
+        assert result.throughput_qps > 0
+
+    def test_registry_persists_every_lineage(self, fleet):
+        result, root = fleet
+        registry = ModelRegistry(root)
+        names = sorted(report.name for report in result.streams)
+        assert registry.streams() == names
+        adapted = result.adapted_stream
+        assert registry.list_versions(adapted) == [0, 1]
+        assert registry.head_version(adapted) == 1
+        # The persisted head is loadable and answers like the live fleet did.
+        restored = registry.load(adapted)
+        assert restored.domains_seen == 2
+
+    def test_summary_rows_shape(self, fleet):
+        result, _ = fleet
+        rows = result.summary_rows()
+        assert len(rows) == len(result.streams)
+        assert {"stream", "shard", "versions", "served", "queries", "parity"} <= set(
+            rows[0]
+        )
+        assert all(row["parity"] == "exact" for row in rows)
+
+    def test_invalid_adapt_stream(self):
+        with pytest.raises(ValueError, match="adapt_stream"):
+            run_fleet_deployment(n_streams=2, adapt_stream=2)

@@ -3,7 +3,6 @@ the serial tables bit for bit, and the executor primitives must be stable."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data import SyntheticDomainGenerator

@@ -1,0 +1,106 @@
+"""Unit tests for the TTL+LRU response cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import TTLLRUCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTTLLRUCache:
+    def test_get_put_roundtrip_and_counters(self):
+        cache = TTLLRUCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order_follows_use_not_insertion(self):
+        cache = TTLLRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now least recently used
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_ttl_expiry_is_lazy_and_counted(self):
+        clock = FakeClock()
+        cache = TTLLRUCache(capacity=4, ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.now = 9.999
+        assert cache.get("a") == 1
+        clock.now = 10.0  # the deadline itself counts as expired
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats.expirations == 1 and stats.size == 0
+
+    def test_refresh_put_resets_ttl(self):
+        clock = FakeClock()
+        cache = TTLLRUCache(capacity=4, ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.now = 8.0
+        cache.put("a", 2)
+        clock.now = 15.0  # past the first deadline, inside the second
+        assert cache.get("a") == 2
+
+    def test_capacity_zero_disables(self):
+        cache = TTLLRUCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear_drops_entries_but_not_counters(self):
+        cache = TTLLRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats.size == 0 and stats.hits == 1 and stats.misses == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TTLLRUCache(capacity=-1)
+        with pytest.raises(ValueError, match="ttl_s"):
+            TTLLRUCache(capacity=4, ttl_s=0.0)
+
+    def test_concurrent_puts_and_gets_never_corrupt(self):
+        cache = TTLLRUCache(capacity=64)
+        errors: list = []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_index: int) -> None:
+            barrier.wait()
+            try:
+                for round_index in range(300):
+                    key = (worker_index * 7 + round_index) % 100
+                    cache.put(key, key * 2)
+                    value = cache.get(key)
+                    if value is not None and value != key * 2:
+                        errors.append((key, value))
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats.size <= 64
+        assert stats.hits + stats.misses == 8 * 300

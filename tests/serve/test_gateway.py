@@ -1,0 +1,325 @@
+"""Tests for the multi-tenant serving gateway.
+
+The load-bearing properties:
+
+* **routing determinism** — a stream key maps to the same shard in every
+  process (SHA-256, not the salted built-in ``hash``), pinned by literal
+  values and by a fresh subprocess;
+* **cache transparency** — a cache hit is bitwise the response a cold query
+  would produce, and a model-version bump makes every cached answer
+  unreachable;
+* **load shedding** — a shed query surfaces a typed :class:`Overloaded`
+  error and never reaches a service, a batcher, or any monitor window.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.monitor import TrafficMonitor
+from repro.serve import Overloaded, ServingGateway, ShardRouter, stable_stream_digest
+
+
+class LinearStub:
+    """Deterministic, instantly-"trained" learner for gateway plumbing tests."""
+
+    def __init__(self, n_features: int = 4, offset: float = 0.0) -> None:
+        self.n_features = n_features
+        self.offset = offset
+
+    def predict(self, covariates: np.ndarray):
+        class Estimate:
+            pass
+
+        estimate = Estimate()
+        estimate.y0_hat = covariates.sum(axis=1) + self.offset
+        estimate.y1_hat = covariates.sum(axis=1) * 2.0 + self.offset
+        estimate.ite_hat = estimate.y1_hat - estimate.y0_hat
+        return estimate
+
+
+class BlockingStub(LinearStub):
+    """A learner whose predict blocks until released (admission tests)."""
+
+    def __init__(self, n_features: int = 4) -> None:
+        super().__init__(n_features)
+        self.release = threading.Event()
+
+    def predict(self, covariates: np.ndarray):
+        assert self.release.wait(30.0), "test forgot to release the blocking stub"
+        return super().predict(covariates)
+
+
+def stub_gateway(**kwargs) -> ServingGateway:
+    kwargs.setdefault("loader", lambda stream: (LinearStub(), 0))
+    kwargs.setdefault("n_shards", 4)
+    kwargs.setdefault("max_batch", 8)
+    return ServingGateway(**kwargs)
+
+
+class TestRouting:
+    def test_digest_is_sha256_based_and_pinned(self):
+        """Literal pins: these values must hold in every process forever —
+        they are what makes routing stable across restarts."""
+        assert stable_stream_digest("news") == 1872266995202357583
+        assert stable_stream_digest("stream-00") == 16303876236335235405
+        assert ShardRouter(4).shard_for("news") == 3
+        assert ShardRouter(4).shard_for("stream-00") == 1
+        assert ShardRouter(7).shard_for("news") == 4
+
+    def test_same_key_same_shard_across_instances(self):
+        for key in ("news", "blog", "subsidiary-east"):
+            assert ShardRouter(5).shard_for(key) == ShardRouter(5).shard_for(key)
+
+    def test_same_key_same_shard_across_process_restarts(self):
+        """A fresh interpreter (fresh hash salt) must route identically."""
+        keys = ["news", "blog", "stream-00", "stream-01", "subsidiary-east"]
+        script = (
+            "from repro.serve import ShardRouter\n"
+            f"print([ShardRouter(4).shard_for(k) for k in {keys!r}])\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": src, "PYTHONHASHSEED": "random"},
+        )
+        child = eval(output.stdout.strip())  # a list literal of ints
+        assert child == [ShardRouter(4).shard_for(key) for key in keys]
+
+    def test_gateway_routes_through_the_router(self):
+        with stub_gateway() as gateway:
+            for key in ("news", "blog"):
+                assert gateway.shard_for(key) == ShardRouter(4).shard_for(key)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardRouter(0)
+
+
+class TestLazySpinUp:
+    def test_services_spin_up_on_first_query_only(self):
+        loads: list = []
+
+        def loader(stream):
+            loads.append(stream)
+            return LinearStub(), 0
+
+        with ServingGateway(loader=loader, n_shards=2, max_batch=4) as gateway:
+            assert gateway.streams() == [] and loads == []
+            gateway.predict_one("a", np.arange(4.0))
+            assert loads == ["a"] and gateway.streams() == ["a"]
+            gateway.predict_one("a", np.arange(4.0) + 1)
+            assert loads == ["a"]  # spin-up happens once
+            gateway.predict_one("b", np.arange(4.0))
+            assert sorted(loads) == ["a", "b"]
+
+    def test_streams_land_on_their_routed_shard(self):
+        with stub_gateway() as gateway:
+            gateway.predict_one("news", np.arange(4.0))
+            stats = gateway.stats()
+            owning = [s.index for s in stats.shards if "news" in s.streams]
+            assert owning == [gateway.shard_for("news")]
+
+    def test_reload_hot_swaps_to_the_loader_head(self):
+        versions = {"v": 0}
+
+        def loader(stream):
+            return LinearStub(offset=float(versions["v"])), versions["v"]
+
+        with ServingGateway(loader=loader, n_shards=1, max_batch=4) as gateway:
+            row = np.arange(4.0)
+            assert gateway.predict_one("s", row).model_version == 0
+            versions["v"] = 3
+            assert gateway.reload("s") == 3
+            response = gateway.predict_one("s", row)
+            assert response.model_version == 3
+            assert response.mu0 == row.sum() + 3.0
+
+    def test_requires_exactly_one_of_registry_or_loader(self):
+        with pytest.raises(ValueError, match="registry or loader"):
+            ServingGateway()
+        with pytest.raises(ValueError, match="registry or loader"):
+            ServingGateway(registry=object(), loader=lambda s: (LinearStub(), 0))
+
+
+class TestCacheTransparency:
+    def test_hit_is_bitwise_identical_to_cold_response(self):
+        row = np.array([0.1, 0.2, 0.3, 0.4])
+        with stub_gateway(cache_capacity=16) as warm, stub_gateway(
+            cache_capacity=0
+        ) as cold:
+            first = warm.predict_one("s", row)
+            hit = warm.predict_one("s", row)
+            cold_first = cold.predict_one("s", row)
+            cold_again = cold.predict_one("s", row)
+        assert hit == first == cold_first == cold_again
+        assert warm.stats().cache_hits == 1
+        # capacity 0 disables the cache entirely: both queries executed.
+        assert cold.stats().cache_hits == 0
+
+    def test_version_bump_invalidates(self):
+        with stub_gateway(cache_capacity=16, n_shards=1) as gateway:
+            row = np.arange(4.0)
+            v0 = gateway.predict_one("s", row)
+            assert gateway.predict_one("s", row) == v0  # served from cache
+            gateway.service("s").swap_model(LinearStub(offset=10.0), model_version=1)
+            swapped = gateway.predict_one("s", row)
+            assert swapped.model_version == 1
+            assert swapped.mu0 == v0.mu0 + 10.0  # recomputed, not the stale answer
+
+    def test_untagged_model_is_never_cached(self):
+        with ServingGateway(
+            loader=lambda s: (LinearStub(), None), n_shards=1, max_batch=4
+        ) as gateway:
+            row = np.arange(4.0)
+            gateway.predict_one("s", row)
+            gateway.predict_one("s", row)
+            shard = gateway.stats().shards[0]
+            assert shard.cache.size == 0
+            assert shard.cache.hits == 0
+            assert shard.service.queries == 2  # both executed
+
+    def test_ttl_expires_entries(self):
+        clock = {"now": 0.0}
+        with stub_gateway(
+            n_shards=1, cache_capacity=16, cache_ttl_s=5.0, clock=lambda: clock["now"]
+        ) as gateway:
+            row = np.arange(4.0)
+            first = gateway.predict_one("s", row)
+            clock["now"] = 4.0
+            assert gateway.predict_one("s", row) == first
+            assert gateway.stats().cache_hits == 1
+            clock["now"] = 10.0  # past the entry's deadline
+            expired = gateway.predict_one("s", row)
+            assert expired == first  # recomputed, bitwise equal regardless
+            stats = gateway.stats().shards[0]
+            assert stats.cache.expirations == 1
+            assert stats.service.queries == 2  # cold, hit, recompute
+
+    def test_distinct_rows_and_streams_do_not_collide(self):
+        with stub_gateway(cache_capacity=64, n_shards=1) as gateway:
+            row_a, row_b = np.arange(4.0), np.arange(4.0) + 1.0
+            assert gateway.predict_one("x", row_a) != gateway.predict_one("x", row_b)
+            # Same covariates under another stream key must not share entries
+            # (another stream may serve another model version lineage).
+            gateway.predict_one("y", row_a)
+            assert gateway.stats().cache_hits == 0
+
+
+class TestLoadShedding:
+    def test_overloaded_is_typed_and_carries_context(self):
+        stub = BlockingStub()
+        with ServingGateway(
+            loader=lambda s: (stub, 0),
+            n_shards=1,
+            max_batch=1,
+            max_pending_per_shard=2,
+            cache_capacity=0,
+        ) as gateway:
+            rows = np.eye(4)
+            pendings = [gateway.submit("s", rows[i]) for i in range(2)]
+            with pytest.raises(Overloaded) as excinfo:
+                gateway.submit("s", rows[2])
+            assert excinfo.value.stream == "s"
+            assert excinfo.value.shard_index == 0
+            assert excinfo.value.capacity == 2
+            stub.release.set()
+            for pending in pendings:
+                pending.result(timeout=30.0)
+            # Capacity drains once responses are delivered.
+            assert gateway.predict_one("s", rows[3], timeout=30.0) is not None
+            stats = gateway.stats()
+            assert stats.shed == 1
+            assert stats.answered == 3
+
+    def test_shed_queries_never_reach_any_monitor_window(self):
+        """The PR-4 observer contract extends through the gateway: a query
+        shed by admission control must not enter any drift window."""
+        stub = BlockingStub()
+        reference = np.zeros((4, 4))
+        with ServingGateway(
+            loader=lambda s: (stub, 0),
+            n_shards=1,
+            max_batch=1,
+            max_pending_per_shard=2,
+            cache_capacity=0,
+        ) as gateway:
+            monitor = TrafficMonitor(reference, window_capacity=8).attach(
+                gateway.service("s")
+            )
+            answered_rows = np.array([[1.0, 0, 0, 0], [0, 2.0, 0, 0]])
+            shed_row = np.array([0, 0, 3.0, 0])
+            pendings = [gateway.submit("s", row) for row in answered_rows]
+            with pytest.raises(Overloaded):
+                gateway.submit("s", shed_row)
+            stub.release.set()
+            for pending in pendings:
+                pending.result(timeout=30.0)
+            window = monitor.window_values()
+        assert len(window) == 2
+        np.testing.assert_array_equal(np.sort(window, axis=0), np.sort(answered_rows, axis=0))
+        assert not any(np.array_equal(row, shed_row) for row in window)
+
+    def test_occupancy_reflects_in_flight_queries(self):
+        stub = BlockingStub()
+        with ServingGateway(
+            loader=lambda s: (stub, 0),
+            n_shards=1,
+            max_batch=1,
+            max_pending_per_shard=4,
+            cache_capacity=0,
+        ) as gateway:
+            pendings = [gateway.submit("s", np.eye(4)[i]) for i in range(2)]
+            busy = gateway.stats().shards[0]
+            assert busy.in_flight == 2
+            assert busy.occupancy == pytest.approx(0.5)
+            stub.release.set()
+            for pending in pendings:
+                pending.result(timeout=30.0)
+            drained = gateway.stats().shards[0]
+            assert drained.in_flight == 0 and drained.occupancy == 0.0
+
+    def test_unbounded_gateway_never_sheds(self):
+        with stub_gateway(max_pending_per_shard=None, cache_capacity=0) as gateway:
+            for index in range(32):
+                gateway.predict_one("s", np.full(4, float(index)))
+            assert gateway.stats().shed == 0
+
+    def test_invalid_admission_bound(self):
+        with pytest.raises(ValueError, match="max_pending_per_shard"):
+            stub_gateway(max_pending_per_shard=0)
+
+
+class TestLifecycle:
+    def test_submit_and_spin_up_rejected_after_close(self):
+        gateway = stub_gateway()
+        gateway.predict_one("s", np.arange(4.0))
+        gateway.close()
+        with pytest.raises(RuntimeError, match="closed ServingGateway"):
+            gateway.submit("s", np.arange(4.0))
+        with pytest.raises(RuntimeError, match="closed ServingGateway"):
+            gateway.service("brand-new")
+        gateway.close()  # idempotent
+
+    def test_malformed_query_is_rejected_without_leaking_in_flight(self):
+        with stub_gateway(n_shards=1, max_pending_per_shard=2) as gateway:
+            with pytest.raises(ValueError, match="1-D covariate vector"):
+                gateway.submit("s", np.ones((2, 4)))
+            with pytest.raises(ValueError, match="model expects"):
+                gateway.submit("s", np.ones(7))
+            stats = gateway.stats().shards[gateway.shard_for("s")]
+            assert stats.in_flight == 0
+
+    def test_direct_predict_counts_rows_toward_throughput(self):
+        with stub_gateway() as gateway:
+            gateway.predict("s", np.ones((5, 4)))
+            assert gateway.stats().answered == 5

@@ -1,0 +1,147 @@
+"""Thread-safety of the stats snapshots under concurrent load.
+
+Audit outcome (pinned here): the :class:`MicroBatcher` counters
+(``_queries``/``_batches``/``_largest_batch``) are mutated *only* on the
+dispatcher thread and only while holding the batcher's condition lock, and
+``stats()`` reads all three under the same lock — so a snapshot is always
+internally consistent (no torn reads), even while submitting threads hammer
+the queue.  The gateway's shard counters follow the same discipline (one lock
+per shard, snapshot taken under it).  These tests hammer both from many
+threads and assert the invariants that a torn or unlocked read would break.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.serve import MicroBatcher, Overloaded, ServingGateway
+
+
+class LinearStub:
+    n_features = 4
+
+    def predict(self, covariates: np.ndarray):
+        class Estimate:
+            pass
+
+        estimate = Estimate()
+        estimate.y0_hat = covariates.sum(axis=1)
+        estimate.y1_hat = covariates.sum(axis=1) * 2.0
+        estimate.ite_hat = estimate.y1_hat - estimate.y0_hat
+        return estimate
+
+
+def test_microbatcher_stats_snapshots_are_consistent_under_hammer():
+    n_threads, per_thread = 8, 150
+
+    def run_batch(stacked):
+        total = stacked.sum(axis=1)
+        return total, total, total, None
+
+    batcher = MicroBatcher(run_batch, max_batch=16)
+    violations: list = []
+    stop_polling = threading.Event()
+    barrier = threading.Barrier(n_threads + 2)
+
+    def submitter(thread_index: int) -> None:
+        barrier.wait()
+        pendings = [batcher.submit(np.ones(3)) for _ in range(per_thread)]
+        for pending in pendings:
+            pending.result(timeout=30.0)
+
+    def poller() -> None:
+        barrier.wait()
+        last_queries = last_batches = 0
+        while not stop_polling.is_set():
+            snapshot = batcher.stats()
+            # A torn read would let one counter run ahead of the others or
+            # jump backwards; every snapshot must satisfy all invariants.
+            if snapshot.batches > snapshot.queries:
+                violations.append(("batches>queries", snapshot))
+            if snapshot.largest_batch > snapshot.queries:
+                violations.append(("largest>queries", snapshot))
+            if snapshot.largest_batch > 16:
+                violations.append(("largest>max_batch", snapshot))
+            if snapshot.queries < last_queries or snapshot.batches < last_batches:
+                violations.append(("non-monotonic", snapshot))
+            if snapshot.batches and not snapshot.mean_batch >= 1.0:
+                violations.append(("mean<1", snapshot))
+            last_queries, last_batches = snapshot.queries, snapshot.batches
+
+    threads = [threading.Thread(target=submitter, args=(i,)) for i in range(n_threads)]
+    pollers = [threading.Thread(target=poller) for _ in range(2)]
+    for thread in threads + pollers:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stop_polling.set()
+    for thread in pollers:
+        thread.join()
+    batcher.close()
+
+    assert violations == []
+    final = batcher.stats()
+    assert final.queries == n_threads * per_thread
+    assert 1 <= final.batches <= final.queries
+
+
+def test_gateway_stats_snapshots_are_consistent_under_hammer():
+    n_threads, per_thread, bound = 8, 100, 64
+    with ServingGateway(
+        loader=lambda stream: (LinearStub(), 0),
+        n_shards=2,
+        max_batch=8,
+        max_pending_per_shard=bound,
+        cache_capacity=32,
+    ) as gateway:
+        violations: list = []
+        stop_polling = threading.Event()
+        shed_per_thread = [0] * n_threads
+        barrier = threading.Barrier(n_threads + 2)
+
+        def client(thread_index: int) -> None:
+            rng = np.random.default_rng(thread_index)
+            stream = f"s{thread_index % 3}"
+            barrier.wait()
+            for _ in range(per_thread):
+                row = np.round(rng.random(4), 2)  # small value space → hits
+                try:
+                    gateway.predict_one(stream, row, timeout=30.0)
+                except Overloaded:  # expected under hammer
+                    shed_per_thread[thread_index] += 1
+
+        def poller() -> None:
+            barrier.wait()
+            last_answered = 0
+            while not stop_polling.is_set():
+                stats = gateway.stats()
+                for shard_stats in stats.shards:
+                    if not 0 <= shard_stats.in_flight <= bound:
+                        violations.append(("in_flight", shard_stats))
+                    if not 0.0 <= shard_stats.occupancy <= 1.0:
+                        violations.append(("occupancy", shard_stats))
+                    if shard_stats.latency_samples > shard_stats.answered:
+                        violations.append(("latency>answered", shard_stats))
+                    if shard_stats.cache.hits + shard_stats.cache.misses < 0:
+                        violations.append(("cache", shard_stats))
+                if stats.answered < last_answered:
+                    violations.append(("non-monotonic", stats))
+                last_answered = stats.answered
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(n_threads)]
+        pollers = [threading.Thread(target=poller) for _ in range(2)]
+        for thread in threads + pollers:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop_polling.set()
+        for thread in pollers:
+            thread.join()
+
+        assert violations == []
+        final = gateway.stats()
+        assert final.answered + final.shed == n_threads * per_thread
+        assert final.shed == sum(shed_per_thread)
+        assert final.in_flight == 0

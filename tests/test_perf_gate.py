@@ -1,0 +1,118 @@
+"""Tests for the CI perf-regression gate (``benchmarks/check_regression.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parents[1] / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def payload(**speedups) -> dict:
+    sections = {name: {"speedup": value, "workload": "w"} for name, value in speedups.items()}
+    return {"generated_by": "test", "python": "3.x", **sections}
+
+
+class TestCompare:
+    def test_passes_when_nothing_degrades(self):
+        failures, report = check_regression.compare(
+            payload(a=2.0, b=10.0), payload(a=2.5, b=10.0), tolerance=0.2
+        )
+        assert failures == []
+        assert all(line.startswith("ok") for line in report)
+
+    def test_degradation_within_tolerance_passes(self):
+        failures, _ = check_regression.compare(
+            payload(a=2.0), payload(a=1.7), tolerance=0.2  # floor 1.6
+        )
+        assert failures == []
+
+    def test_degradation_beyond_tolerance_fails(self):
+        failures, _ = check_regression.compare(
+            payload(a=2.0), payload(a=1.5), tolerance=0.2  # floor 1.6
+        )
+        assert len(failures) == 1 and "a:" in failures[0]
+
+    def test_tolerance_zero_fails_on_any_degradation(self):
+        """The acceptance knob: tolerance 0 turns the gate strict."""
+        failures, _ = check_regression.compare(
+            payload(a=2.0), payload(a=1.999), tolerance=0.0
+        )
+        assert len(failures) == 1
+        failures, _ = check_regression.compare(
+            payload(a=2.0), payload(a=2.0), tolerance=0.0
+        )
+        assert failures == []
+
+    def test_missing_section_fails(self):
+        failures, _ = check_regression.compare(
+            payload(a=2.0, gone=3.0), payload(a=2.0), tolerance=0.2
+        )
+        assert len(failures) == 1 and "gone" in failures[0]
+
+    def test_new_ungated_section_is_reported_not_gated(self):
+        failures, report = check_regression.compare(
+            payload(a=2.0), payload(a=2.0, fresh=0.1), tolerance=0.2
+        )
+        assert failures == []
+        assert any(line.startswith("new  fresh") for line in report)
+
+    def test_sections_without_speedup_are_ignored(self):
+        baseline = {**payload(a=2.0), "cerl_stage": {"seconds": 0.1}}
+        current = {**payload(a=2.0), "cerl_stage": {"seconds": 99.0}}
+        failures, _ = check_regression.compare(baseline, current, tolerance=0.0)
+        assert failures == []
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            check_regression.compare(payload(a=1.0), payload(a=1.0), tolerance=-0.1)
+
+
+class TestMain:
+    def _write(self, path: Path, data: dict) -> Path:
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_end_to_end_pass_and_fail(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", payload(a=2.0))
+        good = self._write(tmp_path / "good.json", payload(a=2.1))
+        bad = self._write(tmp_path / "bad.json", payload(a=1.0))
+        args = ["--baseline", str(baseline), "--tolerance", "0.2"]
+        assert check_regression.main(args + ["--current", str(good)]) == 0
+        assert "perf gate passed" in capsys.readouterr().out
+        assert check_regression.main(args + ["--current", str(bad)]) == 1
+        assert "perf gate FAILED" in capsys.readouterr().err
+
+    def test_missing_file_is_a_distinct_error(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", payload(a=2.0))
+        code = check_regression.main(
+            ["--baseline", str(baseline), "--current", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_repo_baseline_is_well_formed(self):
+        """The committed baseline must parse and gate at least the original
+        engine sections — the CI step depends on it.  (Deliberately does NOT
+        compare against BENCH_engine.json: that artifact is regenerated with
+        machine-dependent numbers by any local benchmark run, and gating it
+        here would make the unit suite flaky on slow machines.)"""
+        root = Path(__file__).resolve().parents[1]
+        baseline = json.loads((root / "benchmarks/baseline/BENCH_baseline.json").read_text())
+        speedups = check_regression.load_speedups(baseline)
+        assert {
+            "backward_pass",
+            "sinkhorn",
+            "serve_throughput",
+            "gateway_throughput",
+            "gateway_cache",
+        } <= set(speedups)
+        assert all(value > 0 for value in speedups.values())
