@@ -18,6 +18,11 @@ Rules
   below the baseline fails);
 * sections without a ``speedup`` (absolute wall-time trajectory points like
   ``cerl_stage``) and file metadata are not gated;
+* a current section carrying ``"gated": true`` is *skipped*, not failed:
+  the benchmark itself determined the machine cannot express the measured
+  parallelism (e.g. a process-pool speedup on a 1-core runner) and recorded
+  that fact instead of a misleading sub-1.0 ratio.  The skip is reported, so
+  a machine that silently gates every section is still visible in the log;
 * sections present in the current run but not in the baseline are reported
   as new-and-ungated — commit them to the baseline to start gating them.
 
@@ -64,6 +69,17 @@ def load_speedups(payload: dict) -> Dict[str, float]:
     return speedups
 
 
+def gated_sections(payload: dict) -> set:
+    """Sections that declared themselves machine-gated (``"gated": true``)."""
+    return {
+        section
+        for section, values in payload.items()
+        if section not in METADATA_KEYS
+        and isinstance(values, dict)
+        and values.get("gated") is True
+    }
+
+
 def compare(
     baseline: dict, current: dict, tolerance: float
 ) -> Tuple[List[str], List[str]]:
@@ -76,11 +92,22 @@ def compare(
         raise ValueError("tolerance must be non-negative")
     baseline_speedups = load_speedups(baseline)
     current_speedups = load_speedups(current)
+    gated = gated_sections(current)
     failures: List[str] = []
     report: List[str] = []
     for section, base in sorted(baseline_speedups.items()):
         floor = base * (1.0 - tolerance)
         got = current_speedups.get(section)
+        if section in gated and got is None:
+            reason = ""
+            values = current.get(section)
+            if isinstance(values, dict):
+                reason = str(values.get("gate_reason", ""))
+            report.append(
+                f"skip {section}: gated by the benchmark on this machine"
+                + (f" ({reason})" if reason else "")
+            )
+            continue
         if got is None:
             failures.append(
                 f"{section}: missing from the current run (baseline {base:.3f}x) — "

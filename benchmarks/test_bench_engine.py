@@ -368,9 +368,14 @@ def test_bench_parallel_table1(engine_bench):
     """Serial vs process-pool Table I execution (identical tables required).
 
     On multi-core machines the pool fans dataset × scenario cells out and the
-    recorded speedup approaches the cell count; on single-core CI runners it
-    honestly records the pool overhead instead.  Determinism is asserted
-    either way — that is the property the executor guarantees.
+    recorded speedup approaches the cell count.  On a single-core runner a
+    2-worker pool cannot express any parallelism — ``parallel_map`` itself
+    now clamps to serial there — so the section records ``"gated": true``
+    (no ``speedup`` key) instead of a misleading ratio, and the regression
+    gate skips it rather than flagging phantom regressions on 1-core CI.
+    Determinism is asserted either way — the pool path is forced with
+    ``force_parallel`` so the equivalence property is exercised even on the
+    machines that gate the timing.
     """
     kwargs = dict(
         datasets=("news",),
@@ -383,6 +388,25 @@ def test_bench_parallel_table1(engine_bench):
     from repro.experiments.table1 import _benchmark
 
     _benchmark("news", SMOKE, 0)._simulate_population()
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 2:
+        # The timing comparison is meaningless here, but the correctness
+        # property is not: force the real pool path once and assert the
+        # tables are identical before recording the gate.
+        serial = run_table1(SMOKE, workers=1, **kwargs)
+        parallel = run_table1(SMOKE, workers=2, force_parallel=True, **kwargs)
+        assert serial.rows() == parallel.rows(), "parallel Table I diverged from serial"
+        engine_bench(
+            "parallel_table1",
+            gated=True,
+            gate_reason=f"cpu_count={cpu_count} cannot express 2-worker parallelism",
+            workers=2,
+            cpu_count=cpu_count,
+            workload="smoke Table I, 2 cells (news x substantial/none), 2 strategies",
+        )
+        print(f"\nparallel table1: gated on {cpu_count}-cpu machine (parity asserted)")
+        return
+
     start = time.perf_counter()
     serial = run_table1(SMOKE, workers=1, **kwargs)
     serial_time = time.perf_counter() - start
@@ -398,12 +422,12 @@ def test_bench_parallel_table1(engine_bench):
         parallel_s=round(parallel_time, 4),
         speedup=round(speedup, 3),
         workers=2,
-        cpu_count=os.cpu_count(),
+        cpu_count=cpu_count,
         workload="smoke Table I, 2 cells (news x substantial/none), 2 strategies",
     )
     print(
         f"\nparallel table1: serial {serial_time:.2f}s -> workers=2 "
-        f"{parallel_time:.2f}s ({speedup:.2f}x on {os.cpu_count()} cpu)"
+        f"{parallel_time:.2f}s ({speedup:.2f}x on {cpu_count} cpu)"
     )
 
 
@@ -703,6 +727,203 @@ def test_bench_gateway_cache(engine_bench):
         f"{cached_qps:,.0f} q/s ({speedup:.2f}x, hit rate {100 * hit_rate:.0f}%)"
     )
     assert speedup > 1.0, f"gateway cache regressed: {speedup:.2f}x vs uncached"
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_gateway_multiproc(engine_bench, tmp_path):
+    """Out-of-process worker fleet vs the in-process sharded gateway.
+
+    Same interleaved multi-stream load as ``test_bench_gateway_throughput``,
+    but served by ``MultiprocGateway``: every stream's model runs in a
+    separate worker *process* (mmap-loaded from the registry), so inference
+    escapes the GIL entirely at the price of a length-prefixed socket
+    round-trip per query.  The baseline is the in-process ``ServingGateway``
+    over identical models.  Bitwise parity with the direct batched reference
+    is asserted on every multiproc response before any timing is trusted.
+
+    On a 1-core runner two worker processes cannot express any parallelism —
+    the run would only measure IPC overhead — so the benchmark asserts the
+    parity contract and records ``"gated": true`` instead of a misleading
+    ratio (``check_regression.py`` skips gated sections).
+    """
+    import threading
+
+    from repro.core import CERL
+    from repro.experiments.multiproc import _spanning_names
+    from repro.serve import ModelRegistry, MultiprocGateway, ServingGateway
+
+    cpu_count = os.cpu_count() or 1
+    n_workers = 2
+
+    # One briefly-trained CERL registered under every stream name: identical
+    # models keep the reference check trivial (mirrors the deepcopy trick in
+    # the in-process gateway bench) while the registry/mmap path stays real.
+    generator = SyntheticDomainGenerator(SMOKE.synthetic_config(), seed=0)
+    stream_data = DomainStream([generator.generate_domain(0)], seed=0)
+    learner = CERL(
+        stream_data.n_features,
+        SMOKE.model_config(seed=0, epochs=3),
+        SMOKE.continual_config(memory_budget=SMOKE.memory_budget_table1),
+    )
+    learner.observe(stream_data.train_data(0), epochs=3)
+
+    n_streams = 4
+    streams = _spanning_names("s", n_streams, n_workers)
+    registry_root = tmp_path / "registry"
+    registry = ModelRegistry(registry_root)
+    for name in streams:
+        registry.save(name, 0, learner, metadata={"trigger": "bench"})
+
+    rng = np.random.default_rng(13)
+    queries = rng.normal(size=(256, learner.n_features))
+    reference = learner.predict(queries)
+
+    def check(index: int, response) -> bool:
+        return (
+            response.mu0 == reference.y0_hat[index]
+            and response.mu1 == reference.y1_hat[index]
+            and response.ite == reference.ite_hat[index]
+        )
+
+    if cpu_count < n_workers:
+        # Parity contract still holds across the process boundary; only the
+        # throughput claim is meaningless here.
+        with MultiprocGateway(
+            registry_root,
+            streams,
+            n_workers=n_workers,
+            max_batch=len(queries),
+            cache_capacity=0,
+        ) as gateway:
+            indices = np.random.default_rng(7).integers(0, len(queries), size=32)
+            pendings = [
+                (int(i), gateway.submit(streams[q % n_streams], queries[i]))
+                for q, i in enumerate(indices)
+            ]
+            for index, pending in pendings:
+                assert check(index, pending.result(timeout=60.0)), (
+                    "multiproc response diverged from the batched reference"
+                )
+        engine_bench(
+            "gateway_multiproc",
+            gated=True,
+            gate_reason=(
+                f"cpu_count={cpu_count} cannot express {n_workers}-process "
+                "parallelism"
+            ),
+            workers=n_workers,
+            cpu_count=cpu_count,
+            parity_queries=len(indices),
+            workload="parity-only: 32 queries over 4 streams, canonical batch 256",
+        )
+        print(
+            f"\ngateway multiproc: gated on cpu_count={cpu_count} "
+            f"(parity asserted on {len(indices)} cross-process responses)"
+        )
+        return
+
+    n_threads, per_thread = 8, 96
+    thread_indices = [
+        np.random.default_rng(thread).integers(0, len(queries), size=per_thread)
+        for thread in range(n_threads)
+    ]
+
+    def fleet_round() -> float:
+        with MultiprocGateway(
+            registry_root,
+            streams,
+            n_workers=n_workers,
+            max_batch=len(queries),
+            cache_capacity=0,
+        ) as gateway:
+            for name in streams:  # spin up workers + warm their workspaces
+                gateway.predict_one(name, queries[0])
+            failures: list = []
+            barrier = threading.Barrier(n_threads)
+
+            def client(thread_index: int) -> None:
+                barrier.wait()
+                pendings = [
+                    (index, gateway.submit(streams[(thread_index + q) % n_streams], queries[index]))
+                    for q, index in enumerate(thread_indices[thread_index])
+                ]
+                mine = [
+                    int(index)
+                    for index, pending in pendings
+                    if not check(index, pending.result(timeout=60.0))
+                ]
+                if mine:
+                    failures.append(mine)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(n_threads)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+        assert failures == [], "multiproc responses diverged from the batched reference"
+        return elapsed
+
+    def inprocess_round() -> float:
+        import copy
+
+        with ServingGateway(
+            loader=lambda stream: (copy.deepcopy(learner), 0),
+            n_shards=n_streams,
+            max_batch=len(queries),
+            cache_capacity=0,
+        ) as gateway:
+            for name in streams:
+                gateway.predict_one(name, queries[0])
+            barrier = threading.Barrier(n_threads)
+
+            def client(thread_index: int) -> None:
+                barrier.wait()
+                pendings = [
+                    gateway.submit(streams[(thread_index + q) % n_streams], queries[index])
+                    for q, index in enumerate(thread_indices[thread_index])
+                ]
+                for pending in pendings:
+                    pending.result(timeout=60.0)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(n_threads)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return time.perf_counter() - start
+
+    inprocess_time, fleet_time = _interleaved_best(
+        inprocess_round, fleet_round, rounds=3
+    )
+    total = n_threads * per_thread
+    fleet_qps = total / fleet_time
+    inprocess_qps = total / inprocess_time
+    speedup = fleet_qps / inprocess_qps
+    engine_bench(
+        "gateway_multiproc",
+        fleet_qps=round(fleet_qps, 1),
+        inprocess_qps=round(inprocess_qps, 1),
+        speedup=round(speedup, 3),
+        workers=n_workers,
+        streams=n_streams,
+        threads=n_threads,
+        queries=total,
+        workload="8 threads x 96 queries interleaved over 4 streams, canonical batch 256",
+    )
+    print(
+        f"\ngateway multiproc: in-process {inprocess_qps:,.0f} q/s -> "
+        f"{n_workers}-process fleet {fleet_qps:,.0f} q/s ({speedup:.2f}x)"
+    )
+    # IPC has a real per-query cost; the fleet must stay within a conservative
+    # fraction of the in-process gateway even when socket overhead dominates.
+    assert speedup > 0.3, f"multiproc fleet collapsed: {speedup:.2f}x vs in-process"
 
 
 # --------------------------------------------------------------------------- #

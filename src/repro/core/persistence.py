@@ -14,12 +14,12 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from ..memory import MemoryBuffer
-from ..utils import Standardizer, atomic_write
+from ..utils import Standardizer, atomic_write, load_npz_mapped
 from .cerl import CERL
 from .config import ContinualConfig, ModelConfig
 from .outcome import OutcomeHeads
@@ -47,17 +47,20 @@ def _npz_path(path: Union[str, Path]) -> Path:
     return path.with_name(path.name + ".npz")
 
 
-def _atomic_savez(path: Path, arrays: dict) -> None:
+def _atomic_savez(path: Path, arrays: dict, compressed: bool = True) -> None:
     """Write an ``.npz`` archive so the target is never partially written.
 
     A crash mid-save leaves either the previous checkpoint or none — never a
     truncated archive (see :func:`repro.utils.atomic_write`).  Saving through
     an open file handle also stops NumPy from appending its own ``.npz`` to
-    the temporary name.
+    the temporary name.  ``compressed=False`` stores members verbatim
+    (``np.savez``), which is what makes them memory-mappable on load — see
+    :func:`repro.utils.load_npz_mapped`.
     """
+    savez = np.savez_compressed if compressed else np.savez
     with atomic_write(path) as tmp:
         with open(tmp, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
+            savez(handle, **arrays)
 
 
 def save_modules(modules: dict, path: Union[str, Path]) -> Path:
@@ -102,8 +105,14 @@ def module_checkpointer(modules: dict, directory: Union[str, Path], stem: str = 
     return save_fn
 
 
-def save_cerl(learner: CERL, path: Union[str, Path]) -> Path:
+def save_cerl(learner: CERL, path: Union[str, Path], compressed: bool = True) -> Path:
     """Serialise a fitted CERL learner to ``path`` (``.npz`` archive).
+
+    ``compressed=False`` writes members uncompressed so a later
+    ``load_cerl(path, mmap_mode='r')`` can memory-map the large state (the
+    representation memory, the scalers) zero-copy instead of inflating it —
+    the trade serving deployments want (the registry uses it for every saved
+    version).
 
     Raises
     ------
@@ -139,63 +148,93 @@ def save_cerl(learner: CERL, path: Union[str, Path]) -> Path:
         arrays["memory/outcomes"] = learner.memory.outcomes
         arrays["memory/treatments"] = learner.memory.treatments
 
-    _atomic_savez(path, arrays)
+    _atomic_savez(path, arrays, compressed=compressed)
     return path
 
 
-def load_cerl(path: Union[str, Path]) -> CERL:
+def _read_archive(path: Path, mmap_mode) -> dict:
+    """Materialise an archive as a plain ``{name: array}`` mapping.
+
+    With ``mmap_mode=None`` every member is read eagerly through ``np.load``
+    (the historical behaviour).  With a mode, uncompressed members become
+    ``np.memmap`` views of the archive file — zero-copy, page-cache-shared
+    across worker processes — via :func:`repro.utils.load_npz_mapped`;
+    compressed members are read eagerly either way (``np.load`` itself
+    silently ignores ``mmap_mode`` for zip archives, so this is the only
+    honest mapping path).
+    """
+    if mmap_mode is not None:
+        return load_npz_mapped(path, mode=mmap_mode)
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def load_cerl(path: Union[str, Path], mmap_mode: Optional[str] = None) -> CERL:
     """Restore a CERL learner saved with :func:`save_cerl`.
 
     The restored learner can continue observing new domains and predicting for
     all previously seen domains, exactly as the original instance could.
+
+    Parameters
+    ----------
+    path:
+        The ``.npz`` archive.
+    mmap_mode:
+        ``None`` (default) loads eagerly.  ``'r'`` memory-maps the archive's
+        uncompressed members read-only — the representation memory and the
+        scalers are *adopted* as mapped views (zero-copy; shard workers use
+        this so N workers loading the same checkpoint share one page-cache
+        copy), while module parameters are copied into the layers as always.
+        Predictions are bit-identical either way; on POSIX a held mapping
+        survives the archive being atomically replaced on disk.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
-        if meta.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported checkpoint format {meta.get('format_version')!r}; "
-                f"expected {_FORMAT_VERSION}"
-            )
-        model_config = ModelConfig(**meta["model_config"])
-        continual_config = ContinualConfig(**meta["continual_config"])
-        learner = CERL(meta["n_features"], model_config, continual_config)
-
-        rng = np.random.default_rng(model_config.seed)
-        encoder = RepresentationNetwork(
-            in_features=meta["n_features"],
-            representation_dim=model_config.representation_dim,
-            hidden_sizes=model_config.encoder_hidden,
-            activation=model_config.activation,
-            use_cosine_norm=model_config.use_cosine_norm,
-            standardize=model_config.standardize_covariates,
-            l1_ratio=model_config.elastic_net_l1_ratio,
-            rng=rng,
+    archive = _read_archive(path, mmap_mode)
+    meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {meta.get('format_version')!r}; "
+            f"expected {_FORMAT_VERSION}"
         )
-        heads = OutcomeHeads(
-            representation_dim=model_config.representation_dim,
-            hidden_sizes=model_config.outcome_hidden,
-            activation=model_config.activation,
-            rng=rng,
+    model_config = ModelConfig(**meta["model_config"])
+    continual_config = ContinualConfig(**meta["continual_config"])
+    learner = CERL(meta["n_features"], model_config, continual_config)
+
+    rng = np.random.default_rng(model_config.seed)
+    encoder = RepresentationNetwork(
+        in_features=meta["n_features"],
+        representation_dim=model_config.representation_dim,
+        hidden_sizes=model_config.encoder_hidden,
+        activation=model_config.activation,
+        use_cosine_norm=model_config.use_cosine_norm,
+        standardize=model_config.standardize_covariates,
+        l1_ratio=model_config.elastic_net_l1_ratio,
+        rng=rng,
+    )
+    heads = OutcomeHeads(
+        representation_dim=model_config.representation_dim,
+        hidden_sizes=model_config.outcome_hidden,
+        activation=model_config.activation,
+        rng=rng,
+    )
+    encoder.load_state_dict(_extract(archive, "encoder/"))
+    heads.load_state_dict(_extract(archive, "heads/"))
+
+    if "scaler/covariates/mean" in archive:
+        encoder.scaler.mean_ = archive["scaler/covariates/mean"]
+        encoder.scaler.std_ = archive["scaler/covariates/std"]
+    outcome_scaler = Standardizer()
+    if "scaler/outcomes/mean" in archive:
+        outcome_scaler.mean_ = archive["scaler/outcomes/mean"]
+        outcome_scaler.std_ = archive["scaler/outcomes/std"]
+
+    memory = None
+    if "memory/representations" in archive:
+        memory = MemoryBuffer(
+            archive["memory/representations"],
+            archive["memory/outcomes"],
+            archive["memory/treatments"],
         )
-        encoder.load_state_dict(_extract(archive, "encoder/"))
-        heads.load_state_dict(_extract(archive, "heads/"))
-
-        if "scaler/covariates/mean" in archive:
-            encoder.scaler.mean_ = archive["scaler/covariates/mean"]
-            encoder.scaler.std_ = archive["scaler/covariates/std"]
-        outcome_scaler = Standardizer()
-        if "scaler/outcomes/mean" in archive:
-            outcome_scaler.mean_ = archive["scaler/outcomes/mean"]
-            outcome_scaler.std_ = archive["scaler/outcomes/std"]
-
-        memory = None
-        if "memory/representations" in archive:
-            memory = MemoryBuffer(
-                archive["memory/representations"],
-                archive["memory/outcomes"],
-                archive["memory/treatments"],
-            )
 
     learner.encoder = encoder
     learner.heads = heads
@@ -205,9 +244,9 @@ def load_cerl(path: Union[str, Path]) -> CERL:
     return learner
 
 
-def _extract(archive, prefix: str) -> dict:
+def _extract(archive: dict, prefix: str) -> dict:
     return {
-        key[len(prefix):]: archive[key]
-        for key in archive.files
+        key[len(prefix):]: value
+        for key, value in archive.items()
         if key.startswith(prefix)
     }

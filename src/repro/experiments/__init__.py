@@ -3,7 +3,12 @@
 from .autoadapt import AutoAdaptationResult, TickTrace, run_auto_adaptation
 from .deployment import DeploymentResult, DeploymentStage, run_continual_deployment
 from .fleet import FleetDeploymentResult, FleetStreamReport, run_fleet_deployment
-from .parallel import derive_seed, parallel_map, seeded_tasks
+from .multiproc import (
+    MultiprocFleetResult,
+    MultiprocStreamReport,
+    run_multiproc_fleet,
+)
+from .parallel import derive_seed, effective_workers, parallel_map, seeded_tasks
 from .profiles import PAPER, QUICK, SMOKE, ExperimentProfile
 from .runner import (
     StrategyResult,
@@ -34,7 +39,11 @@ __all__ = [
     "FleetDeploymentResult",
     "FleetStreamReport",
     "run_fleet_deployment",
+    "MultiprocFleetResult",
+    "MultiprocStreamReport",
+    "run_multiproc_fleet",
     "derive_seed",
+    "effective_workers",
     "parallel_map",
     "seeded_tasks",
     "ExperimentProfile",

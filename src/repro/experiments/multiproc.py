@@ -1,0 +1,442 @@
+"""Out-of-process fleet deployment: worker kill/restart under live load.
+
+:func:`run_fleet_deployment` proves the multi-tenant story *inside* one
+process.  :func:`run_multiproc_fleet` proves it across process boundaries —
+and proves the failure-isolation claim that motivates paying for processes at
+all:
+
+1. ``n_streams`` independent streams are trained and registered as version 0
+   in one shared :class:`~repro.serve.ModelRegistry` (exactly as the
+   in-process fleet experiment does, with the same derived seeds);
+2. a :class:`~repro.serve.fleet.MultiprocGateway` fronts the registry —
+   every stream's checkpoint is loaded **memory-mapped** inside its
+   digest-assigned worker *process*, and queries travel the pickle-free wire
+   protocol;
+3. a warm wave verifies every stream's responses **bitwise** against the
+   direct batched ``predict`` of the version each response reports;
+4. one worker is **SIGKILLed mid-load**: concurrent survivor clients (every
+   stream on another worker) must complete without a single error while the
+   victim's queries fail with *typed* errors only
+   (:class:`~repro.serve.fleet.WorkerUnavailable` /
+   :class:`~repro.serve.fleet.RemoteError`);
+5. the dead worker is **restarted**; the victim stream must answer again,
+   bitwise, from the version it served before the crash;
+6. the victim stream is then **adapted** end-to-end — observe the next
+   domain, save version 1, hot-swap through the controller-compatible
+   ``gateway.service(stream).reload(...)`` hook — and a deterministic
+   post-swap wave checks the adapted stream answers bitwise from version 1
+   while every other stream still answers from version 0.
+
+Per-stream seeds derive exactly as in the in-process fleet, so the trained
+models (and therefore all references) are reproducible.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.cerl import CERL
+from ..data.streams import DomainStream
+from ..data.synthetic import SyntheticDomainGenerator
+from ..serve import GatewayStats, ModelRegistry, ShardRouter
+from ..serve.fleet import FleetError, MultiprocGateway
+from .parallel import derive_seed
+from .profiles import SMOKE, ExperimentProfile
+
+__all__ = ["MultiprocFleetResult", "MultiprocStreamReport", "run_multiproc_fleet"]
+
+
+def _spanning_names(prefix: str, n_streams: int, n_workers: int) -> List[str]:
+    """Deterministic stream names whose digests span at least two workers.
+
+    Digest routing may happen to place every ``prefix-00..`` name on one
+    worker, which would make the kill experiment vacuous (no survivors).
+    The first ``n_streams - 1`` names are taken in index order; the last one
+    keeps scanning indices until it lands on a different worker than the
+    rest, so the fleet always has a survivor — still a pure function of
+    ``(prefix, n_streams, n_workers)``, so runs stay reproducible.
+    """
+    router = ShardRouter(n_workers)
+    names = [f"{prefix}-{index:02d}" for index in range(n_streams - 1)]
+    workers = {router.shard_for(name) for name in names}
+    for index in range(n_streams - 1, n_streams + 999):
+        candidate = f"{prefix}-{index:02d}"
+        if len(workers | {router.shard_for(candidate)}) >= 2:
+            names.append(candidate)
+            return names
+    raise RuntimeError(
+        f"could not find a stream name spanning a second worker for prefix "
+        f"{prefix!r} with {n_workers} workers"
+    )
+
+
+@dataclass
+class MultiprocStreamReport:
+    """One stream's view of the multiprocess fleet run."""
+
+    name: str
+    worker: int
+    versions: List[int]
+    versions_served: List[int]
+    queries: int
+    #: Query indices whose response diverged from the reference of the
+    #: version it reported (empty == bitwise healthy).
+    mismatches: List[int] = field(default_factory=list)
+
+    @property
+    def parity(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass
+class MultiprocFleetResult:
+    """Full outcome of one multiprocess fleet deployment."""
+
+    streams: List[MultiprocStreamReport] = field(default_factory=list)
+    victim_stream: str = ""
+    victim_worker: int = -1
+    #: Streams on other workers that served through the outage.
+    survivors: List[str] = field(default_factory=list)
+    #: Victim queries failing with typed fleet errors during the outage.
+    outage_typed_failures: int = 0
+    #: Victim queries failing with anything else (must stay 0).
+    outage_untyped_failures: int = 0
+    #: Victim queries answered from the front-door cache during the outage
+    #: (possible only for rows cached before the kill; kept out of the
+    #: failure counters — a cached answer is a correct answer).
+    outage_cache_hits: int = 0
+    #: Survivor queries that failed during the outage (must stay 0).
+    survivor_errors: int = 0
+    #: Whether the victim stream answered (bitwise) after the restart.
+    recovered: bool = False
+    adapted_stream: str = ""
+    adapted_version: int = 0
+    stats: Optional[GatewayStats] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def parity(self) -> bool:
+        """Whether every response matched its version's batched reference."""
+        return all(report.parity for report in self.streams)
+
+    @property
+    def isolated(self) -> bool:
+        """Whether the worker kill was invisible to every other tenant."""
+        return (
+            self.survivor_errors == 0
+            and self.outage_untyped_failures == 0
+            and self.recovered
+        )
+
+    @property
+    def total_queries(self) -> int:
+        return sum(report.queries for report in self.streams)
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.total_queries / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def summary_rows(self) -> List[dict]:
+        """Per-stream rows for :func:`repro.experiments.reporting.format_table`."""
+        return [
+            {
+                "stream": report.name,
+                "worker": report.worker,
+                "versions": str(report.versions),
+                "served": str(report.versions_served),
+                "queries": report.queries,
+                "role": (
+                    "victim"
+                    if report.name == self.victim_stream
+                    else "survivor"
+                    if report.name in self.survivors
+                    else "co-tenant"
+                ),
+                "parity": "exact" if report.parity else "DIVERGED",
+            }
+            for report in self.streams
+        ]
+
+
+def run_multiproc_fleet(
+    n_streams: int = 3,
+    profile: ExperimentProfile = SMOKE,
+    n_workers: int = 2,
+    queries_per_stream: int = 32,
+    clients_per_stream: int = 2,
+    registry_root: Optional[Union[str, Path]] = None,
+    stream_prefix: str = "stream",
+    cache_capacity: int = 1024,
+    max_pending_per_worker: Optional[int] = None,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+) -> MultiprocFleetResult:
+    """Train, serve out-of-process, kill/restart one worker, adapt its stream.
+
+    Parameters
+    ----------
+    n_streams, n_workers:
+        Fleet size and worker process count.  The victim is chosen as the
+        first stream that leaves at least one other stream on a *different*
+        worker, so the survivor claim is never vacuous (requires
+        ``n_workers >= 2`` and a stream assignment that spans workers —
+        true for the defaults).
+    queries_per_stream, clients_per_stream:
+        Per-phase load: each survivor client submits ``queries_per_stream``
+        seeded queries during the outage; waves use smaller seeded rounds.
+    registry_root:
+        Registry directory; an ephemeral temporary directory when omitted.
+    cache_capacity, max_pending_per_worker:
+        Front-door knobs (see :class:`~repro.serve.fleet.MultiprocGateway`).
+    seed, epochs:
+        Base seed for derived per-stream seeds; per-domain epoch budget
+        (default: the profile's).
+
+    Returns
+    -------
+    MultiprocFleetResult
+        Bitwise parity verdicts, outage isolation counters, recovery and
+        adaptation outcomes, fleet stats.
+    """
+    if n_workers < 2:
+        raise ValueError("the kill/restart experiment needs at least 2 workers")
+    if n_streams < 2:
+        raise ValueError("the kill/restart experiment needs at least 2 streams")
+    epochs = epochs if epochs is not None else profile.epochs
+
+    with ExitStack() as stack:
+        if registry_root is None:
+            registry_root = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="cerl_mpfleet_")
+            )
+        return _run_multiproc_fleet(
+            n_streams,
+            profile,
+            n_workers,
+            queries_per_stream,
+            clients_per_stream,
+            registry_root,
+            stream_prefix,
+            cache_capacity,
+            max_pending_per_worker,
+            seed,
+            epochs,
+        )
+
+
+def _run_multiproc_fleet(
+    n_streams: int,
+    profile: ExperimentProfile,
+    n_workers: int,
+    queries_per_stream: int,
+    clients_per_stream: int,
+    registry_root: Union[str, Path],
+    stream_prefix: str,
+    cache_capacity: int,
+    max_pending_per_worker: Optional[int],
+    seed: int,
+    epochs: int,
+) -> MultiprocFleetResult:
+    registry = ModelRegistry(registry_root)
+    names = _spanning_names(stream_prefix, n_streams, n_workers)
+
+    # --- train one lineage per stream, register version 0 ----------------- #
+    # Seeds derive identically to run_fleet_deployment so the two experiments
+    # train byte-identical models from the same (seed, name) pair.
+    learners: Dict[str, CERL] = {}
+    streams: Dict[str, DomainStream] = {}
+    for name in names:
+        stream_seed = derive_seed(seed, "fleet", name)
+        generator = SyntheticDomainGenerator(profile.synthetic_config(), seed=stream_seed)
+        stream = DomainStream(
+            [generator.generate_domain(0), generator.generate_domain(1)],
+            seed=stream_seed,
+        )
+        learner = CERL(
+            stream.n_features,
+            profile.model_config(seed=stream_seed, epochs=epochs),
+            profile.continual_config(memory_budget=profile.memory_budget_table1),
+        )
+        learner.observe(stream.train_data(0), epochs=epochs)
+        registry.save(name, 0, learner, metadata={"trigger": "initial"})
+        learners[name] = learner
+        streams[name] = stream
+
+    banks = {name: streams[name][0].test.covariates for name in names}
+    bank_size = {len(bank) for bank in banks.values()}
+    assert len(bank_size) == 1, "profile splits must give equal test sizes"
+    max_batch = bank_size.pop()
+    references = {(name, 0): learners[name].predict(banks[name]) for name in names}
+
+    result = MultiprocFleetResult()
+    responses: Dict[str, List[tuple]] = {name: [] for name in names}
+    response_lock = threading.Lock()
+
+    with MultiprocGateway(
+        registry_root,
+        names,
+        n_workers=n_workers,
+        max_batch=max_batch,
+        cache_capacity=cache_capacity,
+        max_pending_per_worker=max_pending_per_worker,
+    ) as gateway:
+        # Victim: first stream with at least one survivor on another worker.
+        victim = next(
+            (
+                name
+                for name in names
+                if any(
+                    gateway.worker_for(other) != gateway.worker_for(name)
+                    for other in names
+                )
+            ),
+            None,
+        )
+        if victim is None:
+            raise RuntimeError(
+                "every stream digest-routed onto one worker; add streams or "
+                "workers so the outage has survivors to observe"
+            )
+        victim_worker = gateway.worker_for(victim)
+        survivors = [
+            name for name in names if gateway.worker_for(name) != victim_worker
+        ]
+        result.victim_stream = victim
+        result.victim_worker = victim_worker
+        result.survivors = survivors
+
+        start = time.perf_counter()
+
+        used_rows: Dict[str, set] = {name: set() for name in names}
+
+        def wave(name: str, label: str, count: int) -> None:
+            rng = np.random.default_rng(derive_seed(seed, label, name))
+            indices = rng.integers(0, max_batch, size=count)
+            used_rows[name].update(int(i) for i in indices)
+            pendings = [
+                (int(i), gateway.submit(name, banks[name][i])) for i in indices
+            ]
+            collected = [(i, p.result(timeout=120.0)) for i, p in pendings]
+            with response_lock:
+                responses[name].extend(collected)
+
+        # --- phase 1: warm wave, every stream, bitwise -------------------- #
+        for name in names:
+            wave(name, "warm", min(8, queries_per_stream))
+
+        # --- phase 2: kill the victim's worker mid-load ------------------- #
+        gateway.kill_worker(victim_worker)
+
+        survivor_errors = [0]
+        barrier = threading.Barrier(len(survivors) * clients_per_stream + 1)
+
+        def survivor_client(name: str, client_index: int) -> None:
+            rng = np.random.default_rng(
+                derive_seed(seed, "outage", name, client_index)
+            )
+            indices = rng.integers(0, max_batch, size=queries_per_stream)
+            barrier.wait()
+            collected = []
+            for i in indices:
+                try:
+                    collected.append(
+                        (int(i), gateway.predict_one(name, banks[name][i], timeout=120.0))
+                    )
+                except Exception:
+                    with response_lock:
+                        survivor_errors[0] += 1
+            with response_lock:
+                responses[name].extend(collected)
+
+        threads = [
+            threading.Thread(
+                target=survivor_client, args=(name, c), name=f"mpfleet-{name}-{c}"
+            )
+            for name in survivors
+            for c in range(clients_per_stream)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+
+        # While survivors hammer their live workers, the victim's queries
+        # must fail *typed* — never hang, never corrupt another tenant.
+        # Rows already served (and therefore possibly cached) before the kill
+        # are avoided so the failures genuinely exercise the dead socket; any
+        # residual cache-served answer is counted separately, not as failure.
+        victim_rng = np.random.default_rng(derive_seed(seed, "victim", victim))
+        fresh = [i for i in range(max_batch) if i not in used_rows[victim]]
+        picks = victim_rng.choice(
+            fresh if fresh else np.arange(max_batch),
+            size=min(8, queries_per_stream),
+            replace=True,
+        )
+        for i in picks:
+            try:
+                gateway.predict_one(victim, banks[victim][int(i)], timeout=120.0)
+                result.outage_cache_hits += 1
+            except FleetError:
+                result.outage_typed_failures += 1
+            except Exception:
+                result.outage_untyped_failures += 1
+
+        for thread in threads:
+            thread.join()
+        result.survivor_errors = survivor_errors[0]
+
+        # --- phase 3: restart the worker; the victim must recover --------- #
+        gateway.restart_worker(victim_worker)
+        gateway.manager.wait_port(victim_worker)
+        before = len(responses[victim])
+        wave(victim, "recovery", min(8, queries_per_stream))
+        result.recovered = len(responses[victim]) > before
+
+        # --- phase 4: adapt the recovered stream, deterministic post-swap - #
+        adapted = learners[victim]
+        adapted.observe(streams[victim].train_data(1), epochs=epochs)
+        registry.save(victim, 1, adapted, metadata={"trigger": "mpfleet-adapt"})
+        # The controller-compatible hook: AdaptationController calls
+        # service.reload(registry, stream) — the handle forwards it to the
+        # owning worker, which re-loads (memory-mapped) from the registry.
+        result.adapted_stream = victim
+        result.adapted_version = gateway.service(victim).reload(registry, victim)
+        references[(victim, 1)] = adapted.predict(banks[victim])
+
+        for name in names:
+            wave(name, "post-swap", min(8, queries_per_stream))
+
+        result.elapsed_s = time.perf_counter() - start
+        result.stats = gateway.stats()
+
+        # --- verify every response against its version's reference -------- #
+        for name in names:
+            mismatches = []
+            served_versions = set()
+            for index, response in responses[name]:
+                served_versions.add(response.model_version)
+                reference = references[(name, response.model_version)]
+                if (
+                    response.mu0 != reference.y0_hat[index]
+                    or response.mu1 != reference.y1_hat[index]
+                    or response.ite != reference.ite_hat[index]
+                ):
+                    mismatches.append(index)
+            result.streams.append(
+                MultiprocStreamReport(
+                    name=name,
+                    worker=gateway.worker_for(name),
+                    versions=registry.list_versions(name),
+                    versions_served=sorted(served_versions),
+                    queries=len(responses[name]),
+                    mismatches=mismatches,
+                )
+            )
+    return result

@@ -19,11 +19,12 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing as mp
+import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-__all__ = ["parallel_map", "derive_seed", "seeded_tasks"]
+__all__ = ["effective_workers", "parallel_map", "derive_seed", "seeded_tasks"]
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -65,11 +66,30 @@ def _pool_context(start_method: Optional[str]) -> mp.context.BaseContext:
     return mp.get_context()
 
 
+def effective_workers(workers: int, n_tasks: int, force_parallel: bool = False) -> int:
+    """Worker count :func:`parallel_map` will actually use.
+
+    Requested workers are clamped to the task count and — unless
+    ``force_parallel`` — to ``os.cpu_count()``: on a 1-core CI runner a
+    2-worker pool cannot express any parallelism, it only adds pool start-up
+    and pickling cost, so a request that oversubscribes every core falls back
+    toward serial instead of producing a misleading sub-1.0 "speedup".
+    ``force_parallel=True`` keeps the requested count (capped by the task
+    count only) — the determinism tests use it to exercise the real pool
+    path regardless of the machine.
+    """
+    effective = min(int(workers), max(n_tasks, 0))
+    if force_parallel:
+        return effective
+    return min(effective, os.cpu_count() or 1)
+
+
 def parallel_map(
     fn: Callable[[TaskT], ResultT],
     tasks: Sequence[TaskT],
     workers: int = 1,
     start_method: Optional[str] = None,
+    force_parallel: bool = False,
 ) -> List[ResultT]:
     """Order-preserving map over ``tasks``, optionally across processes.
 
@@ -84,11 +104,18 @@ def parallel_map(
         seeds — workers share no RNG state with the parent or each other).
     workers:
         ``<= 1`` runs a plain serial loop in-process (the default);
-        ``> 1`` dispatches to a process pool of at most ``len(tasks)``
-        workers.
+        ``> 1`` dispatches to a process pool of at most
+        :func:`effective_workers` workers — the request is clamped to the
+        core count (see there), and a clamp down to one worker falls back to
+        the serial loop entirely, so a 1-core machine never pays pool
+        overhead for zero achievable parallelism.
     start_method:
         Optional multiprocessing start method override (``"fork"``,
         ``"spawn"``, ``"forkserver"``); defaults to fork when available.
+    force_parallel:
+        Bypass the core-count clamp (not the task-count one): always spin up
+        the requested pool.  For tests that must exercise the process-pool
+        path on any machine.
 
     Returns
     -------
@@ -97,10 +124,9 @@ def parallel_map(
         paths.  A task that raises propagates its exception either way.
     """
     tasks = list(tasks)
+    workers = effective_workers(workers, len(tasks), force_parallel=force_parallel)
     if workers <= 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
     context = _pool_context(start_method)
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(tasks)), mp_context=context
-    ) as pool:
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
         return list(pool.map(fn, tasks))

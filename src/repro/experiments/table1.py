@@ -111,6 +111,7 @@ def run_table1(
     seed: int = 0,
     memory_budget: Optional[int] = None,
     workers: int = 1,
+    force_parallel: bool = False,
 ) -> Table1Result:
     """Regenerate (a scaled version of) Table I.
 
@@ -131,7 +132,11 @@ def run_table1(
     workers:
         Number of processes to fan the dataset × scenario cells over.
         ``1`` (the default) runs serially; any value produces identical
-        tables because each cell is seeded independently.
+        tables because each cell is seeded independently.  Requests beyond
+        the core count clamp back toward serial (see
+        :func:`~repro.experiments.parallel.parallel_map`).
+    force_parallel:
+        Bypass the core-count clamp (determinism tests on small machines).
     """
     # Unknown dataset names fail fast (and in the parent process).
     for dataset in datasets:
@@ -142,7 +147,9 @@ def run_table1(
         (dataset, scenario, profile, tuple(strategies), seed, budget)
         for dataset, scenario in cells
     ]
-    cell_results = parallel_map(_table1_cell, tasks, workers=workers)
+    cell_results = parallel_map(
+        _table1_cell, tasks, workers=workers, force_parallel=force_parallel
+    )
     output = Table1Result(profile=profile.name)
     for cell, results in zip(cells, cell_results):
         output.results[cell] = results

@@ -18,6 +18,12 @@ the model and representation memory persist):
   cache keyed on ``(stream, model version, row digest)``, and admission
   control that sheds overload with a typed :class:`Overloaded` error
   before it can reach any service or traffic observer;
+* :mod:`repro.serve.fleet` — the out-of-process tier: a
+  :class:`~repro.serve.fleet.FleetManager` of shard worker *processes*
+  (memory-mapped checkpoint loads, the same canonical-batch path —
+  bitwise identity across the process boundary) behind the asyncio
+  :class:`~repro.serve.fleet.MultiprocGateway` front door with per-tenant
+  rate limits/quotas;
 * the end-to-end deployment protocol lives in
   :func:`repro.experiments.run_continual_deployment`, the drift-driven
   closed loop in :func:`repro.experiments.run_auto_adaptation`, and the
@@ -26,6 +32,14 @@ the model and representation memory persist):
 """
 
 from .cache import CacheStats, TTLLRUCache
+from .fleet import (
+    FleetManager,
+    MultiprocGateway,
+    QuotaExceeded,
+    RateLimited,
+    TenantPolicy,
+    WorkerUnavailable,
+)
 from .gateway import (
     GatewayStats,
     Overloaded,
@@ -46,6 +60,12 @@ from .service import (
 __all__ = [
     "CacheStats",
     "TTLLRUCache",
+    "FleetManager",
+    "MultiprocGateway",
+    "QuotaExceeded",
+    "RateLimited",
+    "TenantPolicy",
+    "WorkerUnavailable",
     "GatewayStats",
     "Overloaded",
     "ServingGateway",

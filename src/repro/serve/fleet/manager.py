@@ -1,0 +1,248 @@
+"""Fleet lifecycle: spawn, restart, drain and address shard worker processes.
+
+:class:`FleetManager` owns the OS processes of the fleet.  Streams are
+assigned to workers with the same SHA-256 digest routing the in-process
+gateway uses (:class:`~repro.serve.gateway.ShardRouter`), so a stream lands
+on the same worker index in every process and across restarts.
+
+Start method defaults to ``spawn``: the manager lives in a threaded serving
+process (front-door pools, micro-batchers), and forking a threaded parent can
+inherit locks mid-acquisition — ``spawn`` sidesteps the whole class of
+deadlocks at the cost of a slower start.
+
+Each worker start performs a pipe handshake: the child sends
+``("ready", port)`` once it is listening *and* its streams' checkpoints are
+loaded, so :meth:`start` returning means the fleet is serving.  Workers are
+daemonic — an abandoned manager cannot leak serving processes past its own
+exit.
+
+:meth:`kill` (SIGKILL, no drain) exists deliberately: the failure-injection
+experiment uses it to prove that losing one worker neither stalls nor
+corrupts any other tenant, and :meth:`restart` brings the dead shard back on
+a fresh port (the front door re-resolves addresses through
+:meth:`endpoint_for`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..gateway import ShardRouter
+from .wire import read_frame, write_frame
+from .worker import worker_main
+
+__all__ = ["FleetManager", "WorkerHandle"]
+
+
+@dataclass
+class WorkerHandle:
+    """Book-keeping for one worker process slot."""
+
+    index: int
+    streams: Tuple[str, ...]
+    process: Optional[mp.process.BaseProcess] = None
+    port: Optional[int] = None
+    #: Bumped on every (re)start; lets the front door detect stale sockets.
+    generation: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class FleetManager:
+    """Spawn and supervise one worker process per shard.
+
+    Parameters
+    ----------
+    registry_root:
+        Root of the shared :class:`~repro.serve.ModelRegistry`; every worker
+        opens its own handle onto it (processes share no Python state, only
+        the checkpoint files — which they memory-map).
+    streams:
+        All stream names the fleet serves; digest-partitioned across workers.
+    n_workers:
+        Worker process count (streams may share a worker, exactly as streams
+        share a shard in-process).
+    max_batch, max_wait_ms, max_payload:
+        Forwarded to every worker's services / wire limits.
+    start_method:
+        ``multiprocessing`` start method; default ``"spawn"`` (see module
+        docstring).
+    startup_timeout_s:
+        Per-worker ready-handshake deadline.
+    """
+
+    def __init__(
+        self,
+        registry_root: Union[str, Path],
+        streams: Sequence[str],
+        n_workers: int = 2,
+        max_batch: int = 128,
+        max_wait_ms: float = 0.0,
+        max_payload: Optional[int] = None,
+        start_method: str = "spawn",
+        startup_timeout_s: float = 60.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if not streams:
+            raise ValueError("a fleet needs at least one stream")
+        self.registry_root = str(registry_root)
+        self.router = ShardRouter(n_workers)
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.max_payload = max_payload
+        self.startup_timeout_s = startup_timeout_s
+        self._ctx = mp.get_context(start_method)
+        assignments: Dict[int, List[str]] = {index: [] for index in range(n_workers)}
+        for stream in streams:
+            assignments[self.router.shard_for(stream)].append(stream)
+        self.workers: List[WorkerHandle] = [
+            WorkerHandle(index=index, streams=tuple(assignments[index]))
+            for index in range(n_workers)
+        ]
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # addressing
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        return self.router.n_shards
+
+    def worker_for(self, stream: str) -> int:
+        """Worker index serving ``stream`` (pure digest function of the key)."""
+        return self.router.shard_for(stream)
+
+    def endpoint_for(self, stream: str) -> Tuple[str, int]:
+        """Current ``(host, port)`` of the worker owning ``stream``."""
+        handle = self.workers[self.worker_for(stream)]
+        if handle.port is None:
+            raise RuntimeError(f"worker {handle.index} has not been started")
+        return ("127.0.0.1", handle.port)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn every worker; returns once all report ready (and serving)."""
+        if self._started:
+            return
+        for handle in self.workers:
+            if handle.streams:
+                self._spawn(handle)
+        self._started = True
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        kwargs = {
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+        }
+        if self.max_payload is not None:
+            kwargs["max_payload"] = self.max_payload
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(self.registry_root, handle.streams, child_conn),
+            kwargs=kwargs,
+            name=f"repro-fleet-worker-{handle.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(self.startup_timeout_s):
+            process.terminate()
+            raise TimeoutError(
+                f"worker {handle.index} did not report ready within "
+                f"{self.startup_timeout_s:.0f}s"
+            )
+        status, value = parent_conn.recv()
+        parent_conn.close()
+        if status != "ready":
+            process.join(timeout=5.0)
+            raise RuntimeError(f"worker {handle.index} failed to start: {value}")
+        handle.process = process
+        handle.port = int(value)
+        handle.generation += 1
+
+    def kill(self, index: int) -> None:
+        """SIGKILL one worker — no drain, no goodbye (failure injection)."""
+        handle = self.workers[index]
+        if handle.process is not None and handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=10.0)
+
+    def restart(self, index: int) -> int:
+        """(Re)spawn one worker slot on a fresh port; returns the new port.
+
+        The other workers are untouched — their streams keep serving while
+        this shard reloads its checkpoints (hot restart).
+        """
+        handle = self.workers[index]
+        if not handle.streams:
+            raise ValueError(f"worker {index} has no assigned streams")
+        if handle.process is not None and handle.process.is_alive():
+            self._graceful_stop(handle)
+        self._spawn(handle)
+        return handle.port
+
+    def stop(self) -> None:
+        """Gracefully stop every live worker (shutdown op, then join/kill)."""
+        for handle in self.workers:
+            if handle.process is None:
+                continue
+            if handle.process.is_alive():
+                self._graceful_stop(handle)
+            handle.process = None
+            handle.port = None
+        self._started = False
+
+    def _graceful_stop(self, handle: WorkerHandle) -> None:
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", handle.port), timeout=5.0
+            ) as sock:
+                write_frame(sock, {"op": "shutdown", "id": 0})
+                read_frame(sock)  # the "bye" ack; best-effort
+        except OSError:
+            pass
+        handle.process.join(timeout=10.0)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=10.0)
+
+    # ------------------------------------------------------------------ #
+    # liveness
+    # ------------------------------------------------------------------ #
+    def alive(self) -> List[bool]:
+        """Per-worker liveness snapshot."""
+        return [handle.alive for handle in self.workers]
+
+    def wait_port(self, index: int, timeout_s: float = 10.0) -> int:
+        """Block until worker ``index`` accepts connections; returns its port."""
+        handle = self.workers[index]
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if handle.port is not None:
+                try:
+                    with socket.create_connection(
+                        ("127.0.0.1", handle.port), timeout=1.0
+                    ):
+                        return handle.port
+                except OSError:
+                    pass
+            time.sleep(0.05)
+        raise TimeoutError(f"worker {index} did not become reachable")
+
+    def __enter__(self) -> "FleetManager":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,267 @@
+"""Length-prefixed wire protocol between the front door and shard workers.
+
+The fleet crosses a process boundary on every query, so the encoding *is* the
+hot path.  The protocol is deliberately primitive — no pickle, no schema
+library, nothing that could smuggle Python objects across the socket:
+
+* every frame is ``[u32 header length][u32 payload length][header][payload]``
+  (big-endian prefix);
+* the **header** is a small UTF-8 JSON object (the op, the stream, the array
+  shape/dtype, the model version) — cheap to build, cheap to parse, and safe
+  to log;
+* the **payload** is the raw bytes of one C-contiguous float64 ndarray.  The
+  sender writes ``array.data`` straight to the socket; the receiver rebuilds
+  with ``np.frombuffer(...).reshape(shape)`` — a zero-copy, read-only view of
+  the received buffer.  Bitwise identity across the boundary is therefore
+  trivial: the eight bytes of every float are forwarded verbatim.
+
+Both sides **normalise rows identically** before they touch the wire or a
+model: :func:`encode_rows` coerces any accepted input (lists, float32,
+non-contiguous slices, 1-D vectors) to a C-contiguous float64 ``(n, p)``
+array, and the receiving side *rejects* any payload that does not declare
+exactly that layout (:class:`ProtocolError`), instead of silently reinterpreting
+bytes.  A query row is thus bit-identical on both sides of the socket no
+matter which side a test inspects.
+
+Defensive limits are enforced **before allocation**: the fixed 8-byte prefix
+is read first, and a declared header/payload size beyond the limit raises
+:class:`FrameTooLarge` without reading — a malformed or hostile peer cannot
+make a worker allocate an arbitrary buffer.  A connection that dies mid-frame
+raises :class:`TruncatedFrame` (mid-header and mid-payload look the same to
+the reader: fewer bytes than declared), while a clean EOF *between* frames is
+returned as ``None`` — the normal end of a conversation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MAX_PAYLOAD_BYTES",
+    "FrameTooLarge",
+    "MAX_HEADER_BYTES",
+    "ProtocolError",
+    "TruncatedFrame",
+    "WireError",
+    "WIRE_DTYPE",
+    "decode_array",
+    "encode_rows",
+    "read_frame",
+    "read_frame_async",
+    "write_frame",
+]
+
+_PREFIX = struct.Struct(">II")
+
+#: Headers are tiny JSON objects; anything bigger is a protocol violation.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Default ceiling for one frame's ndarray payload (64 MiB ≈ an 8e6 x 1
+#: float64 batch — far beyond any canonical batch this repo serves).
+DEFAULT_MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
+
+#: The only dtype that crosses the wire (little-endian float64).
+WIRE_DTYPE = "<f8"
+
+
+class WireError(RuntimeError):
+    """Base class of every wire-protocol failure."""
+
+
+class TruncatedFrame(WireError):
+    """The connection ended mid-frame (mid-prefix, mid-header or mid-payload)."""
+
+    def __init__(self, expected: int, received: int, part: str) -> None:
+        super().__init__(
+            f"connection closed mid-{part}: expected {expected} bytes, "
+            f"received {received}"
+        )
+        self.expected = expected
+        self.received = received
+        self.part = part
+
+
+class FrameTooLarge(WireError):
+    """A frame declared a size beyond the limit; rejected before allocation."""
+
+    def __init__(self, declared: int, limit: int, part: str) -> None:
+        super().__init__(
+            f"declared {part} size {declared} bytes exceeds the limit of "
+            f"{limit} bytes; frame rejected before allocation"
+        )
+        self.declared = declared
+        self.limit = limit
+        self.part = part
+
+
+class ProtocolError(WireError):
+    """A structurally valid frame carried semantically invalid content."""
+
+
+# --------------------------------------------------------------------------- #
+# ndarray <-> payload
+# --------------------------------------------------------------------------- #
+def encode_rows(rows: np.ndarray) -> np.ndarray:
+    """Normalise query rows to the canonical wire layout.
+
+    Accepts a 1-D vector (one unit) or a 2-D ``(n, p)`` array in any dtype /
+    memory order and returns a C-contiguous float64 ``(n, p)`` array.  This is
+    the *single* normalisation point: the sender calls it before writing, and
+    the receiver refuses anything that does not already match the layout, so
+    a float32 or strided input is converted exactly once, on the client side,
+    and both sides of the socket see identical float64 bytes.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.float64)
+    if rows.ndim == 1:
+        rows = rows.reshape(1, -1)
+    if rows.ndim != 2:
+        raise ProtocolError(
+            f"query rows must be a 1-D vector or a 2-D (n, p) array; "
+            f"got shape {rows.shape}"
+        )
+    return rows
+
+
+def array_header(array: np.ndarray) -> dict:
+    """Header fields describing ``array``'s payload bytes."""
+    return {"shape": list(array.shape), "dtype": WIRE_DTYPE}
+
+
+def decode_array(header: dict, payload: bytes) -> np.ndarray:
+    """Rebuild the ndarray described by ``header`` from raw payload bytes.
+
+    Zero-copy: the result is a read-only view of ``payload``.  The declared
+    dtype must be exactly :data:`WIRE_DTYPE` and the byte count must match
+    the declared shape — a peer that skipped :func:`encode_rows` (e.g. sent
+    float32 bytes) is rejected with :class:`ProtocolError` rather than having
+    its bytes reinterpreted into garbage floats.
+    """
+    if header.get("dtype") != WIRE_DTYPE:
+        raise ProtocolError(
+            f"payload dtype must be {WIRE_DTYPE!r}; got {header.get('dtype')!r} "
+            f"(normalise with encode_rows before sending)"
+        )
+    shape = header.get("shape")
+    if not isinstance(shape, list) or not all(
+        isinstance(dim, int) and dim >= 0 for dim in shape
+    ):
+        raise ProtocolError(f"invalid payload shape {shape!r}")
+    expected = int(np.prod(shape, dtype=np.int64)) * 8 if shape else 8
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"payload carries {len(payload)} bytes but shape {shape} "
+            f"declares {expected}"
+        )
+    return np.frombuffer(payload, dtype=np.float64).reshape(shape)
+
+
+# --------------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------------- #
+def _check_sizes(header_len: int, payload_len: int, max_payload: int) -> None:
+    if header_len > MAX_HEADER_BYTES:
+        raise FrameTooLarge(header_len, MAX_HEADER_BYTES, "header")
+    if payload_len > max_payload:
+        raise FrameTooLarge(payload_len, max_payload, "payload")
+
+
+def _parse_header(raw: bytes) -> dict:
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"header is not valid UTF-8 JSON: {error}") from error
+    if not isinstance(header, dict):
+        raise ProtocolError(f"header must be a JSON object; got {type(header).__name__}")
+    return header
+
+
+def write_frame(sock: socket.socket, header: dict, payload: bytes = b"") -> None:
+    """Write one frame to a blocking socket.
+
+    ``payload`` may be any bytes-like object (``array.data`` of a C-contiguous
+    array is sent without an intermediate copy of the array bytes).
+    """
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    # One sendall for prefix+header (small, coalesced), one for the payload
+    # (potentially large; no concatenation copy on the hot path).
+    sock.sendall(_PREFIX.pack(len(header_bytes), len(payload)) + header_bytes)
+    if len(payload):
+        sock.sendall(payload)
+
+
+def _recv_exactly(sock: socket.socket, n: int, part: str) -> bytes:
+    buffer = bytearray(n)
+    view = memoryview(buffer)
+    received = 0
+    while received < n:
+        chunk = sock.recv_into(view[received:])
+        if chunk == 0:
+            raise TruncatedFrame(n, received, part)
+        received += chunk
+    return bytes(buffer)
+
+
+def read_frame(
+    sock: socket.socket, max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES
+) -> Optional[Tuple[dict, bytes]]:
+    """Read one frame from a blocking socket.
+
+    Returns ``(header, payload)``, or ``None`` on a clean EOF at a frame
+    boundary.  Size limits are enforced after the 8-byte prefix, before any
+    header or payload allocation.
+    """
+    first = sock.recv(_PREFIX.size)
+    if first == b"":
+        return None
+    while len(first) < _PREFIX.size:
+        more = sock.recv(_PREFIX.size - len(first))
+        if more == b"":
+            raise TruncatedFrame(_PREFIX.size, len(first), "prefix")
+        first += more
+    header_len, payload_len = _PREFIX.unpack(first)
+    _check_sizes(header_len, payload_len, max_payload)
+    header = _parse_header(_recv_exactly(sock, header_len, "header"))
+    payload = _recv_exactly(sock, payload_len, "payload") if payload_len else b""
+    return header, payload
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader, max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES
+) -> Optional[Tuple[dict, bytes]]:
+    """Asyncio counterpart of :func:`read_frame` (same limits, same errors)."""
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise TruncatedFrame(_PREFIX.size, len(error.partial), "prefix") from error
+    header_len, payload_len = _PREFIX.unpack(prefix)
+    _check_sizes(header_len, payload_len, max_payload)
+    try:
+        raw_header = await reader.readexactly(header_len)
+    except asyncio.IncompleteReadError as error:
+        raise TruncatedFrame(header_len, len(error.partial), "header") from error
+    header = _parse_header(raw_header)
+    payload = b""
+    if payload_len:
+        try:
+            payload = await reader.readexactly(payload_len)
+        except asyncio.IncompleteReadError as error:
+            raise TruncatedFrame(payload_len, len(error.partial), "payload") from error
+    return header, payload
+
+
+def write_frame_async(
+    writer: asyncio.StreamWriter, header: dict, payload: bytes = b""
+) -> None:
+    """Queue one frame on an asyncio writer (caller drains)."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    writer.write(_PREFIX.pack(len(header_bytes), len(payload)) + header_bytes)
+    if len(payload):
+        writer.write(payload)

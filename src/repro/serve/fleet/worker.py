@@ -1,0 +1,341 @@
+"""Shard worker process: one OS process serving a subset of the fleet's streams.
+
+A worker is the out-of-process counterpart of a gateway shard.  It is started
+by the :class:`~repro.serve.fleet.manager.FleetManager` with a registry root
+and its assigned stream names, and it:
+
+* loads each stream's head checkpoint **zero-copy** from the shared registry
+  (``registry.load(stream, mmap_mode='r')``) — N workers mapping the same
+  archive share one page-cache copy of the model state;
+* serves queries through the exact same workspace-backed
+  :class:`~repro.serve.service.PredictionService` micro-batcher the
+  in-process gateway uses, so a worker's response is **bitwise identical** to
+  the in-process canonical-batch answer for the version it reports;
+* speaks the length-prefixed wire protocol of :mod:`.wire` on a loopback TCP
+  socket — JSON header + raw float64 payload, no pickle on the hot path.
+
+Requests are pipelined per connection: the connection thread reads frames and
+submits them to the micro-batcher without waiting for results, and responses
+are written from the batcher's done-callbacks (tagged with the request ``id``,
+so they may complete out of order).  Queries from many front-door connections
+therefore coalesce into canonical batches exactly as threads do in-process.
+
+Ops (header ``"op"`` field):
+
+``predict``
+    ``{"op", "id", "stream", "shape", "dtype"}`` + one-row payload →
+    ``result`` frame with a 3-element payload ``[mu0, mu1, ite]`` and the
+    serving ``model_version``.
+``reload``
+    Hot-swap one stream to a registry version (default: head) while every
+    other stream keeps serving; replies ``reloaded`` with the new version.
+``ping`` / ``stats`` / ``shutdown``
+    Liveness, micro-batcher counters, graceful exit.
+
+Any per-request failure is answered with an ``error`` frame carrying the
+exception type name and message; the connection — and every other stream —
+keeps serving.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..registry import ModelRegistry
+from ..service import PredictionService
+from .wire import (
+    DEFAULT_MAX_PAYLOAD_BYTES,
+    WIRE_DTYPE,
+    WireError,
+    decode_array,
+    read_frame,
+    write_frame,
+)
+
+import numpy as np
+
+__all__ = ["worker_main", "WorkerServer"]
+
+
+class _Connection:
+    """One accepted front-door connection with a serialised writer."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.write_lock = threading.Lock()
+
+    def send(self, header: dict, payload: bytes = b"") -> None:
+        with self.write_lock:
+            write_frame(self.sock, header, payload)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class WorkerServer:
+    """The in-process body of one shard worker (testable without forking).
+
+    Parameters
+    ----------
+    registry_root:
+        Root directory of the shared :class:`~repro.serve.ModelRegistry`.
+    streams:
+        Stream names this worker owns; each one's head version is loaded
+        (memory-mapped) into its own :class:`PredictionService` at startup.
+    max_batch, max_wait_ms:
+        Micro-batching knobs — ``max_batch`` is the canonical execution size
+        and must match the in-process reference for bitwise parity.
+    max_payload:
+        Per-frame payload ceiling enforced before allocation.
+    """
+
+    def __init__(
+        self,
+        registry_root: str,
+        streams: Tuple[str, ...],
+        max_batch: int = 128,
+        max_wait_ms: float = 0.0,
+        max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES,
+        mmap_mode: Optional[str] = "r",
+    ) -> None:
+        self.registry = ModelRegistry(registry_root)
+        self.max_payload = max_payload
+        self.mmap_mode = mmap_mode
+        self.services: Dict[str, PredictionService] = {}
+        for stream in streams:
+            entry = self.registry.entry(stream)
+            learner = self.registry.load(
+                stream, entry.domain_index, mmap_mode=mmap_mode
+            )
+            self.services[stream] = PredictionService(
+                learner,
+                model_version=entry.domain_index,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+            )
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(64)
+        self.port = self._listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._conn_lock = threading.Lock()
+        self._connections: list = []
+        self._threads: list = []
+
+    # ------------------------------------------------------------------ #
+    # serving loop
+    # ------------------------------------------------------------------ #
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`shutdown`; blocks the caller."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    sock, _ = self._listener.accept()
+                except OSError:
+                    break  # listener closed by shutdown()
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                connection = _Connection(sock)
+                with self._conn_lock:
+                    self._connections.append(connection)
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(connection,),
+                    name="repro-fleet-conn",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        finally:
+            self._close_all()
+
+    def shutdown(self) -> None:
+        """Stop accepting, drop connections and drain the micro-batchers."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self._listener.close()
+
+    def _close_all(self) -> None:
+        with self._conn_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            connection.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        for service in self.services.values():
+            service.close()
+
+    # ------------------------------------------------------------------ #
+    # per-connection protocol
+    # ------------------------------------------------------------------ #
+    def _serve_connection(self, connection: _Connection) -> None:
+        try:
+            while True:
+                frame = read_frame(connection.sock, max_payload=self.max_payload)
+                if frame is None:
+                    break
+                header, payload = frame
+                self._handle(connection, header, payload)
+        except WireError:
+            # A malformed or truncated frame poisons only its connection:
+            # the peer reconnects, every other connection keeps serving.
+            pass
+        except OSError:
+            pass
+        finally:
+            connection.close()
+            with self._conn_lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+
+    def _handle(self, connection: _Connection, header: dict, payload: bytes) -> None:
+        op = header.get("op")
+        request_id = header.get("id")
+        try:
+            if op == "predict":
+                self._handle_predict(connection, header, payload)
+            elif op == "reload":
+                version = self._reload(
+                    header["stream"], header.get("domain_index")
+                )
+                connection.send(
+                    {"op": "reloaded", "id": request_id, "model_version": version}
+                )
+            elif op == "ping":
+                connection.send(
+                    {
+                        "op": "pong",
+                        "id": request_id,
+                        "pid": os.getpid(),
+                        "streams": sorted(self.services),
+                    }
+                )
+            elif op == "stats":
+                totals = {"queries": 0, "batches": 0, "largest_batch": 0}
+                for service in self.services.values():
+                    stats = service.stats()
+                    totals["queries"] += stats.queries
+                    totals["batches"] += stats.batches
+                    totals["largest_batch"] = max(
+                        totals["largest_batch"], stats.largest_batch
+                    )
+                connection.send({"op": "stats", "id": request_id, **totals})
+            elif op == "shutdown":
+                connection.send({"op": "bye", "id": request_id})
+                self.shutdown()
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except WireError:
+            raise  # connection-fatal: handled by the read loop
+        except Exception as error:  # answered, not fatal: the worker lives on
+            connection.send(
+                {
+                    "op": "error",
+                    "id": request_id,
+                    "error": type(error).__name__,
+                    "message": str(error),
+                }
+            )
+
+    def _handle_predict(
+        self, connection: _Connection, header: dict, payload: bytes
+    ) -> None:
+        stream = header.get("stream")
+        service = self.services.get(stream)
+        if service is None:
+            raise KeyError(
+                f"stream {stream!r} is not served by this worker "
+                f"(owns: {sorted(self.services)})"
+            )
+        rows = decode_array(header, payload)
+        if rows.ndim != 2 or rows.shape[0] != 1:
+            raise ValueError(
+                f"a predict frame carries exactly one query row; "
+                f"got shape {tuple(rows.shape)}"
+            )
+        request_id = header["id"]
+        pending = service.submit(rows[0])
+
+        def respond(done) -> None:
+            # Runs on the micro-batcher's dispatcher thread after delivery;
+            # out-of-order completion is fine — the id pairs it back up.
+            try:
+                if done._error is not None:
+                    connection.send(
+                        {
+                            "op": "error",
+                            "id": request_id,
+                            "error": type(done._error).__name__,
+                            "message": str(done._error),
+                        }
+                    )
+                    return
+                result = done._result
+                answer = np.array(
+                    [result.mu0, result.mu1, result.ite], dtype=np.float64
+                )
+                connection.send(
+                    {
+                        "op": "result",
+                        "id": request_id,
+                        "model_version": result.model_version,
+                        "shape": [3],
+                        "dtype": WIRE_DTYPE,
+                    },
+                    answer.tobytes(),
+                )
+            except OSError:
+                pass  # peer went away; nothing to deliver to
+
+        pending.add_done_callback(respond)
+
+    def _reload(self, stream: str, domain_index: Optional[int]) -> int:
+        service = self.services.get(stream)
+        if service is None:
+            raise KeyError(f"stream {stream!r} is not served by this worker")
+        entry = self.registry.entry(stream, domain_index)
+        learner = self.registry.load(
+            stream, entry.domain_index, mmap_mode=self.mmap_mode
+        )
+        service.swap_model(learner, model_version=entry.domain_index)
+        return entry.domain_index
+
+
+def worker_main(
+    registry_root: str,
+    streams: Tuple[str, ...],
+    conn,
+    max_batch: int = 128,
+    max_wait_ms: float = 0.0,
+    max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES,
+) -> None:
+    """Process entry point: build a :class:`WorkerServer` and serve forever.
+
+    ``conn`` is the manager's pipe end; the worker performs the startup
+    handshake on it — ``("ready", port)`` once listening and loaded, or
+    ``("error", message)`` if startup failed — then closes it.  Module-level
+    so it is picklable under the ``spawn`` start method.
+    """
+    try:
+        server = WorkerServer(
+            registry_root,
+            tuple(streams),
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_payload=max_payload,
+        )
+    except Exception as error:
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+        conn.close()
+        raise
+    conn.send(("ready", server.port))
+    conn.close()
+    server.serve_forever()

@@ -94,7 +94,12 @@ class ModelRegistry:
         # memory; it is already atomic on its own (temp + os.replace), so do
         # it outside the lock and hold the lock only for the manifest
         # read-modify-write.  Serving-side readers never stall on a save.
-        path = save_cerl(learner, directory / f"domain_{domain_index:04d}.npz")
+        # Registry archives are stored uncompressed so shard workers can
+        # memory-map them (load(..., mmap_mode='r')) — compressed members have
+        # no byte-identical on-disk form to map.
+        path = save_cerl(
+            learner, directory / f"domain_{domain_index:04d}.npz", compressed=False
+        )
         with self._lock:
             manifest = self._read_manifest_locked(stream, missing_ok=True)
             manifest["versions"][str(domain_index)] = {
@@ -177,8 +182,20 @@ class ModelRegistry:
                 )
         return self._entry_from_record(stream, record)
 
-    def load(self, stream: str, domain_index: Optional[int] = None) -> CERL:
+    def load(
+        self,
+        stream: str,
+        domain_index: Optional[int] = None,
+        mmap_mode: Optional[str] = None,
+    ) -> CERL:
         """Restore the learner of one version (default: the head).
+
+        ``mmap_mode='r'`` memory-maps the archive's large state zero-copy
+        (registry archives are written uncompressed precisely so this works);
+        predictions are bit-identical to an eager load, and a held mapping
+        keeps serving the old bytes even if the version is atomically
+        re-saved.  Shard worker processes load with ``mmap_mode='r'`` so N
+        workers share one page-cache copy of each checkpoint.
 
         The archive's own format version is checked by
         :func:`repro.core.persistence.load_cerl`; a missing file (archive
@@ -190,7 +207,7 @@ class ModelRegistry:
                 f"archive for stream '{stream}' version {entry.domain_index} "
                 f"is missing on disk: {entry.path}"
             )
-        return load_cerl(entry.path)
+        return load_cerl(entry.path, mmap_mode=mmap_mode)
 
     # ------------------------------------------------------------------ #
     # internals

@@ -1,6 +1,7 @@
 """Shared utilities: standardisation, seeding and file helpers."""
 
 from .files import atomic_write
+from .npzmap import load_npz_mapped
 from .scaling import Standardizer
 
-__all__ = ["Standardizer", "atomic_write"]
+__all__ = ["Standardizer", "atomic_write", "load_npz_mapped"]

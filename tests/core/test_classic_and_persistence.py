@@ -176,6 +176,67 @@ class TestPersistence:
         assert explicit.name == "model.v3.npz"
         assert load_cerl(v1).domains_seen == learner.domains_seen
 
+    def test_mmap_load_is_bit_identical_to_eager(
+        self, tiny_domains, fast_model_config, fast_continual_config, tmp_path
+    ):
+        """The worker fast path: an uncompressed checkpoint loaded with
+        ``mmap_mode='r'`` must predict bit-for-bit like the eager load."""
+        stream = DomainStream(list(tiny_domains), seed=0)
+        learner = CERL(stream.n_features, fast_model_config, fast_continual_config)
+        learner.observe(stream.train_data(0))
+        checkpoint = save_cerl(learner, tmp_path / "flat", compressed=False)
+
+        eager = load_cerl(checkpoint)
+        mapped = load_cerl(checkpoint, mmap_mode="r")
+        covariates = stream[0].test.covariates
+        eager_prediction = eager.predict(covariates)
+        mapped_prediction = mapped.predict(covariates)
+        np.testing.assert_array_equal(
+            mapped_prediction.ite_hat, eager_prediction.ite_hat
+        )
+        np.testing.assert_array_equal(mapped_prediction.y0_hat, eager_prediction.y0_hat)
+        np.testing.assert_array_equal(mapped_prediction.y1_hat, eager_prediction.y1_hat)
+
+    def test_mmap_load_shares_pages_instead_of_copying(
+        self, tiny_domains, fast_model_config, fast_continual_config, tmp_path
+    ):
+        """Zero-copy means the big buffers really are file-backed views.
+
+        Arrays adopted by reference (the standardiser statistics) stay
+        ``np.memmap`` instances; the representation memory passes through
+        ``np.asarray``, which downcasts the memmap subclass to a base-class
+        *view* — still zero-copy, with the memmap as its ``.base``.
+        """
+        stream = DomainStream(list(tiny_domains), seed=0)
+        learner = CERL(stream.n_features, fast_model_config, fast_continual_config)
+        learner.observe(stream.train_data(0))
+        checkpoint = save_cerl(learner, tmp_path / "flat", compressed=False)
+
+        mapped = load_cerl(checkpoint, mmap_mode="r")
+        assert isinstance(mapped.encoder.scaler.mean_, np.memmap)
+        representations = mapped.memory.representations
+        assert isinstance(representations, np.memmap) or isinstance(
+            representations.base, np.memmap
+        )
+
+    def test_mmap_mode_on_compressed_checkpoint_falls_back_eager(
+        self, tiny_domains, fast_model_config, fast_continual_config, tmp_path
+    ):
+        """Compressed members have no on-disk bytes to map; ``mmap_mode``
+        must degrade to an eager read with identical values, not fail."""
+        stream = DomainStream(list(tiny_domains), seed=0)
+        learner = CERL(stream.n_features, fast_model_config, fast_continual_config)
+        learner.observe(stream.train_data(0))
+        checkpoint = save_cerl(learner, tmp_path / "packed", compressed=True)
+
+        mapped = load_cerl(checkpoint, mmap_mode="r")
+        assert not isinstance(mapped.encoder.scaler.mean_, np.memmap)
+        covariates = stream[0].test.covariates
+        np.testing.assert_array_equal(
+            mapped.predict(covariates).ite_hat,
+            load_cerl(checkpoint).predict(covariates).ite_hat,
+        )
+
     def test_save_modules_dotted_names(self, tmp_path):
         from repro.core import load_modules, save_modules
         from repro.nn import Linear

@@ -9,6 +9,7 @@ from repro.data import SyntheticDomainGenerator
 from repro.experiments import (
     SMOKE,
     derive_seed,
+    effective_workers,
     parallel_map,
     run_stream_suite,
     run_table1,
@@ -42,6 +43,44 @@ class TestParallelMap:
             parallel_map(_raise_on_three, [1, 2, 3], workers=2)
         with pytest.raises(ValueError, match="task 3"):
             parallel_map(_raise_on_three, [1, 2, 3], workers=1)
+
+    def test_force_parallel_matches_serial(self):
+        # force_parallel really spins up the pool (bypassing the core-count
+        # clamp) and must still reproduce the serial results in order.
+        tasks = list(range(8))
+        assert parallel_map(_square, tasks, workers=2, force_parallel=True) == [
+            t * t for t in tasks
+        ]
+
+
+class TestEffectiveWorkers:
+    def test_clamps_to_task_count(self):
+        assert effective_workers(8, 3) <= 3
+        assert effective_workers(8, 0) == 0
+
+    def test_clamps_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count", lambda: 1)
+        assert effective_workers(4, 10) == 1
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count", lambda: 2)
+        assert effective_workers(4, 10) == 2
+
+    def test_cpu_count_none_means_one(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count", lambda: None)
+        assert effective_workers(4, 10) == 1
+
+    def test_force_parallel_bypasses_cpu_clamp_only(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count", lambda: 1)
+        assert effective_workers(4, 10, force_parallel=True) == 4
+        # ...but never the task-count clamp: extra workers would sit idle.
+        assert effective_workers(4, 2, force_parallel=True) == 2
+
+    def test_oversubscribed_request_falls_back_to_serial_loop(self, monkeypatch):
+        # On a 1-core machine a 2-worker request must not pay pool start-up:
+        # the clamp lands on 1 worker and parallel_map takes the serial path
+        # (observable because a non-picklable lambda would explode in a pool).
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count", lambda: 1)
+        tasks = list(range(4))
+        assert parallel_map(lambda t: t + 1, tasks, workers=2) == [1, 2, 3, 4]
 
 
 class TestSeedDerivation:

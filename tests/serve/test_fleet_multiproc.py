@@ -1,0 +1,386 @@
+"""Integration tests for the out-of-process shard fleet.
+
+Two layers are pinned here:
+
+* :class:`WorkerServer` — exercised in-process (served from a thread, spoken
+  to over a raw loopback socket) so the worker's protocol edge cases are
+  testable without forking: one-row predicts, typed error frames, pipelined
+  out-of-order completion, and survival of malformed/oversized/truncated
+  frames (the poisoned connection dies, the worker lives).
+* :class:`MultiprocGateway` — real spawned worker processes behind the
+  asyncio front door: bitwise identity across the process boundary, the
+  response cache, per-tenant rate limits and quotas (typed shedding), hot
+  swaps through the ``AdaptationController``-compatible handle, and the
+  kill/restart lifecycle.
+"""
+
+from __future__ import annotations
+
+import copy
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import CERL, ContinualConfig, ModelConfig
+from repro.data import DomainStream, SyntheticConfig, SyntheticDomainGenerator
+from repro.experiments.multiproc import _spanning_names
+from repro.serve import ModelRegistry, MultiprocGateway, TenantPolicy
+from repro.serve.fleet import (
+    QuotaExceeded,
+    RateLimited,
+    RemoteError,
+    WorkerServer,
+    WorkerUnavailable,
+)
+from repro.serve.fleet.wire import WIRE_DTYPE, read_frame, write_frame
+
+_PREFIX = struct.Struct(">II")
+
+
+class FleetSetup:
+    """Shared registry + bitwise references for every test in this module."""
+
+    def __init__(self, root) -> None:
+        config = SyntheticConfig(
+            n_confounders=6,
+            n_instruments=3,
+            n_irrelevant=4,
+            n_adjustment=6,
+            n_units=160,
+            domain_mean_shift=1.5,
+            outcome_scale=5.0,
+        )
+        model_config = ModelConfig(
+            representation_dim=8,
+            encoder_hidden=(16,),
+            outcome_hidden=(8,),
+            epochs=4,
+            batch_size=64,
+            sinkhorn_iterations=10,
+            seed=3,
+        )
+        continual = ContinualConfig(memory_budget=40, rehearsal_batch_size=32)
+        generator = SyntheticDomainGenerator(config, seed=7)
+        self.stream = DomainStream(
+            [generator.generate_domain(0), generator.generate_domain(1)], seed=7
+        )
+        learner = CERL(self.stream.n_features, model_config, continual)
+        learner.observe(self.stream.train_data(0))
+        self.learner = learner
+        # The adapted lineage for hot-swap tests: one more observed domain.
+        self.learner_v1 = copy.deepcopy(learner)
+        self.learner_v1.observe(self.stream.train_data(1))
+
+        self.root = root
+        self.registry = ModelRegistry(root)
+        self.names = _spanning_names("fleet", 4, 2)
+        for name in self.names:
+            self.registry.save(name, 0, learner)
+
+        self.bank = self.stream[0].test.covariates
+        self.reference = learner.predict(self.bank)
+        self.reference_v1 = self.learner_v1.predict(self.bank)
+
+    def matches(self, response, index: int, reference=None) -> bool:
+        reference = reference if reference is not None else self.reference
+        return (
+            response.mu0 == reference.y0_hat[index]
+            and response.mu1 == reference.y1_hat[index]
+            and response.ite == reference.ite_hat[index]
+        )
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    return FleetSetup(str(tmp_path_factory.mktemp("fleet-registry")))
+
+
+# --------------------------------------------------------------------------- #
+# worker protocol (in-process server, raw socket client)
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def worker(setup):
+    server = WorkerServer(setup.root, (setup.names[0],), max_batch=len(setup.bank))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join(timeout=5.0)
+
+
+def connect(server: WorkerServer) -> socket.socket:
+    sock = socket.create_connection(("127.0.0.1", server.port), timeout=10.0)
+    sock.settimeout(10.0)
+    return sock
+
+
+def predict_header(setup, request_id: int, rows: np.ndarray, stream=None) -> dict:
+    return {
+        "op": "predict",
+        "id": request_id,
+        "stream": stream or setup.names[0],
+        "shape": list(rows.shape),
+        "dtype": WIRE_DTYPE,
+    }
+
+
+def roundtrip(sock, header: dict, payload: bytes = b""):
+    write_frame(sock, header, payload)
+    return read_frame(sock)
+
+
+class TestWorkerProtocol:
+    def test_predict_is_bitwise_identical_to_in_process(self, setup, worker):
+        with connect(worker) as sock:
+            for index in (0, 7, len(setup.bank) - 1):
+                rows = setup.bank[index : index + 1]
+                header, payload = roundtrip(
+                    sock, predict_header(setup, index, rows), rows.tobytes()
+                )
+                assert header["op"] == "result" and header["id"] == index
+                assert header["model_version"] == 0
+                mu0, mu1, ite = np.frombuffer(payload, dtype=np.float64)
+                assert mu0 == setup.reference.y0_hat[index]
+                assert mu1 == setup.reference.y1_hat[index]
+                assert ite == setup.reference.ite_hat[index]
+
+    def test_pipelined_requests_complete_and_pair_by_id(self, setup, worker):
+        indices = [3, 11, 5, 2, 19, 8]
+        with connect(worker) as sock:
+            for request_id, index in enumerate(indices):
+                rows = setup.bank[index : index + 1]
+                write_frame(
+                    sock, predict_header(setup, request_id, rows), rows.tobytes()
+                )
+            answers = {}
+            for _ in indices:
+                header, payload = read_frame(sock)
+                assert header["op"] == "result"
+                answers[header["id"]] = np.frombuffer(payload, dtype=np.float64)
+        assert sorted(answers) == list(range(len(indices)))
+        for request_id, index in enumerate(indices):
+            assert answers[request_id][2] == setup.reference.ite_hat[index]
+
+    def test_zero_row_predict_answers_typed_error(self, setup, worker):
+        with connect(worker) as sock:
+            rows = setup.bank[:0]
+            header, _ = roundtrip(
+                sock, predict_header(setup, 1, rows), rows.tobytes()
+            )
+            assert header["op"] == "error" and header["id"] == 1
+            assert header["error"] == "ValueError"
+            assert "exactly one query row" in header["message"]
+            # The connection survived the refused request.
+            assert roundtrip(sock, {"op": "ping", "id": 2})[0]["op"] == "pong"
+
+    def test_multi_row_predict_answers_typed_error(self, setup, worker):
+        with connect(worker) as sock:
+            rows = setup.bank[:2]
+            header, _ = roundtrip(sock, predict_header(setup, 1, rows), rows.tobytes())
+            assert header["op"] == "error" and header["error"] == "ValueError"
+
+    def test_unknown_stream_answers_typed_error(self, setup, worker):
+        with connect(worker) as sock:
+            rows = setup.bank[:1]
+            header, _ = roundtrip(
+                sock,
+                predict_header(setup, 1, rows, stream="nobody"),
+                rows.tobytes(),
+            )
+            assert header["op"] == "error" and header["error"] == "KeyError"
+
+    def test_unknown_op_answers_typed_error(self, setup, worker):
+        with connect(worker) as sock:
+            header, _ = roundtrip(sock, {"op": "frobnicate", "id": 9})
+            assert header["op"] == "error" and header["error"] == "ValueError"
+
+    def test_float32_payload_poisons_only_its_connection(self, setup, worker):
+        """A peer that skipped ``encode_rows`` is cut off (ProtocolError is
+        connection-fatal), and the worker keeps serving new connections —
+        the rejection is symmetric with the client side's ``decode_array``."""
+        with connect(worker) as sock:
+            rows = setup.bank[:1].astype(np.float32)
+            header = predict_header(setup, 1, rows)
+            header["dtype"] = "<f4"
+            write_frame(sock, header, rows.tobytes())
+            assert read_frame(sock) is None  # worker closed the connection
+        with connect(worker) as sock:
+            assert roundtrip(sock, {"op": "ping", "id": 1})[0]["op"] == "pong"
+
+    def test_oversized_frame_rejected_before_allocation(self, setup, worker):
+        with connect(worker) as sock:
+            # Declare a 2 GiB payload but send none: a worker that tried to
+            # allocate or read it would hang; rejecting up front closes the
+            # connection immediately.
+            sock.sendall(_PREFIX.pack(2, 2**31) + b"{}")
+            assert read_frame(sock) is None
+        with connect(worker) as sock:
+            assert roundtrip(sock, {"op": "ping", "id": 1})[0]["op"] == "pong"
+
+    def test_truncated_frame_poisons_only_its_connection(self, setup, worker):
+        sock = connect(worker)
+        rows = setup.bank[:1]
+        raw = rows.tobytes()
+        sock.sendall(_PREFIX.pack(30, len(raw))+ b'{"op":"predict"')  # partial header
+        sock.close()
+        with connect(worker) as fresh:
+            header, _ = roundtrip(fresh, {"op": "ping", "id": 1})
+            assert header["op"] == "pong"
+            assert setup.names[0] in header["streams"]
+
+    def test_stats_and_reload_ops(self, setup, worker):
+        with connect(worker) as sock:
+            rows = setup.bank[:1]
+            roundtrip(sock, predict_header(setup, 1, rows), rows.tobytes())
+            header, _ = roundtrip(sock, {"op": "stats", "id": 2})
+            assert header["op"] == "stats" and header["queries"] >= 1
+            # Reload to the (only) registry version succeeds and reports it.
+            header, _ = roundtrip(
+                sock, {"op": "reload", "id": 3, "stream": setup.names[0]}
+            )
+            assert header["op"] == "reloaded" and header["model_version"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# multiprocess gateway (spawned workers)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def gateway(setup):
+    with MultiprocGateway(
+        setup.root,
+        setup.names,
+        n_workers=2,
+        max_batch=len(setup.bank),
+        cache_capacity=64,
+        tenant_policies={
+            setup.names[2]: TenantPolicy(quota=3),
+            setup.names[3]: TenantPolicy(rate_qps=0.001, burst=1),
+        },
+    ) as gw:
+        yield gw
+
+
+class TestMultiprocGateway:
+    def test_streams_span_both_workers(self, setup, gateway):
+        assert {gateway.worker_for(name) for name in setup.names} == {0, 1}
+
+    def test_bitwise_identity_across_process_boundary(self, setup, gateway):
+        for name in setup.names[:2]:
+            indices = np.random.default_rng(41).integers(0, len(setup.bank), size=12)
+            pendings = [
+                (int(i), gateway.submit(name, setup.bank[i])) for i in indices
+            ]
+            for index, pending in pendings:
+                response = pending.result(timeout=60.0)
+                assert response.model_version == 0
+                assert setup.matches(response, index)
+
+    def test_repeated_row_hits_the_response_cache(self, setup, gateway):
+        name = setup.names[0]
+        before = gateway.stats(include_worker_stats=False).cache_hits
+        for _ in range(3):
+            response = gateway.predict_one(name, setup.bank[5], timeout=60.0)
+            assert setup.matches(response, 5)
+        after = gateway.stats(include_worker_stats=False).cache_hits
+        assert after >= before + 2
+
+    def test_quota_sheds_typed_and_cache_hits_stay_free(self, setup, gateway):
+        name = setup.names[2]
+        for index in range(3):
+            assert setup.matches(
+                gateway.predict_one(name, setup.bank[index], timeout=60.0), index
+            )
+        with pytest.raises(QuotaExceeded) as info:
+            gateway.predict_one(name, setup.bank[3], timeout=60.0)
+        assert info.value.stream == name
+        assert info.value.quota == 3 and info.value.admitted == 3
+        # A cached repeat consumes no worker capacity: still served.
+        assert setup.matches(gateway.predict_one(name, setup.bank[0], timeout=60.0), 0)
+        assert gateway.stats(include_worker_stats=False).shed >= 1
+
+    def test_rate_limit_sheds_typed_with_retry_hint(self, setup, gateway):
+        name = setup.names[3]
+        assert setup.matches(gateway.predict_one(name, setup.bank[9], timeout=60.0), 9)
+        with pytest.raises(RateLimited) as info:
+            gateway.predict_one(name, setup.bank[10], timeout=60.0)
+        assert info.value.stream == name
+        assert info.value.retry_after_s > 0.0
+        # The cached first row is exempt from the bucket.
+        assert setup.matches(gateway.predict_one(name, setup.bank[9], timeout=60.0), 9)
+
+    def test_unrouted_stream_fails_with_remote_keyerror(self, setup, gateway):
+        # Digest routing maps any name to *some* worker; the worker itself
+        # refuses streams it does not own, and the refusal comes back typed.
+        with pytest.raises(RemoteError) as info:
+            gateway.predict_one("never-registered", setup.bank[0], timeout=60.0)
+        assert info.value.kind == "KeyError"
+
+    def test_stats_include_worker_micro_batcher_totals(self, setup, gateway):
+        stats = gateway.stats()
+        assert len(stats.shards) == 2
+        assert stats.answered > 0
+        assert sum(shard.service.queries for shard in stats.shards) > 0
+
+    def test_hot_swap_serves_new_version_bitwise(self, setup, gateway):
+        """The AdaptationController-compatible path: save v1, reload through
+        the duck-typed handle, and the post-swap wave must match the adapted
+        learner bit for bit while co-tenant streams stay on v0."""
+        name = setup.names[1]
+        setup.registry.save(name, 1, setup.learner_v1)
+        handle = gateway.service(name)
+        assert handle.reload(setup.registry, name) == 1
+        for index in (2, 13):
+            response = gateway.predict_one(name, setup.bank[index], timeout=60.0)
+            assert response.model_version == 1
+            assert setup.matches(response, index, setup.reference_v1)
+        # Co-tenant on the same worker pool still serves version 0.
+        other = setup.names[0]
+        response = gateway.predict_one(other, setup.bank[2], timeout=60.0)
+        assert response.model_version == 0
+        assert setup.matches(response, 2)
+
+
+# --------------------------------------------------------------------------- #
+# lifecycle: kill / restart / close (own gateway — it mutates the fleet)
+# --------------------------------------------------------------------------- #
+@pytest.mark.slow
+class TestFleetLifecycle:
+    def test_kill_restart_and_close(self, setup):
+        names = setup.names[:2]
+
+        def check(response, index: int) -> bool:
+            # The shared registry may already hold v1 for a stream (the
+            # hot-swap test advances it); match against the reported version.
+            reference = (
+                setup.reference_v1 if response.model_version == 1 else setup.reference
+            )
+            return setup.matches(response, index, reference)
+        with MultiprocGateway(
+            setup.root,
+            names,
+            n_workers=2,
+            max_batch=len(setup.bank),
+            cache_capacity=0,
+        ) as gateway:
+            victim, survivor = names
+            if gateway.worker_for(victim) == gateway.worker_for(survivor):
+                pytest.skip("streams collapsed onto one worker for this digest")
+            victim_worker = gateway.worker_for(victim)
+            assert check(gateway.predict_one(victim, setup.bank[0], timeout=60.0), 0)
+
+            gateway.kill_worker(victim_worker)
+            with pytest.raises(WorkerUnavailable) as info:
+                gateway.predict_one(victim, setup.bank[1], timeout=60.0)
+            assert info.value.worker_index == victim_worker
+            # The surviving tenant never noticed.
+            assert check(gateway.predict_one(survivor, setup.bank[3], timeout=60.0), 3)
+
+            gateway.restart_worker(victim_worker)
+            response = gateway.predict_one(victim, setup.bank[4], timeout=60.0)
+            assert check(response, 4)
+
+        with pytest.raises(RuntimeError, match="closed"):
+            gateway.submit(victim, setup.bank[0])

@@ -195,6 +195,45 @@ class TestValidationAndFailureModes:
             registry.load("tiny", 0)
 
 
+class TestMmapLoading:
+    def test_mmap_load_matches_eager_bitwise(self, stream, trained_learner, tmp_path):
+        """``registry.load(mmap_mode='r')`` is the shard workers' path: the
+        mapped learner must predict bit-for-bit like the eager one."""
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", 0, trained_learner)
+        covariates = stream[0].test.covariates
+
+        eager = registry.load("tiny", 0)
+        mapped = registry.load("tiny", 0, mmap_mode="r")
+        assert isinstance(mapped.encoder.scaler.mean_, np.memmap)
+        np.testing.assert_array_equal(
+            mapped.predict(covariates).ite_hat, eager.predict(covariates).ite_hat
+        )
+
+    def test_resave_while_reader_holds_old_mapping(
+        self, stream, trained_learner, tmp_path
+    ):
+        """Atomic replace under a live reader: overwriting a version must not
+        disturb a learner that mapped the old archive — it keeps serving the
+        old bytes until it reloads, while fresh loads see the new model."""
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", 0, trained_learner)
+        covariates = stream[0].test.covariates
+        old_reference = trained_learner.predict(covariates).ite_hat.copy()
+
+        held = registry.load("tiny", 0, mmap_mode="r")
+
+        # Overwrite version 0 in place (registry saves are temp + os.replace).
+        trained_learner.observe(stream.train_data(1))
+        registry.save("tiny", 0, trained_learner)
+        new_reference = trained_learner.predict(covariates).ite_hat
+
+        np.testing.assert_array_equal(held.predict(covariates).ite_hat, old_reference)
+        fresh = registry.load("tiny", 0, mmap_mode="r")
+        np.testing.assert_array_equal(fresh.predict(covariates).ite_hat, new_reference)
+        assert not np.array_equal(old_reference, new_reference)
+
+
 class TestServiceRegistryIntegration:
     def test_service_from_registry_and_reload_after_rollback(
         self, stream, trained_learner, tmp_path

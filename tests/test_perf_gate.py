@@ -76,6 +76,51 @@ class TestCompare:
             check_regression.compare(payload(a=1.0), payload(a=1.0), tolerance=-0.1)
 
 
+class TestGatedSections:
+    def gated(self, name: str, reason: str = "cpu_count=1") -> dict:
+        return {name: {"gated": True, "gate_reason": reason, "workload": "w"}}
+
+    def test_gated_current_section_is_skipped_not_failed(self):
+        # A 1-core runner records "gated": true instead of a speedup; the
+        # gate must treat the baseline section as skipped, not missing.
+        failures, report = check_regression.compare(
+            payload(a=2.0, pool=1.5),
+            {**payload(a=2.0), **self.gated("pool", "cpu_count=1 cannot parallelise")},
+            tolerance=0.2,
+        )
+        assert failures == []
+        skip_lines = [line for line in report if line.startswith("skip pool")]
+        assert len(skip_lines) == 1
+        assert "cpu_count=1" in skip_lines[0]
+
+    def test_gated_skip_is_visible_in_report(self):
+        # A machine that gates everything must still be loud about it.
+        _, report = check_regression.compare(
+            payload(pool=1.5), self.gated("pool"), tolerance=0.2
+        )
+        assert any("gated by the benchmark" in line for line in report)
+
+    def test_section_with_speedup_and_gated_flag_is_still_gated(self):
+        # Recording both a speedup and "gated": true is contradictory; the
+        # speedup wins so a benchmark cannot smuggle a regression through by
+        # also flagging itself gated.
+        current = {**payload(pool=0.4)}
+        current["pool"]["gated"] = True
+        failures, _ = check_regression.compare(payload(pool=1.5), current, tolerance=0.2)
+        assert len(failures) == 1 and "pool" in failures[0]
+
+    def test_absent_section_without_gated_flag_still_fails(self):
+        failures, _ = check_regression.compare(
+            payload(pool=1.5), payload(a=2.0), tolerance=0.2
+        )
+        assert len(failures) == 1 and "pool" in failures[0]
+
+    def test_gated_false_is_not_a_gate(self):
+        current = payload(a=2.0)
+        current["a"]["gated"] = False
+        assert check_regression.gated_sections(current) == set()
+
+
 class TestMain:
     def _write(self, path: Path, data: dict) -> Path:
         path.write_text(json.dumps(data))
@@ -114,5 +159,6 @@ class TestMain:
             "serve_throughput",
             "gateway_throughput",
             "gateway_cache",
+            "gateway_multiproc",
         } <= set(speedups)
         assert all(value > 0 for value in speedups.values())

@@ -1,0 +1,135 @@
+"""Tests for zero-copy ``.npz`` member mapping (``repro.utils.npzmap``).
+
+``np.load(mmap_mode=...)`` silently ignores the flag for zip archives, so the
+shard workers' "load the checkpoint without copying it" path depends entirely
+on :func:`load_npz_mapped` doing the member-offset arithmetic right.  These
+tests pin the contract: mapped values are bit-identical to the eager read,
+stored members really are ``np.memmap`` views, and a held mapping survives
+the archive being atomically replaced underneath it.
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.utils import load_npz_mapped
+
+
+@pytest.fixture
+def arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "weights": rng.normal(size=(17, 5)),
+        "bias": rng.normal(size=5),
+        "counts": rng.integers(0, 100, size=(3, 4)).astype(np.int64),
+        "scalar": np.array(3.5),
+    }
+
+
+class TestMappedValues:
+    def test_bit_identical_to_eager_load(self, arrays, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez(path, **arrays)  # uncompressed: every member is mappable
+        mapped = load_npz_mapped(path)
+        with np.load(path) as eager:
+            assert set(mapped) == set(eager.files)
+            for name in eager.files:
+                np.testing.assert_array_equal(np.asarray(mapped[name]), eager[name])
+                assert mapped[name].dtype == eager[name].dtype
+
+    def test_stored_members_are_memmaps(self, arrays, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez(path, **arrays)
+        mapped = load_npz_mapped(path)
+        for name, value in mapped.items():
+            assert isinstance(value, np.memmap), name
+
+    def test_compressed_members_fall_back_to_eager(self, arrays, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez_compressed(path, **arrays)
+        mapped = load_npz_mapped(path)
+        for name, value in mapped.items():
+            assert not isinstance(value, np.memmap), name
+            np.testing.assert_array_equal(value, arrays[name])
+
+    def test_fortran_order_member_round_trips(self, tmp_path):
+        path = tmp_path / "fortran.npz"
+        fortran = np.asfortranarray(np.arange(12.0).reshape(3, 4))
+        np.savez(path, fortran=fortran)
+        mapped = load_npz_mapped(path)["fortran"]
+        assert mapped.flags["F_CONTIGUOUS"]
+        np.testing.assert_array_equal(np.asarray(mapped), fortran)
+
+    def test_empty_member_is_returned_without_mapping(self, tmp_path):
+        # mmap cannot map zero bytes; the loader must synthesise the empty
+        # array instead of crashing on it.
+        path = tmp_path / "empty.npz"
+        np.savez(path, empty=np.empty((0, 7)), full=np.ones(3))
+        mapped = load_npz_mapped(path)
+        assert mapped["empty"].shape == (0, 7)
+        np.testing.assert_array_equal(mapped["full"], np.ones(3))
+
+
+class TestModesAndErrors:
+    def test_writable_modes_rejected(self, arrays, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez(path, **arrays)
+        for mode in ("r+", "w+", "readwrite"):
+            with pytest.raises(ValueError, match="mode must be"):
+                load_npz_mapped(path, mode=mode)
+
+    def test_copy_on_write_mode_isolates_writes(self, arrays, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez(path, **arrays)
+        mapped = load_npz_mapped(path, mode="c")["weights"]
+        mapped[0, 0] = -999.0  # copy-on-write: never reaches the file
+        fresh = load_npz_mapped(path)["weights"]
+        assert fresh[0, 0] == arrays["weights"][0, 0]
+
+    def test_read_only_mapping_rejects_writes(self, arrays, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez(path, **arrays)
+        mapped = load_npz_mapped(path)["weights"]
+        with pytest.raises((ValueError, OSError)):
+            mapped[0, 0] = 1.0
+
+    def test_object_member_rejected(self, tmp_path):
+        path = tmp_path / "objects.npz"
+        np.savez(path, objects=np.array([{"a": 1}], dtype=object), allow_pickle=True)
+        with pytest.raises(ValueError, match="cannot be mapped"):
+            load_npz_mapped(path)
+
+    def test_corrupt_local_header_raises(self, arrays, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez(path, **arrays)
+        with zipfile.ZipFile(path) as archive:
+            offset = archive.infolist()[0].header_offset
+        data = bytearray(path.read_bytes())
+        data[offset : offset + 4] = b"XXXX"
+        # A clobbered magic makes the *zip* layer itself reject the file —
+        # either way the loader must not hand back garbage silently.
+        path.write_bytes(bytes(data))
+        with pytest.raises((zipfile.BadZipFile, ValueError)):
+            load_npz_mapped(path)
+
+
+class TestAtomicReplaceSemantics:
+    def test_held_mapping_survives_os_replace(self, tmp_path):
+        """POSIX contract the registry hot-swap relies on: a reader holding
+        the old mapping keeps seeing the old bytes after ``os.replace``."""
+        path = tmp_path / "model.npz"
+        old = np.full((64, 8), 1.0)
+        np.savez(path, weights=old)
+        held = load_npz_mapped(path)["weights"]
+
+        replacement = tmp_path / "model.new.npz"
+        np.savez(replacement, weights=np.full((64, 8), 2.0))
+        os.replace(replacement, path)
+
+        np.testing.assert_array_equal(np.asarray(held), old)  # old bytes
+        fresh = load_npz_mapped(path)["weights"]
+        np.testing.assert_array_equal(np.asarray(fresh), np.full((64, 8), 2.0))
