@@ -27,7 +27,15 @@ import numpy as np
 
 from ..balance import ipm_distance
 from ..data.dataset import CausalDataset
-from ..engine import EarlyStopping, History, LossBundle, Trainer, TrainingHistory, mse_validator
+from ..engine import (
+    EarlyStopping,
+    History,
+    LossBundle,
+    TraceableLoss,
+    Trainer,
+    TrainingHistory,
+    mse_validator,
+)
 from ..metrics import EffectEstimate, evaluate_effect_estimate
 from ..nn import Adam, CosineAnnealingLR, StepLR, Tensor, mse_loss
 from ..utils import Standardizer
@@ -160,10 +168,20 @@ class BaselineCausalModel:
             )
             validate = lambda: self.validation_loss(val_dataset)  # noqa: E731
 
-        def batch_loss(batch: np.ndarray):
-            return self._batch_loss_bundle(
-                inputs[batch], outcomes[batch], treatments[batch]
-            ).result()
+        def feeds(batch: np.ndarray) -> dict:
+            batch_treatments = treatments[batch]
+            return {
+                "inputs": inputs[batch],
+                "outcomes": outcomes[batch],
+                "treatments": batch_treatments,
+                "treatment_mask": np.asarray(batch_treatments)
+                .ravel()
+                .astype(np.float64),
+            }
+
+        batch_loss = TraceableLoss(
+            self._loss_program, feeds, parameters=lambda: parameters
+        )
 
         trainer = Trainer(
             parameters,
@@ -173,6 +191,7 @@ class BaselineCausalModel:
             rng=self._rng,
             scheduler=make_lr_scheduler(config, optimizer, epochs),
             callbacks=callbacks,
+            backend=config.backend,
         )
         trainer.fit(len(dataset), batch_loss, epochs=epochs, validate=validate)
         return self.history
@@ -188,23 +207,31 @@ class BaselineCausalModel:
         )
         return validate()
 
-    def _batch_loss_bundle(
-        self, inputs: np.ndarray, outcomes: np.ndarray, treatments: np.ndarray
-    ) -> LossBundle:
-        """Compose the Eq. (5) objective for one minibatch as a LossBundle."""
+    def _loss_program(self, env) -> LossBundle:
+        """Compose the Eq. (5) objective for one minibatch as a LossBundle.
+
+        ``env`` is an :class:`~repro.engine.EagerEnv` (default backend, one
+        immediate evaluation per step — the pre-backend expressions verbatim)
+        or a :class:`~repro.engine.TraceEnv` (tape backend, recorded once and
+        replayed).  The program is written once against the env protocol.
+        """
         config = self.config
-        x = Tensor(inputs)
-        y = Tensor(outcomes)
-        representations = self.encoder.forward(x)
-        predictions = self.heads.factual(representations, treatments)
+        y = env.tensor("outcomes")
+        representations = self.encoder.forward(env.tensor("inputs"))
+        predictions = self.heads.factual_masked(
+            representations, env.tensor("treatment_mask")
+        )
         factual = mse_loss(predictions, y)
 
-        treated_idx = np.flatnonzero(treatments == 1)
-        control_idx = np.flatnonzero(treatments == 0)
-        if config.alpha > 0.0 and treated_idx.size > 1 and control_idx.size > 1:
+        treatments = env.array("treatments")
+        treated_idx = env.flatnonzero_eq(treatments, 1)
+        control_idx = env.flatnonzero_eq(treatments, 0)
+        if config.alpha > 0.0 and env.guard(
+            lambda t, c: t.size > 1 and c.size > 1, treated_idx, control_idx
+        ):
             imbalance = ipm_distance(
-                representations[treated_idx],
-                representations[control_idx],
+                env.take_rows(representations, treated_idx),
+                env.take_rows(representations, control_idx),
                 kind=config.ipm_kind,
                 epsilon=config.sinkhorn_epsilon,
                 num_iters=config.sinkhorn_iterations,

@@ -39,10 +39,18 @@ import numpy as np
 
 from ..balance import ipm_distance
 from ..data.dataset import CausalDataset
-from ..engine import EarlyStopping, History, LossBundle, Trainer, TrainingHistory, mse_validator
+from ..engine import (
+    EarlyStopping,
+    History,
+    LossBundle,
+    TraceableLoss,
+    Trainer,
+    TrainingHistory,
+    mse_validator,
+)
 from ..memory import MemoryBuffer
 from ..metrics import EffectEstimate, evaluate_effect_estimate
-from ..nn import Adam, Tensor, concatenate, cosine_distance_loss, mse_loss, no_grad
+from ..nn import Adam, Tensor, concatenate, cosine_distance_loss, mse_loss
 from ..utils import Standardizer
 from .baseline import BaselineCausalModel, make_lr_scheduler
 from .config import ContinualConfig, ModelConfig
@@ -210,34 +218,36 @@ class CERL:
             new_heads.load_state_dict(self.heads.state_dict())
         return new_heads
 
-    def _continual_batch_loss(
+    def _continual_program(
         self,
-        batch: np.ndarray,
-        new_inputs: np.ndarray,
-        old_inputs: np.ndarray,
-        outcomes: np.ndarray,
-        treatments: np.ndarray,
-        old_encoder: RepresentationNetwork,
+        env,
         new_encoder: RepresentationNetwork,
         new_heads: OutcomeHeads,
         transform: FeatureTransform,
         memory_arrays: Optional[tuple],
     ) -> LossBundle:
-        """Compose the Eq. (9) objective for one minibatch as a LossBundle."""
+        """Compose the Eq. (9) objective for one minibatch as a LossBundle.
+
+        Written once against the backend env protocol: under
+        :class:`~repro.engine.EagerEnv` every call evaluates immediately with
+        the pre-backend expressions; under :class:`~repro.engine.TraceEnv`
+        the host work (rehearsal draw, index gathers, group splits) is
+        recorded alongside the Tensor graph and replayed per step.  The
+        detached old-encoder representations arrive as a feed computed by the
+        RNG-free feeds function, so the only per-step random draw is the
+        rehearsal ``rng_choice`` — recorded in draw order.
+        """
         model_cfg = self.model_config
         cont_cfg = self.continual_config
 
-        new_batch_x = Tensor(new_inputs[batch])
-        new_batch_y = Tensor(outcomes[batch])
-        new_batch_t = treatments[batch]
-
-        representations_new = new_encoder.forward(new_batch_x)
-        with no_grad():
-            representations_old = old_encoder.forward(Tensor(old_inputs[batch]))
-        representations_old = Tensor(representations_old.numpy())
+        new_batch_y = env.tensor("outcomes")
+        representations_new = new_encoder.forward(env.tensor("new_inputs"))
+        representations_old = env.tensor("old_representations")
 
         # Factual loss on new data (second term of Eq. 8).
-        predictions_new = new_heads.factual(representations_new, new_batch_t)
+        predictions_new = new_heads.factual_masked(
+            representations_new, env.tensor("treatment_mask")
+        )
         factual = mse_loss(predictions_new, new_batch_y)
 
         # Feature-representation distillation (Eq. 6).
@@ -247,7 +257,7 @@ class CERL:
             distill = Tensor(0.0)
 
         ipm_reps = representations_new
-        ipm_treatments = new_batch_t
+        ipm_treatments = env.array("treatments")
 
         transform_loss = Tensor(0.0)
         if memory_arrays is not None:
@@ -255,29 +265,37 @@ class CERL:
 
             # Transformation alignment (Eq. 7): phi(g_old(x)) ≈ g_new(x).
             transformed_new = transform.forward(representations_old)
-            target_new = Tensor(representations_new.numpy())
+            target_new = env.detach(representations_new)
             transform_loss = cosine_distance_loss(transformed_new, target_new)
 
             # Factual loss on the transformed memory (first term of Eq. 8).
-            memory_idx = self._rng.choice(
+            memory_idx = env.rng_choice(
+                self._rng,
                 len(memory_reps),
                 size=min(cont_cfg.rehearsal_batch_size, len(memory_reps)),
-                replace=False,
             )
-            memory_batch = transform.forward(Tensor(memory_reps[memory_idx]))
-            predictions_memory = new_heads.factual(memory_batch, memory_treatments[memory_idx])
-            factual = factual + mse_loss(predictions_memory, Tensor(memory_outcomes[memory_idx]))
+            memory_batch = transform.forward(env.lift(env.take(memory_reps, memory_idx)))
+            predictions_memory = new_heads.factual_masked(
+                memory_batch, env.lift(env.mask(env.take(memory_treatments, memory_idx)))
+            )
+            factual = factual + mse_loss(
+                predictions_memory, env.lift(env.take(memory_outcomes, memory_idx))
+            )
 
             # Global balancing over transformed-old ∪ new representations.
             ipm_reps = concatenate([memory_batch, representations_new], axis=0)
-            ipm_treatments = np.concatenate([memory_treatments[memory_idx], new_batch_t])
+            ipm_treatments = env.hconcat(
+                env.take(memory_treatments, memory_idx), ipm_treatments
+            )
 
-        treated_idx = np.flatnonzero(ipm_treatments == 1)
-        control_idx = np.flatnonzero(ipm_treatments == 0)
-        if model_cfg.alpha > 0.0 and treated_idx.size > 1 and control_idx.size > 1:
+        treated_idx = env.flatnonzero_eq(ipm_treatments, 1)
+        control_idx = env.flatnonzero_eq(ipm_treatments, 0)
+        if model_cfg.alpha > 0.0 and env.guard(
+            lambda t, c: t.size > 1 and c.size > 1, treated_idx, control_idx
+        ):
             imbalance = ipm_distance(
-                ipm_reps[treated_idx],
-                ipm_reps[control_idx],
+                env.take_rows(ipm_reps, treated_idx),
+                env.take_rows(ipm_reps, control_idx),
                 kind=model_cfg.ipm_kind,
                 epsilon=model_cfg.sinkhorn_epsilon,
                 num_iters=model_cfg.sinkhorn_iterations,
@@ -355,19 +373,28 @@ class CERL:
                 val_outcomes,
             )
 
-        def batch_loss(batch: np.ndarray):
-            return self._continual_batch_loss(
-                batch,
-                new_inputs,
-                old_inputs,
-                outcomes,
-                treatments,
-                old_encoder,
-                new_encoder,
-                new_heads,
-                transform,
-                memory_arrays,
-            ).result()
+        def feeds(batch: np.ndarray) -> dict:
+            # RNG-free per-step host work: minibatch slices plus the detached
+            # old-encoder representations on the inference fast path (bitwise
+            # identical to the Tensor forward under no_grad, pinned by tests).
+            batch_treatments = treatments[batch]
+            return {
+                "new_inputs": new_inputs[batch],
+                "outcomes": outcomes[batch],
+                "treatments": batch_treatments,
+                "treatment_mask": np.asarray(batch_treatments)
+                .ravel()
+                .astype(np.float64),
+                "old_representations": old_encoder.infer(old_inputs[batch]).copy(),
+            }
+
+        batch_loss = TraceableLoss(
+            lambda env: self._continual_program(
+                env, new_encoder, new_heads, transform, memory_arrays
+            ),
+            feeds,
+            parameters=lambda: parameters,
+        )
 
         trainer = Trainer(
             parameters,
@@ -377,6 +404,7 @@ class CERL:
             rng=self._rng,
             scheduler=make_lr_scheduler(model_cfg, optimizer, epochs),
             callbacks=callbacks,
+            backend=model_cfg.backend,
         )
         trainer.fit(len(dataset), batch_loss, epochs=epochs, validate=validate)
         old_encoder.unfreeze()

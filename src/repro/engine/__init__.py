@@ -11,6 +11,7 @@ causal inference; the core learners express their objectives as
 
 from .history import TrainingHistory
 from .loss import LossBundle, LossResult
+from .backend import EagerEnv, TapeExecutor, TraceableLoss, TraceEnv
 from .callbacks import Callback, Checkpoint, EarlyStopping, History
 from .trainer import Trainer, TrainerState, iterate
 from .validation import mse_validator
@@ -19,6 +20,10 @@ __all__ = [
     "TrainingHistory",
     "LossBundle",
     "LossResult",
+    "TraceableLoss",
+    "EagerEnv",
+    "TraceEnv",
+    "TapeExecutor",
     "Callback",
     "Checkpoint",
     "EarlyStopping",

@@ -1,0 +1,273 @@
+"""Training backends: eager evaluation vs. tape compile-and-replay.
+
+A learner that wants the tape backend expresses its objective as a
+:class:`TraceableLoss` — a *program* over an environment handle plus a
+RNG-free *feeds* function — instead of a plain batch-loss closure.  The same
+program then runs in two ways:
+
+* :class:`EagerEnv` evaluates every env call immediately with exactly the
+  NumPy/Tensor expressions the hand-written closures used, so the default
+  eager path is bit-for-bit unchanged;
+* :class:`TraceEnv` records host-side work (RNG draws, index gathers,
+  ``flatnonzero`` splits, the Sinkhorn plan) onto a :class:`repro.nn.tape.Trace`
+  while the Tensor expressions of the program record themselves through
+  :class:`~repro.nn.tape.TraceTensor` operator dispatch.
+
+:class:`TapeExecutor` owns the compiled tapes: one per feed signature
+(shapes/dtypes of the per-step arrays plus the identity of the parameter
+list), compiled on first sight by *running* the step through ``TraceEnv`` —
+tracing is execution, so the compile step costs one eager-equivalent pass and
+consumes the RNG stream exactly once.  Replays run the flat op list in
+preallocated buffers.  Baked branch predicates are re-checked by guard ops;
+when one flips (e.g. the minibatch lost all its treated units), the replay
+restores the RNG state it consumed and the executor re-runs that step through
+``EagerEnv`` on the same feeds — bit-identical to what an eager step would
+have produced.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn.tape import PredicateFlip, Tape, Trace, activate_trace
+from .loss import LossResult
+
+__all__ = ["TraceableLoss", "EagerEnv", "TraceEnv", "TapeExecutor"]
+
+
+class _Value:
+    """Eager host-value handle mirroring the tape's ``.get()`` protocol."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def get(self):
+        return self.value
+
+
+class EagerEnv:
+    """Environment that evaluates every program step immediately.
+
+    Each method computes exactly the expression the pre-backend learners
+    inlined, so a program run through ``EagerEnv`` reproduces the historical
+    eager training trajectory bit for bit (pinned by the parity suite).
+    """
+
+    backend = "eager"
+
+    def __init__(self, feeds: Dict[str, np.ndarray]) -> None:
+        self.feeds = feeds
+
+    def tensor(self, name: str) -> Tensor:
+        """A differentiation-graph leaf over the named feed array."""
+        return Tensor(self.feeds[name])
+
+    def array(self, name: str) -> _Value:
+        """A host-value handle over the named feed array."""
+        return _Value(self.feeds[name])
+
+    def rng_choice(self, rng: np.random.Generator, n: int, size: int) -> _Value:
+        """Draw ``size`` distinct indices from ``range(n)`` (rehearsal draw)."""
+        return _Value(rng.choice(n, size=size, replace=False))
+
+    def take(self, base: np.ndarray, index) -> _Value:
+        """Gather rows of a per-stage constant array by a host index."""
+        return _Value(base[index.get()])
+
+    def mask(self, handle) -> _Value:
+        """Float64 treatment mask of a host treatment vector."""
+        return _Value(np.asarray(handle.get()).ravel().astype(np.float64))
+
+    def lift(self, handle) -> Tensor:
+        """Wrap a host value as a constant graph leaf."""
+        return Tensor(handle.get())
+
+    def hconcat(self, a, b) -> _Value:
+        """Concatenate two 1-D host vectors."""
+        return _Value(np.concatenate([a.get(), b.get()]))
+
+    def flatnonzero_eq(self, handle, value) -> _Value:
+        """Indices where the host vector equals ``value`` (group split)."""
+        return _Value(np.flatnonzero(handle.get() == value))
+
+    def guard(self, fn: Callable[..., bool], *handles) -> bool:
+        """Evaluate a data-dependent branch predicate."""
+        return bool(fn(*[h.get() for h in handles]))
+
+    def take_rows(self, tensor: Tensor, handle) -> Tensor:
+        """Differentiable row gather of a graph tensor by a host index."""
+        return tensor[handle.get()]
+
+    def detach(self, tensor: Tensor) -> Tensor:
+        """Constant leaf carrying the tensor's current value."""
+        return Tensor(tensor.numpy())
+
+
+class TraceEnv:
+    """Environment that records the program onto a tape trace."""
+
+    backend = "tape"
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+
+    def tensor(self, name: str):
+        return self.trace.input_leaf(name)
+
+    def array(self, name: str):
+        return self.trace.feed(name)
+
+    def rng_choice(self, rng: np.random.Generator, n: int, size: int):
+        return self.trace.host(
+            lambda: rng.choice(n, size=size, replace=False), rng=rng
+        )
+
+    def take(self, base: np.ndarray, index):
+        return self.trace.host(lambda: base[index.get()])
+
+    def mask(self, handle):
+        return self.trace.host(
+            lambda: np.asarray(handle.get()).ravel().astype(np.float64)
+        )
+
+    def lift(self, handle):
+        return self.trace.refresh_leaf(handle)
+
+    def hconcat(self, a, b):
+        return self.trace.host(lambda: np.concatenate([a.get(), b.get()]))
+
+    def flatnonzero_eq(self, handle, value):
+        return self.trace.host(
+            lambda: np.flatnonzero(handle.get() == value), dynamic=True
+        )
+
+    def guard(self, fn: Callable[..., bool], *handles) -> bool:
+        return self.trace.guard(fn, handles)
+
+    def take_rows(self, tensor, handle):
+        return tensor[handle]
+
+    def detach(self, tensor):
+        return tensor.detach()
+
+
+class TraceableLoss:
+    """A loss objective the Trainer can run eagerly or compile onto a tape.
+
+    Parameters
+    ----------
+    program:
+        ``program(env) -> LossBundle``; builds the objective through the env
+        protocol and ordinary Tensor/Module calls.  All RNG draws of the step
+        must happen inside the program (via env or module forwards) so the
+        tape can replay them in draw order.
+    feeds:
+        ``feeds(batch) -> dict[str, np.ndarray]``; per-step host arrays
+        (minibatch slices, detached old-encoder representations).  Must be
+        RNG-free — it runs before the program, outside the recorded step.
+    parameters:
+        Optional zero-arg callable returning the current trainable parameter
+        list; its identities are part of the tape cache signature, so a
+        rebuilt parameter list (new module topology) re-traces automatically.
+    """
+
+    def __init__(
+        self,
+        program: Callable,
+        feeds: Callable[[np.ndarray], Dict[str, np.ndarray]],
+        parameters: Optional[Callable[[], Sequence]] = None,
+    ) -> None:
+        self.program = program
+        self.feeds = feeds
+        self.parameters = parameters
+
+    def eager_result(self, batch: np.ndarray) -> LossResult:
+        """One eager evaluation (the default backend's batch-loss callable)."""
+        return self.program(EagerEnv(self.feeds(batch))).result()
+
+    def bind(self, backend: str) -> Callable[[np.ndarray], LossResult]:
+        """The per-batch callable for the chosen backend."""
+        if backend == "eager":
+            return self.eager_result
+        if backend == "tape":
+            return TapeExecutor(self)
+        raise ValueError(f"unknown training backend '{backend}'")
+
+
+class _TapeTotal:
+    """Stands in for the differentiable total of a tape-backed step."""
+
+    __slots__ = ("_tape",)
+
+    def __init__(self, tape: Tape) -> None:
+        self._tape = tape
+
+    def backward(self) -> None:
+        self._tape.run_backward()
+
+    def item(self) -> float:
+        return float(self._tape.total.item())
+
+
+class TapeExecutor:
+    """Per-fit cache of compiled tapes, keyed by feed/parameter signature."""
+
+    def __init__(self, loss: TraceableLoss, cache_size: int = 8) -> None:
+        self.loss = loss
+        self.cache_size = cache_size
+        self._tapes: "OrderedDict[tuple, Tape]" = OrderedDict()
+        self.compiles = 0
+        self.replays = 0
+        self.fallbacks = 0
+
+    def _signature(self, feeds: Dict[str, np.ndarray]) -> tuple:
+        shapes = tuple(
+            sorted((name, array.shape, array.dtype.str) for name, array in feeds.items())
+        )
+        if self.loss.parameters is None:
+            return shapes
+        return shapes + tuple(id(p) for p in self.loss.parameters())
+
+    def _compile(self, feeds: Dict[str, np.ndarray]) -> Tape:
+        trace = Trace(feeds)
+        with activate_trace(trace):
+            bundle = self.loss.program(TraceEnv(trace))
+            total = bundle.total()
+        self.compiles += 1
+        return Tape(trace, total, bundle.terms())
+
+    @staticmethod
+    def _result(tape: Tape) -> LossResult:
+        components = {name: float(node.item()) for name, node in tape.terms}
+        components["total"] = float(tape.total.item())
+        return LossResult(total=_TapeTotal(tape), components=components)
+
+    def __call__(self, batch: np.ndarray) -> LossResult:
+        feeds = self.loss.feeds(batch)
+        key = self._signature(feeds)
+        tape = self._tapes.get(key)
+        if tape is None:
+            # Tracing is execution: the compile run *is* this step's forward,
+            # consuming feeds and RNG draws exactly once.
+            tape = self._compile(feeds)
+            self._tapes[key] = tape
+            while len(self._tapes) > self.cache_size:
+                self._tapes.popitem(last=False)
+            return self._result(tape)
+        self._tapes.move_to_end(key)
+        try:
+            tape.run_forward(feeds)
+        except PredicateFlip:
+            # A baked branch no longer holds for this minibatch; the replay
+            # restored the RNG state it consumed, so an eager evaluation of
+            # the same feeds reproduces the step bit for bit.
+            self.fallbacks += 1
+            return self.loss.program(EagerEnv(feeds)).result()
+        self.replays += 1
+        return self._result(tape)

@@ -73,6 +73,10 @@ class LossBundle:
             total = term if total is None else total + term
         return total
 
+    def terms(self) -> List[tuple]:
+        """The ``(name, tensor)`` pairs in insertion order (tape compilation)."""
+        return list(zip(self._names, self._values))
+
     def components(self) -> Dict[str, float]:
         """Raw (unweighted) scalar value of every term, keyed by name."""
         return {name: float(value.item()) for name, value in zip(self._names, self._values)}

@@ -6,7 +6,7 @@ is provided as a simpler alternative for tests and ablations.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Iterable, List, Optional
 
 import numpy as np
 
@@ -66,25 +66,36 @@ class SGD(Optimizer):
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity: Dict[int, np.ndarray] = {}
+        # State is keyed by *position* in ``self.parameters``, not ``id(param)``:
+        # id-keyed dicts leak entries when a parameter list is rebuilt and can
+        # silently adopt a dead parameter's state if CPython reuses its id.
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._scratch: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
-        for param in self.parameters:
-            if param.grad is None:
-                continue
+        lr = self.lr
+        for slot, param in enumerate(self.parameters):
             grad = param.grad
+            if grad is None:
+                continue
+            scratch = self._scratch[slot]
+            if scratch is None or scratch.shape != param.data.shape:
+                scratch = self._scratch[slot] = np.empty_like(param.data)
             if self.weight_decay > 0.0:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=scratch)
+                np.add(grad, scratch, out=scratch)
+                grad = scratch
             if self.momentum > 0.0:
-                velocity = self._velocity.get(id(param))
-                if velocity is None:
-                    velocity = np.zeros_like(param.data)
-                velocity = self.momentum * velocity + grad
-                self._velocity[id(param)] = velocity
+                velocity = self._velocity[slot]
+                if velocity is None or velocity.shape != param.data.shape:
+                    velocity = self._velocity[slot] = np.zeros_like(param.data)
+                np.multiply(velocity, self.momentum, out=velocity)
+                np.add(velocity, grad, out=velocity)
                 update = velocity
             else:
                 update = grad
-            param.data = param.data - self.lr * update
+            np.multiply(update, lr, out=scratch)
+            np.subtract(param.data, scratch, out=param.data)
 
 
 class Adam(Optimizer):
@@ -106,30 +117,56 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m: Dict[int, np.ndarray] = {}
-        self._v: Dict[int, np.ndarray] = {}
+        # Positional state (see SGD): index-aligned with ``self.parameters``.
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._s1: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._s2: List[Optional[np.ndarray]] = [None] * len(self.parameters)
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
-        for param in self.parameters:
-            if param.grad is None:
-                continue
+        lr = self.lr
+        beta1, beta2 = self.beta1, self.beta2
+        one_minus_b1 = 1.0 - beta1
+        one_minus_b2 = 1.0 - beta2
+        # Bias corrections depend only on the step count — hoisted out of the
+        # per-parameter loop instead of recomputing beta**t for every tensor.
+        bias1 = 1.0 - beta1 ** self._t
+        bias2 = 1.0 - beta2 ** self._t
+        for slot, param in enumerate(self.parameters):
             grad = param.grad
+            if grad is None:
+                continue
+            m = self._m[slot]
+            if m is None or m.shape != param.data.shape:
+                m = self._m[slot] = np.zeros_like(param.data)
+                self._v[slot] = np.zeros_like(param.data)
+                self._s1[slot] = np.empty_like(param.data)
+                self._s2[slot] = np.empty_like(param.data)
+            v, s1, s2 = self._v[slot], self._s1[slot], self._s2[slot]
+            # The out= sequences below reproduce the exact ufunc chain of the
+            # original expression form (``m = b1*m + (1-b1)*grad`` etc.), so
+            # the update trajectory stays bit-identical while the ~8 fresh
+            # temporaries per parameter per step become two reused scratches.
             if self.weight_decay > 0.0:
-                grad = grad + self.weight_decay * param.data
-            m = self._m.get(id(param))
-            v = self._v.get(id(param))
-            if m is None:
-                m = np.zeros_like(param.data)
-                v = np.zeros_like(param.data)
-            m = self.beta1 * m + (1.0 - self.beta1) * grad
-            v = self.beta2 * v + (1.0 - self.beta2) * grad ** 2
-            self._m[id(param)] = m
-            self._v[id(param)] = v
-            m_hat = m / (1.0 - self.beta1 ** self._t)
-            v_hat = v / (1.0 - self.beta2 ** self._t)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                np.multiply(param.data, self.weight_decay, out=s1)
+                np.add(grad, s1, out=s1)
+                grad = s1
+            np.multiply(m, beta1, out=m)
+            np.multiply(grad, one_minus_b1, out=s2)
+            np.add(m, s2, out=m)
+            np.multiply(v, beta2, out=v)
+            np.multiply(grad, grad, out=s2)
+            np.multiply(s2, one_minus_b2, out=s2)
+            np.add(v, s2, out=v)
+            np.divide(m, bias1, out=s1)
+            np.multiply(s1, lr, out=s1)
+            np.divide(v, bias2, out=s2)
+            np.sqrt(s2, out=s2)
+            np.add(s2, self.eps, out=s2)
+            np.divide(s1, s2, out=s1)
+            np.subtract(param.data, s1, out=param.data)
 
 
 class StepLR:

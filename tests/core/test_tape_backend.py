@@ -1,0 +1,113 @@
+"""End-to-end bit-identity of the tape training backend.
+
+``ModelConfig(backend="tape")`` must be a pure performance switch: training a
+learner with the tape backend has to reproduce the eager backend's parameter
+trajectories, training histories and predictions to the last bit — including
+the rehearsal RNG draws of a continual stage, ``clip_grad_norm``, early
+stopping restores, and a registry checkpoint round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CERL, BaselineCausalModel
+from repro.data import DomainStream
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture
+def stream(tiny_domains):
+    return DomainStream(list(tiny_domains), seed=0)
+
+
+def _params(learner):
+    """Flat copies of all trainable parameters (encoder + both heads)."""
+    modules = [learner.encoder, learner.heads]
+    return [p.data.copy() for m in modules if m is not None for p in m.parameters()]
+
+
+def _histories(model):
+    history = model.history
+    return (
+        history.total,
+        history.factual,
+        history.ipm,
+        history.regularization,
+        history.validation,
+        history.extras,
+        history.stopped_early,
+    )
+
+
+def _train_baseline(backend, stream, fast_model_config, val=None):
+    config = fast_model_config.with_updates(backend=backend)
+    model = BaselineCausalModel(stream.n_features, config)
+    model.fit(stream.train_data(0), val_dataset=val)
+    return model
+
+
+def _train_cerl(backend, stream, fast_model_config, fast_continual_config):
+    config = fast_model_config.with_updates(backend=backend)
+    learner = CERL(stream.n_features, config, fast_continual_config)
+    learner.observe(stream.train_data(0))
+    learner.observe(stream.train_data(1))
+    return learner
+
+
+class TestBaselineBitIdentity:
+    def test_fit_matches_eager(self, stream, fast_model_config):
+        eager = _train_baseline("eager", stream, fast_model_config)
+        tape = _train_baseline("tape", stream, fast_model_config)
+        assert _histories(eager) == _histories(tape)
+        for a, b in zip(_params(eager), _params(tape)):
+            assert np.array_equal(a, b)
+
+    def test_fit_with_early_stopping_matches_eager(self, stream, fast_model_config):
+        val = stream.train_data(1)
+        eager = _train_baseline("eager", stream, fast_model_config, val=val)
+        tape = _train_baseline("tape", stream, fast_model_config, val=val)
+        assert _histories(eager) == _histories(tape)
+        for a, b in zip(_params(eager), _params(tape)):
+            assert np.array_equal(a, b)
+        eager_estimate = eager.predict(val.covariates)
+        tape_estimate = tape.predict(val.covariates)
+        assert np.array_equal(eager_estimate.y0_hat, tape_estimate.y0_hat)
+        assert np.array_equal(eager_estimate.y1_hat, tape_estimate.y1_hat)
+
+
+class TestCerlBitIdentity:
+    def test_continual_stage_matches_eager(
+        self, stream, fast_model_config, fast_continual_config
+    ):
+        eager = _train_cerl("eager", stream, fast_model_config, fast_continual_config)
+        tape = _train_cerl("tape", stream, fast_model_config, fast_continual_config)
+        assert eager.domains_seen == tape.domains_seen == 2
+        for a, b in zip(_params(eager), _params(tape)):
+            assert np.array_equal(a, b)
+        assert np.array_equal(
+            eager.memory.representations, tape.memory.representations
+        )
+        covariates = stream.train_data(1).covariates
+        eager_estimate = eager.predict(covariates)
+        tape_estimate = tape.predict(covariates)
+        assert np.array_equal(eager_estimate.y0_hat, tape_estimate.y0_hat)
+        assert np.array_equal(eager_estimate.y1_hat, tape_estimate.y1_hat)
+
+    def test_registry_round_trip_matches_eager(
+        self, tmp_path, stream, fast_model_config, fast_continual_config
+    ):
+        eager = _train_cerl("eager", stream, fast_model_config, fast_continual_config)
+        tape = _train_cerl("tape", stream, fast_model_config, fast_continual_config)
+        registry = ModelRegistry(tmp_path)
+        registry.save("tape-stream", 1, tape)
+        restored = registry.load("tape-stream")
+        assert restored.domains_seen == 2
+        for a, b in zip(_params(eager), _params(restored)):
+            assert np.array_equal(a, b)
+        covariates = stream.train_data(1).covariates
+        eager_estimate = eager.predict(covariates)
+        restored_estimate = restored.predict(covariates)
+        assert np.array_equal(eager_estimate.y0_hat, restored_estimate.y0_hat)
+        assert np.array_equal(eager_estimate.y1_hat, restored_estimate.y1_hat)

@@ -1,0 +1,194 @@
+"""TapeExecutor behaviour: compile/replay lifecycle, re-traces, fallbacks.
+
+The executor must compile once per (feed-signature, parameter-identity) key,
+replay allocation-free while the signature is stable, re-trace when the batch
+shape or the parameter list changes, and fall back to an eager evaluation —
+bit-identical, including restored RNG state — when a baked branch predicate
+flips for a minibatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import EagerEnv, LossBundle, TraceableLoss
+from repro.nn import MLP, Dropout, Linear, Sequential, mse_loss
+
+
+def _make_problem(n: int = 48, n_features: int = 4, dropout: float = 0.0, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    if dropout > 0.0:
+        model = Sequential(
+            Linear(n_features, 8, rng=rng), Dropout(dropout, rng=rng), Linear(8, 1, rng=rng)
+        )
+    else:
+        model = MLP(n_features, (8,), 1, activation="elu", rng=rng)
+    data_rng = np.random.default_rng(1)
+    inputs = data_rng.normal(size=(n, n_features))
+    targets = data_rng.normal(size=n)
+    treatments = data_rng.integers(0, 2, size=n)
+
+    def program(env):
+        x = env.tensor("x")
+        y = env.tensor("y")
+        predictions = model.forward(x).reshape(-1)
+        bundle = LossBundle()
+        bundle.add("mse", mse_loss(predictions, y))
+        treated = env.flatnonzero_eq(env.array("treatments"), 1)
+        control = env.flatnonzero_eq(env.array("treatments"), 0)
+        if env.guard(lambda t, c: t.size > 1 and c.size > 1, treated, control):
+            gap = env.take_rows(predictions, treated).mean() - env.take_rows(
+                predictions, control
+            ).mean()
+            bundle.add("gap", gap * gap, weight=0.5)
+        return bundle
+
+    def feeds(batch):
+        return {
+            "x": inputs[batch],
+            "y": targets[batch],
+            "treatments": treatments[batch],
+        }
+
+    params = model.parameters()
+    loss = TraceableLoss(program, feeds, parameters=lambda: params)
+    return loss, model, treatments
+
+
+class TestCompileReplayLifecycle:
+    def test_compiles_once_then_replays(self):
+        loss, model, _ = _make_problem()
+        executor = loss.bind("tape")
+        eager_twin, twin_model, _ = _make_problem()
+        batches = [np.arange(8) + i for i in range(5)]
+        for batch in batches:
+            result = executor(batch)
+            expected = eager_twin.eager_result(batch)
+            assert result.components == expected.components
+            for param in model.parameters():
+                param.zero_grad()
+            for param in twin_model.parameters():
+                param.zero_grad()
+            result.total.backward()
+            expected.total.backward()
+            for tape_param, eager_param in zip(
+                model.parameters(), twin_model.parameters()
+            ):
+                assert np.array_equal(tape_param.grad, eager_param.grad)
+        assert executor.compiles == 1
+        assert executor.replays == len(batches) - 1
+        assert executor.fallbacks == 0
+
+    def test_batch_shape_change_retraces(self):
+        loss, _, _ = _make_problem()
+        executor = loss.bind("tape")
+        executor(np.arange(8))
+        executor(np.arange(8) + 4)
+        assert (executor.compiles, executor.replays) == (1, 1)
+        executor(np.arange(12))
+        assert (executor.compiles, executor.replays) == (2, 1)
+        # Both tapes stay cached: each shape replays without recompiling.
+        executor(np.arange(8) + 8)
+        executor(np.arange(12) + 2)
+        assert (executor.compiles, executor.replays) == (2, 3)
+
+    def test_parameter_rebuild_retraces(self):
+        """A rebuilt parameter list (new module topology) must invalidate."""
+        rng = np.random.default_rng(5)
+        model_box = [MLP(4, (8,), 1, activation="elu", rng=rng)]
+        data = np.random.default_rng(1).normal(size=(32, 4))
+        targets = np.random.default_rng(2).normal(size=32)
+
+        def program(env):
+            predictions = model_box[0].forward(env.tensor("x")).reshape(-1)
+            bundle = LossBundle()
+            bundle.add("mse", mse_loss(predictions, env.tensor("y")))
+            return bundle
+
+        def feeds(batch):
+            return {"x": data[batch], "y": targets[batch]}
+
+        loss = TraceableLoss(
+            program, feeds, parameters=lambda: model_box[0].parameters()
+        )
+        executor = loss.bind("tape")
+        executor(np.arange(8))
+        executor(np.arange(8))
+        assert (executor.compiles, executor.replays) == (1, 1)
+        model_box[0] = MLP(4, (8,), 1, activation="elu", rng=np.random.default_rng(9))
+        executor(np.arange(8))
+        assert (executor.compiles, executor.replays) == (2, 1)
+        grads = [p.grad for p in model_box[0].parameters()]
+        executor(np.arange(8)).total.backward()
+        assert all(g is not None for g in [p.grad for p in model_box[0].parameters()])
+        del grads
+
+    def test_steady_state_replay_is_allocation_free(self):
+        loss, _, _ = _make_problem()
+        executor = loss.bind("tape")
+        batches = [np.arange(8) + i for i in range(6)]
+        # Warm-up pass: dynamic group buffers may grow capacity once when a
+        # batch has more treated/control units than the compile batch saw.
+        for batch in batches:
+            executor(batch).total.backward()
+        (tape,) = executor._tapes.values()
+        idents = tape.buffer_ids()
+        for batch in batches:
+            executor(batch).total.backward()
+            assert tape.buffer_ids() == idents
+        assert executor.compiles == 1
+
+
+class TestGuardFallback:
+    def test_predicate_flip_falls_back_to_eager_bit_identically(self):
+        """A one-arm minibatch aborts the replay and re-runs eagerly.
+
+        The model contains dropout, so the test also pins the RNG rewind: the
+        replay consumes generator draws before the guard fires, and the
+        fallback must see the exact pre-step stream state.
+        """
+        loss, model, treatments = _make_problem(dropout=0.3)
+        twin_loss, twin_model, _ = _make_problem(dropout=0.3)
+        executor = loss.bind("tape")
+        eager = twin_loss.bind("eager")
+
+        mixed = np.flatnonzero(treatments == 1)[:3]
+        mixed = np.concatenate([mixed, np.flatnonzero(treatments == 0)[:5]])
+        one_arm = np.flatnonzero(treatments == 1)[:8]
+        assert len(mixed) == 8 and len(one_arm) == 8
+
+        for batch in [mixed, one_arm, mixed]:
+            result = executor(batch)
+            expected = eager(batch)
+            assert result.components == expected.components
+            for param in model.parameters():
+                param.zero_grad()
+            for param in twin_model.parameters():
+                param.zero_grad()
+            result.total.backward()
+            expected.total.backward()
+            for tape_param, eager_param in zip(
+                model.parameters(), twin_model.parameters()
+            ):
+                assert np.array_equal(tape_param.grad, eager_param.grad)
+        assert executor.compiles == 1
+        assert executor.fallbacks == 1
+        assert executor.replays == 1
+
+
+class TestTraceableLoss:
+    def test_eager_bind_is_the_plain_evaluation(self):
+        loss, _, _ = _make_problem()
+        batch = np.arange(10)
+        bound = loss.bind("eager")
+        direct = loss.program(EagerEnv(loss.feeds(batch))).result()
+        assert bound(batch).components == direct.components
+
+    def test_unknown_backend_rejected(self):
+        loss, _, _ = _make_problem()
+        try:
+            loss.bind("graph")
+        except ValueError as error:
+            assert "graph" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("bind accepted an unknown backend")

@@ -85,6 +85,85 @@ class TestAdam:
         assert np.all(param.data < 10.0)
 
 
+class TestPositionalState:
+    """Optimiser state is keyed by slot in ``self.parameters``, not ``id()``.
+
+    The historical id-keyed dicts leaked entries when a parameter list was
+    rebuilt, and a freed parameter's reused id could silently hand its Adam
+    moments to an unrelated new parameter.  Positional state is bounded by
+    construction and survives parameter-object replacement at the same slot.
+    """
+
+    def test_adam_state_is_bounded_by_parameter_count(self):
+        params = [Parameter(np.zeros(3)), Parameter(np.zeros((2, 2)))]
+        optimizer = Adam(params, lr=0.1)
+        for _ in range(5):
+            for param in params:
+                param.grad = np.ones_like(param.data)
+            optimizer.step()
+        assert len(optimizer._m) == len(optimizer.parameters)
+        assert len(optimizer._v) == len(optimizer.parameters)
+
+    def test_adam_slot_state_survives_object_replacement(self):
+        """Replacing a slot's Parameter object continues its trajectory.
+
+        Under id-keying the replacement silently restarted from zero moments;
+        a positional optimiser treats the slot as the same logical tensor.
+        """
+
+        def trajectory(replace_after: int):
+            param = Parameter(np.full(3, 2.0))
+            optimizer = Adam([param], lr=0.1)
+            grad_rng = np.random.default_rng(0)
+            for step in range(6):
+                if step == replace_after:
+                    clone = Parameter(optimizer.parameters[0].data.copy())
+                    optimizer.parameters[0] = clone
+                optimizer.parameters[0].grad = grad_rng.normal(size=3)
+                optimizer.step()
+            return optimizer.parameters[0].data.copy()
+
+        assert np.array_equal(trajectory(replace_after=3), trajectory(replace_after=99))
+
+    def test_adam_state_resets_when_slot_shape_changes(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.ones(4)
+        optimizer.step()
+        replacement = Parameter(np.zeros((2, 3)))
+        optimizer.parameters[0] = replacement
+        replacement.grad = np.ones((2, 3))
+        optimizer.step()
+        assert optimizer._m[0].shape == (2, 3)
+        assert np.all(np.isfinite(replacement.data))
+
+    def test_sgd_velocity_is_positional(self):
+        params = [Parameter(np.zeros(2))]
+        optimizer = SGD(params, lr=0.1, momentum=0.9)
+        params[0].grad = np.ones(2)
+        optimizer.step()
+        first = params[0].data.copy()
+        clone = Parameter(first.copy())
+        optimizer.parameters[0] = clone
+        clone.grad = np.ones(2)
+        optimizer.step()
+        # Momentum carried over: second step is larger than a cold first step.
+        assert np.all(np.abs(clone.data - first) > np.abs(first))
+
+    def test_step_never_mutates_grad_buffers(self):
+        """The tape backend owns ``param.grad``; optimisers must not write it."""
+        for optimizer_cls, kwargs in [
+            (Adam, dict(lr=0.1, weight_decay=0.5)),
+            (SGD, dict(lr=0.1, momentum=0.9, weight_decay=0.5)),
+        ]:
+            param = Parameter(np.full(3, 2.0))
+            optimizer = optimizer_cls([param], **kwargs)
+            grad = np.array([1.0, -2.0, 3.0])
+            param.grad = grad
+            optimizer.step()
+            assert np.array_equal(grad, [1.0, -2.0, 3.0])
+
+
 class TestGradClipping:
     def test_clip_reduces_norm(self):
         param = Parameter(np.zeros(3))
