@@ -1,0 +1,125 @@
+"""Baseline file: intentional, justified exceptions to the invariant rules.
+
+A baseline entry suppresses every finding of one rule inside one symbol of
+one file — the *symbol* (``Class.method``) is the match key, not the line
+number, so entries survive unrelated edits.  Every entry **must** carry a
+non-empty ``justification`` string: the baseline is documentation of why a
+contract is deliberately bent (a lock-free fast path, the Tensor fallback
+under ``no_grad``), never a mute button.  Entries that no longer match
+anything are reported so the file cannot silently rot.
+
+Format (``analysis_baseline.json``, committed at the repo root)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "RPR003",
+          "path": "src/repro/serve/service.py",
+          "symbol": "PredictionService.version_hint",
+          "justification": "deliberate lock-free advisory read; ..."
+        }
+      ]
+    }
+
+Entry paths are resolved relative to the baseline file's directory, so the
+analyzer works from any working directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from .core import Finding
+from .rules import RULES
+
+__all__ = ["BaselineEntry", "Baseline", "BaselineError"]
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (wrong shape, unknown rule, missing
+    or empty justification) — a usage error, distinct from rule findings."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    def key(self, root: Path) -> Tuple[str, str, str]:
+        return (self.rule, str((root / self.path).resolve()), self.symbol)
+
+
+class Baseline:
+    """Loaded baseline: suppression lookup plus unused-entry accounting."""
+
+    def __init__(self, entries: List[BaselineEntry], root: Path) -> None:
+        self.entries = entries
+        self.root = root
+        self._index = {entry.key(root): entry for entry in entries}
+        self._used: set = set()
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([], Path("."))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise BaselineError(f"cannot read baseline {path}: {error}") from error
+        if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+            raise BaselineError(
+                f"{path}: baseline must be an object with an 'entries' list"
+            )
+        entries = []
+        for position, raw in enumerate(data["entries"]):
+            entries.append(cls._parse_entry(path, position, raw))
+        return cls(entries, path.resolve().parent)
+
+    @staticmethod
+    def _parse_entry(path: Path, position: int, raw) -> BaselineEntry:
+        where = f"{path}: entries[{position}]"
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{where} must be an object")
+        for field in ("rule", "path", "symbol", "justification"):
+            if not isinstance(raw.get(field), str) or not raw[field].strip():
+                raise BaselineError(
+                    f"{where} requires a non-empty string {field!r} — every "
+                    "baselined exception must say what it is and why it is okay"
+                )
+        if raw["rule"] not in RULES:
+            raise BaselineError(
+                f"{where}: unknown rule {raw['rule']!r} (known: {sorted(RULES)})"
+            )
+        return BaselineEntry(
+            rule=raw["rule"],
+            path=raw["path"],
+            symbol=raw["symbol"],
+            justification=raw["justification"],
+        )
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+    def suppresses(self, finding: Finding) -> bool:
+        key = (finding.rule, str(Path(finding.path).resolve()), finding.symbol)
+        entry = self._index.get(key)
+        if entry is None:
+            return False
+        self._used.add(key)
+        return True
+
+    def unused_entries(self) -> List[BaselineEntry]:
+        """Entries that suppressed nothing in the last run (stale — remove
+        them, or the invariant they excuse has silently been fixed)."""
+        return [
+            entry for entry in self.entries if entry.key(self.root) not in self._used
+        ]

@@ -1,0 +1,145 @@
+"""Command-line front door: ``python -m repro.analysis [paths ...]``.
+
+Exit codes: ``0`` clean (all findings baselined), ``1`` unsuppressed
+findings, ``2`` usage or baseline-format error.  Output is
+``path:line:col: RULE message [symbol]`` — the ``[symbol]`` suffix is the
+key a baseline entry needs to suppress the finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from .baseline import Baseline, BaselineError
+from .core import Finding, SourceModule
+from .rules import RULES, rule_ids, run_rules
+
+__all__ = ["main", "analyze_paths"]
+
+DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def analyze_paths(
+    paths: Iterable[Path], rules: Optional[List[str]] = None
+) -> List[Finding]:
+    """All findings (pre-baseline) for every ``*.py`` under ``paths``."""
+    findings: List[Finding] = []
+    for file in iter_python_files(paths):
+        try:
+            mod = SourceModule(file)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=str(file),
+                    line=error.lineno or 0,
+                    col=error.offset or 0,
+                    rule="RPR000",
+                    message=f"syntax error: {error.msg}",
+                    symbol="<module>",
+                )
+            )
+            continue
+        findings.extend(run_rules(mod, rules))
+    return sorted(findings)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant checks for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="RPRnnn",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file of justified exceptions (default: {DEFAULT_BASELINE} "
+        "next to the current directory, if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule IDs and exit"
+    )
+    return parser
+
+
+def _load_baseline(args) -> Baseline:
+    if args.no_baseline:
+        return Baseline.empty()
+    if args.baseline is not None:
+        return Baseline.load(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    if default.exists():
+        return Baseline.load(default)
+    return Baseline.empty()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in rule_ids():
+            doc = (RULES[rule_id].__doc__ or "").strip().splitlines()[0]
+            print(f"{rule_id}  {doc}")
+        return 0
+
+    if args.rules:
+        unknown = [rule for rule in args.rules if rule not in RULES]
+        if unknown:
+            print(f"error: unknown rule(s) {unknown}; known: {rule_ids()}", file=sys.stderr)
+            return 2
+
+    try:
+        baseline = _load_baseline(args)
+    except BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no such path(s): {missing}", file=sys.stderr)
+        return 2
+
+    findings = analyze_paths([Path(p) for p in args.paths], args.rules)
+    unsuppressed = [f for f in findings if not baseline.suppresses(f)]
+
+    for finding in unsuppressed:
+        print(finding.render())
+    for entry in baseline.unused_entries():
+        print(
+            f"warning: unused baseline entry {entry.rule} {entry.path} "
+            f"[{entry.symbol}] — remove it or re-justify it",
+            file=sys.stderr,
+        )
+    suppressed = len(findings) - len(unsuppressed)
+    summary = f"{len(unsuppressed)} finding(s), {suppressed} baselined"
+    if unsuppressed:
+        print(summary, file=sys.stderr)
+        return 1
+    print(f"repro.analysis: clean ({summary})", file=sys.stderr)
+    return 0

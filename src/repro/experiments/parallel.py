@@ -77,6 +77,12 @@ def effective_workers(workers: int, n_tasks: int, force_parallel: bool = False) 
     ``force_parallel=True`` keeps the requested count (capped by the task
     count only) — the determinism tests use it to exercise the real pool
     path regardless of the machine.
+
+    Start-method caveat: the count says nothing about *how* workers start.
+    ``fork`` from a parent that already runs threads (a live
+    ``PredictionService`` or fleet front door) can inherit locks frozen in
+    a held state — callers in that position must use ``spawn`` (as
+    ``FleetManager`` does) and accept its per-worker start-up cost.
     """
     effective = min(int(workers), max(n_tasks, 0))
     if force_parallel:
@@ -112,6 +118,10 @@ def parallel_map(
     start_method:
         Optional multiprocessing start method override (``"fork"``,
         ``"spawn"``, ``"forkserver"``); defaults to fork when available.
+        Fork is only safe because experiment parents are single-threaded at
+        dispatch time — forking a threaded process (e.g. one hosting a
+        serving stack) can deadlock on locks captured mid-hold, which is
+        why the fleet layer spawns its workers instead.
     force_parallel:
         Bypass the core-count clamp (not the task-count one): always spin up
         the requested pool.  For tests that must exercise the process-pool

@@ -109,6 +109,6 @@ def random_selection(
         raise ValueError("cannot subsample an empty feature set")
     if budget <= 0:
         raise ValueError("budget must be positive")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     budget = min(budget, n)
     return rng.choice(n, size=budget, replace=False).astype(np.int64)

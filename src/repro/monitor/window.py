@@ -120,7 +120,7 @@ class TrafficMonitor:
             raise ValueError("window_capacity must be at least 2")
         self._reference = reference.copy()
         self._reference.setflags(write=False)
-        self._window = RollingWindow(window_capacity, reference.shape[1])
+        self._window = RollingWindow(window_capacity, reference.shape[1])  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -156,7 +156,8 @@ class TrafficMonitor:
     @property
     def window_capacity(self) -> int:
         """Rolling-window size used for drift scoring."""
-        return self._window.capacity
+        with self._lock:
+            return self._window.capacity
 
     @property
     def is_warm(self) -> bool:

@@ -59,7 +59,7 @@ class Linear(Module):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Linear layer dimensions must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform(rng, in_features, out_features), name="weight")
@@ -101,7 +101,7 @@ class CosineNormLinear(Module):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("CosineNormLinear dimensions must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.in_features = in_features
         self.out_features = out_features
         self.eps = eps
@@ -240,7 +240,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
@@ -345,7 +345,7 @@ class MLP(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.in_features = in_features
         self.out_features = out_features
         layers: List[Module] = []

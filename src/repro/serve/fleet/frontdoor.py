@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import contextlib
 import hashlib
 import threading
 import time
@@ -156,8 +157,8 @@ class _TenantState:
 
     def __init__(self, policy: TenantPolicy, now: float) -> None:
         self.policy = policy
-        self.tokens = policy.bucket_capacity()
-        self.last_refill = now
+        self.tokens = policy.bucket_capacity()  # guarded-by: lock
+        self.last_refill = now  # guarded-by: lock
         self.admitted = 0
         self.lock = threading.Lock()
 
@@ -554,10 +555,8 @@ class MultiprocGateway:
             pass
         finally:
             connection.dead = True
-            try:
+            with contextlib.suppress(Exception):
                 connection.writer.close()
-            except Exception:
-                pass
             failed, connection.pending = connection.pending, {}
             for request in failed.values():
                 self._fail_request(
@@ -688,10 +687,8 @@ class MultiprocGateway:
             connection.dead = True
             if connection.reader_task is not None:
                 connection.reader_task.cancel()
-            try:
+            with contextlib.suppress(Exception):
                 connection.writer.close()
-            except Exception:
-                pass
             failed, connection.pending = connection.pending, {}
             for request in failed.values():
                 self._fail_request(
@@ -717,15 +714,13 @@ class MultiprocGateway:
                 latency_samples = shard.latency_samples
             service_totals = ServiceStats(0, 0, 0)
             if include_worker_stats and handle.alive:
-                try:
+                with contextlib.suppress(Exception):
                     response = self._control(shard.index, {"op": "stats"}, timeout=5.0)
                     service_totals = ServiceStats(
                         queries=int(response.get("queries", 0)),
                         batches=int(response.get("batches", 0)),
                         largest_batch=int(response.get("largest_batch", 0)),
                     )
-                except Exception:
-                    pass
             snapshots.append(
                 ShardStats(
                     index=shard.index,
@@ -750,12 +745,10 @@ class MultiprocGateway:
                 return
             self._closed = True
         for index in range(self.n_workers):
-            try:
+            with contextlib.suppress(Exception):
                 asyncio.run_coroutine_threadsafe(
                     self._reset_client(index), self._loop
                 ).result(timeout=10.0)
-            except Exception:
-                pass
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._loop_thread.join(timeout=10.0)
         self.manager.stop()

@@ -25,6 +25,7 @@ a fresh port (the front door re-resolves addresses through
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import socket
 import time
@@ -204,14 +205,11 @@ class FleetManager:
         self._started = False
 
     def _graceful_stop(self, handle: WorkerHandle) -> None:
-        try:
-            with socket.create_connection(
-                ("127.0.0.1", handle.port), timeout=5.0
-            ) as sock:
-                write_frame(sock, {"op": "shutdown", "id": 0})
-                read_frame(sock)  # the "bye" ack; best-effort
-        except OSError:
-            pass
+        with contextlib.suppress(OSError), socket.create_connection(
+            ("127.0.0.1", handle.port), timeout=5.0
+        ) as sock:
+            write_frame(sock, {"op": "shutdown", "id": 0})
+            read_frame(sock)  # the "bye" ack; best-effort
         handle.process.join(timeout=10.0)
         if handle.process.is_alive():
             handle.process.kill()
@@ -230,13 +228,10 @@ class FleetManager:
         deadline = time.monotonic() + timeout_s
         while time.monotonic() < deadline:
             if handle.port is not None:
-                try:
-                    with socket.create_connection(
-                        ("127.0.0.1", handle.port), timeout=1.0
-                    ):
-                        return handle.port
-                except OSError:
-                    pass
+                with contextlib.suppress(OSError), socket.create_connection(
+                    ("127.0.0.1", handle.port), timeout=1.0
+                ):
+                    return handle.port
             time.sleep(0.05)
         raise TimeoutError(f"worker {index} did not become reachable")
 

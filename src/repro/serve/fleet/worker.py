@@ -39,6 +39,7 @@ keeps serving.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import socket
 import threading
@@ -72,10 +73,8 @@ class _Connection:
             write_frame(self.sock, header, payload)
 
     def close(self) -> None:
-        try:
+        with contextlib.suppress(OSError):
             self.sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
         self.sock.close()
 
 
@@ -127,7 +126,7 @@ class WorkerServer:
         self.port = self._listener.getsockname()[1]
         self._stop = threading.Event()
         self._conn_lock = threading.Lock()
-        self._connections: list = []
+        self._connections: list = []  # guarded-by: _conn_lock
         self._threads: list = []
 
     # ------------------------------------------------------------------ #
@@ -267,7 +266,8 @@ class WorkerServer:
         def respond(done) -> None:
             # Runs on the micro-batcher's dispatcher thread after delivery;
             # out-of-order completion is fine — the id pairs it back up.
-            try:
+            # OSError means the peer went away: nothing to deliver to.
+            with contextlib.suppress(OSError):
                 if done._error is not None:
                     connection.send(
                         {
@@ -292,8 +292,6 @@ class WorkerServer:
                     },
                     answer.tobytes(),
                 )
-            except OSError:
-                pass  # peer went away; nothing to deliver to
 
         pending.add_done_callback(respond)
 

@@ -217,12 +217,12 @@ class _Shard:
         #: Serialises model loading only, so a slow spin-up never blocks
         #: the counter lock (stats stay responsive during cold starts).
         self.spin_lock = threading.Lock()
-        self.services: Dict[str, PredictionService] = {}
-        self.in_flight = 0
-        self.answered = 0
-        self.shed = 0
-        self.latency_s = 0.0
-        self.latency_samples = 0
+        self.services: Dict[str, PredictionService] = {}  # guarded-by: lock
+        self.in_flight = 0  # guarded-by: lock
+        self.answered = 0  # guarded-by: lock
+        self.shed = 0  # guarded-by: lock
+        self.latency_s = 0.0  # guarded-by: lock
+        self.latency_samples = 0  # guarded-by: lock
         self.cache = cache
 
 

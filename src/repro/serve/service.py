@@ -73,7 +73,7 @@ class PendingPrediction:
         self._result: Optional[Prediction] = None
         self._error: Optional[BaseException] = None
         self._lock = threading.Lock()
-        self._callbacks: List[Callable[["PendingPrediction"], None]] = []
+        self._callbacks: List[Callable[["PendingPrediction"], None]] = []  # guarded-by: _lock
 
     def done(self) -> bool:
         """Whether a result (or error) has been delivered."""
@@ -165,12 +165,12 @@ class MicroBatcher:
         self._on_batch = on_batch
         self.max_batch = max_batch
         self.max_wait = max_wait_ms / 1000.0
-        self._queue: List[Tuple[np.ndarray, PendingPrediction]] = []
+        self._queue: List[Tuple[np.ndarray, PendingPrediction]] = []  # guarded-by: _cond
         self._cond = threading.Condition()
-        self._closed = False
-        self._queries = 0
-        self._batches = 0
-        self._largest_batch = 0
+        self._closed = False  # guarded-by: _cond
+        self._queries = 0  # guarded-by: _cond
+        self._batches = 0  # guarded-by: _cond
+        self._largest_batch = 0  # guarded-by: _cond
         self._thread = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-batcher", daemon=True
         )
@@ -291,11 +291,11 @@ class PredictionService:
         max_wait_ms: float = 0.0,
     ) -> None:
         self._model_lock = threading.Lock()
-        self._learner = learner
-        self._model_version = model_version
-        self._n_features = self._learner_features(learner)
+        self._learner = learner  # guarded-by: _model_lock
+        self._model_version = model_version  # guarded-by: _model_lock
+        self._n_features = self._learner_features(learner)  # guarded-by: _model_lock
         self._observer_lock = threading.Lock()
-        self._observers: List[Callable[[np.ndarray], None]] = []
+        self._observers: List[Callable[[np.ndarray], None]] = []  # guarded-by: _observer_lock
         self._batcher = MicroBatcher(
             self._run_batch,
             max_batch=max_batch,

@@ -1,0 +1,105 @@
+"""Baseline round-trip: suppression, justification enforcement, staleness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.core import Finding
+
+
+def make_finding(tmp_path, symbol="Service.fast_path", rule="RPR003"):
+    return Finding(
+        path=str(tmp_path / "src" / "mod.py"),
+        line=10,
+        col=4,
+        rule=rule,
+        message="guarded attribute accessed outside its lock",
+        symbol=symbol,
+    )
+
+
+def write_baseline(tmp_path, entries):
+    path = tmp_path / "analysis_baseline.json"
+    path.write_text(json.dumps({"version": 1, "entries": entries}), encoding="utf-8")
+    return path
+
+
+GOOD_ENTRY = {
+    "rule": "RPR003",
+    "path": "src/mod.py",
+    "symbol": "Service.fast_path",
+    "justification": "deliberate lock-free advisory read",
+}
+
+
+class TestRoundTrip:
+    def test_matching_finding_suppressed(self, tmp_path):
+        baseline = Baseline.load(write_baseline(tmp_path, [GOOD_ENTRY]))
+        assert baseline.suppresses(make_finding(tmp_path))
+        assert baseline.unused_entries() == []
+
+    def test_symbol_mismatch_not_suppressed(self, tmp_path):
+        baseline = Baseline.load(write_baseline(tmp_path, [GOOD_ENTRY]))
+        assert not baseline.suppresses(make_finding(tmp_path, symbol="Service.other"))
+        # The entry matched nothing: it must surface as stale.
+        assert len(baseline.unused_entries()) == 1
+
+    def test_rule_mismatch_not_suppressed(self, tmp_path):
+        baseline = Baseline.load(write_baseline(tmp_path, [GOOD_ENTRY]))
+        assert not baseline.suppresses(make_finding(tmp_path, rule="RPR001"))
+
+    def test_line_shift_does_not_break_match(self, tmp_path):
+        # Baselines key on symbols, not line numbers.
+        baseline = Baseline.load(write_baseline(tmp_path, [GOOD_ENTRY]))
+        moved = Finding(
+            path=str(tmp_path / "src" / "mod.py"),
+            line=999,
+            col=0,
+            rule="RPR003",
+            message="same contract, new line",
+            symbol="Service.fast_path",
+        )
+        assert baseline.suppresses(moved)
+
+    def test_empty_baseline_suppresses_nothing(self, tmp_path):
+        assert not Baseline.empty().suppresses(make_finding(tmp_path))
+
+
+class TestValidation:
+    def test_missing_justification_rejected(self, tmp_path):
+        entry = {k: v for k, v in GOOD_ENTRY.items() if k != "justification"}
+        with pytest.raises(BaselineError, match="justification"):
+            Baseline.load(write_baseline(tmp_path, [entry]))
+
+    def test_blank_justification_rejected(self, tmp_path):
+        entry = dict(GOOD_ENTRY, justification="   ")
+        with pytest.raises(BaselineError, match="justification"):
+            Baseline.load(write_baseline(tmp_path, [entry]))
+
+    def test_unknown_rule_rejected(self, tmp_path):
+        entry = dict(GOOD_ENTRY, rule="RPR999")
+        with pytest.raises(BaselineError, match="unknown rule"):
+            Baseline.load(write_baseline(tmp_path, [entry]))
+
+    def test_non_object_entry_rejected(self, tmp_path):
+        with pytest.raises(BaselineError, match="must be an object"):
+            Baseline.load(write_baseline(tmp_path, ["not-a-dict"]))
+
+    def test_wrong_top_level_shape_rejected(self, tmp_path):
+        path = tmp_path / "analysis_baseline.json"
+        path.write_text(json.dumps([GOOD_ENTRY]), encoding="utf-8")
+        with pytest.raises(BaselineError, match="entries"):
+            Baseline.load(path)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(BaselineError, match="cannot read"):
+            Baseline.load(tmp_path / "missing.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "analysis_baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError, match="cannot read"):
+            Baseline.load(path)

@@ -1,0 +1,48 @@
+"""Self-check: the committed tree passes its own analyzer.
+
+This is the test CI leans on — if a change violates an invariant, it fails
+here (and in the lint job) before review, and every committed baseline
+entry must still be earning its keep.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / "analysis_baseline.json"
+
+
+def test_source_tree_is_clean_under_committed_baseline():
+    baseline = Baseline.load(BASELINE)
+    findings = analyze_paths([SRC])
+    unsuppressed = [f for f in findings if not baseline.suppresses(f)]
+    assert unsuppressed == [], "\n" + "\n".join(f.render() for f in unsuppressed)
+
+
+def test_committed_baseline_has_no_stale_entries():
+    baseline = Baseline.load(BASELINE)
+    for finding in analyze_paths([SRC]):
+        baseline.suppresses(finding)
+    stale = baseline.unused_entries()
+    assert stale == [], (
+        "stale baseline entries (the excused finding no longer exists): "
+        + ", ".join(f"{e.rule} {e.symbol}" for e in stale)
+    )
+
+
+def test_benchmark_gate_is_clean():
+    # The regression gate runs in CI next to the analyzer; it must not trip it.
+    findings = analyze_paths([REPO_ROOT / "benchmarks" / "check_regression.py"])
+    assert findings == []
+
+
+def test_every_baseline_entry_is_justified_in_prose():
+    baseline = Baseline.load(BASELINE)
+    for entry in baseline.entries:
+        # More than a token gesture: a sentence, not a tag.
+        assert len(entry.justification.split()) >= 5, entry

@@ -133,3 +133,11 @@ class TestRandomSelection:
             random_selection(rng.normal(size=(0, 3)), 2)
         with pytest.raises(ValueError):
             random_selection(rng.normal(size=(5, 3)), 0)
+
+    def test_no_rng_fallback_is_deterministic(self, rng):
+        # The argless fallback must not draw OS entropy (RPR001): two calls
+        # without an rng select the same indices.
+        features = rng.normal(size=(40, 3))
+        np.testing.assert_array_equal(
+            random_selection(features, 10), random_selection(features, 10)
+        )

@@ -126,3 +126,22 @@ class TestTrafficMonitor:
             TrafficMonitor(np.ones(5))
         with pytest.raises(ValueError, match="window_capacity"):
             TrafficMonitor(rng.normal(size=(10, 2)), window_capacity=1)
+
+
+class TestWindowCapacityLocking:
+    def test_window_capacity_reads_under_the_lock(self, rng):
+        # Regression: window_capacity used to read the (lock-guarded)
+        # rolling window without taking _lock, racing rebase()'s window swap.
+        monitor = TrafficMonitor(rng.normal(size=(10, 2)), window_capacity=4)
+        acquired = []
+
+        class RecordingLock:
+            def __enter__(self):
+                acquired.append(True)
+
+            def __exit__(self, *exc):
+                return False
+
+        monitor._lock = RecordingLock()
+        assert monitor.window_capacity == 4
+        assert acquired

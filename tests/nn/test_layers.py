@@ -129,3 +129,20 @@ class TestSequentialAndMLP:
         mlp_b = MLP(4, (8,), 2, rng=np.random.default_rng(5))
         x = Tensor(np.ones((2, 4)))
         np.testing.assert_allclose(mlp_a(x).numpy(), mlp_b(x).numpy())
+
+
+class TestUnseededFallbackDeterminism:
+    """The no-rng fallback must be a fixed seed, never OS entropy (RPR001)."""
+
+    def test_linear_fallback_is_deterministic(self):
+        a, b = Linear(4, 3), Linear(4, 3)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_mlp_fallback_is_deterministic(self):
+        x = Tensor(np.ones((2, 4)))
+        np.testing.assert_allclose(MLP(4, (8,), 2)(x).numpy(), MLP(4, (8,), 2)(x).numpy())
+
+    def test_explicit_rng_overrides_fallback(self):
+        seeded = Linear(4, 3, rng=np.random.default_rng(99))
+        fallback = Linear(4, 3)
+        assert not np.array_equal(seeded.weight.data, fallback.weight.data)
