@@ -1,44 +1,57 @@
 #!/usr/bin/env python
-"""Perf-regression gate: compare ``BENCH_engine.json`` against the baseline.
+"""Perf-regression gate: compare emitted BENCH files against committed floors.
 
 The engine perf guard (``benchmarks/test_bench_engine.py``) records the
-speedup of every optimised hot path into ``BENCH_engine.json``, but recording
-alone enforces nothing — a PR could halve the micro-batcher's throughput and
-CI would still be green.  This script closes that gap: it compares the
-freshly emitted trajectory against the committed snapshot in
-``benchmarks/baseline/BENCH_baseline.json`` and fails when any speedup ratio
-degrades beyond the tolerance.
+speedup of every optimised hot path into ``BENCH_engine.json``, and the SLO
+harness (``examples/slo_harness.py``) records load/chaos outcomes into
+``BENCH_slo.json`` — but recording alone enforces nothing: a PR could halve
+the micro-batcher's throughput or break chaos recovery and CI would still be
+green.  This script closes that gap: it compares each freshly emitted file
+against its committed snapshot under ``benchmarks/baseline/`` and fails when
+any gated metric degrades beyond the tolerance.
 
 Rules
 -----
-* every baseline section carrying a ``speedup`` is gated: the current run
-  must contain that section, and its speedup must be at least
-  ``baseline * (1 - tolerance)`` (default tolerance 20%, ``--tolerance`` /
-  ``BENCH_TOLERANCE`` override; ``--tolerance 0`` means any degradation
-  below the baseline fails);
-* sections without a ``speedup`` (absolute wall-time trajectory points like
-  ``cerl_stage``) and file metadata are not gated;
-* a current section carrying ``"gated": true`` is *skipped*, not failed:
-  the benchmark itself determined the machine cannot express the measured
-  parallelism (e.g. a process-pool speedup on a 1-core runner) and recorded
-  that fact instead of a misleading sub-1.0 ratio.  The skip is reported, so
-  a machine that silently gates every section is still visible in the log;
+* a section's gated metric is ``speedup`` by default; a section may declare a
+  different one with ``"gate_metric": "<key>"`` (always bigger-is-better —
+  rates, fractions, 0/1 outcomes).  Every baseline section carrying a value
+  for its metric is gated: the current run must contain that section, and its
+  value must be at least ``baseline * (1 - tolerance)`` (default tolerance
+  20%, ``--tolerance`` / ``BENCH_TOLERANCE`` override; ``--tolerance 0``
+  means any degradation below the baseline fails);
+* sections without a gated metric (absolute wall-time trajectory points like
+  ``cerl_stage``, informational latency quantiles) and file metadata are not
+  gated;
+* a current section carrying ``"gated": true`` *without* a metric value is
+  skipped, not failed: the benchmark itself determined the machine cannot
+  express the measured property (e.g. a process-pool speedup or a
+  multiprocess SLO run on a 1-core runner) and recorded that fact instead of
+  a misleading number.  The skip is reported, so a machine that silently
+  gates every section is still visible in the log.  A section recording both
+  a value and the flag is still compared — a benchmark cannot smuggle a
+  regression through by also flagging itself gated;
 * sections present in the current run but not in the baseline are reported
-  as new-and-ungated — commit them to the baseline to start gating them.
+  as new-and-ungated — commit them to the baseline to start gating them;
+* the SLO pair is optional by default (not every CI job runs the harness):
+  a missing ``BENCH_slo.json`` is reported and skipped unless
+  ``--require-slo`` is given, which turns it into a hard error.
 
 Re-baselining
 -------------
-The committed baseline holds *conservative floors* (the minimum honestly
+The committed baselines hold *conservative floors* (the minimum honestly
 observed across runs/machines), not a single lucky measurement — shared CI
 runners are noisy and the gate must only fail for real regressions.  After a
 deliberate perf change, re-baseline with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_engine.py -x -q
     cp BENCH_engine.json benchmarks/baseline/BENCH_baseline.json
+    PYTHONPATH=src python examples/slo_harness.py --smoke
+    cp BENCH_slo.json benchmarks/baseline/BENCH_slo_baseline.json
 
 then review the diff (lower the fresh numbers toward previously observed
-minima where a section is known to be noisy) and commit it alongside the
-change that justified it.
+minima where a section is known to be noisy; contract metrics like
+``recovered_fraction`` and ``verified`` stay at 1.0) and commit it alongside
+the change that justified it.
 """
 
 from __future__ import annotations
@@ -48,25 +61,52 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 BENCH_DIR = Path(__file__).resolve().parent
 DEFAULT_BASELINE = BENCH_DIR / "baseline" / "BENCH_baseline.json"
 DEFAULT_CURRENT = BENCH_DIR.parent / "BENCH_engine.json"
+DEFAULT_SLO_BASELINE = BENCH_DIR / "baseline" / "BENCH_slo_baseline.json"
+DEFAULT_SLO_CURRENT = BENCH_DIR.parent / "BENCH_slo.json"
 
 #: Top-level keys that describe the file, not a benchmark section.
 METADATA_KEYS = {"generated_by", "python", "machine", "note"}
 
 
-def load_speedups(payload: dict) -> Dict[str, float]:
-    """Extract ``section -> speedup`` from a benchmark payload."""
-    speedups = {}
+def section_metric(values: dict) -> Optional[Tuple[str, Optional[float]]]:
+    """The gated ``(metric, value)`` of one section, or None when ungated.
+
+    ``value`` is None when the section declares its metric but recorded no
+    number (a machine-gated section).
+    """
+    if "gate_metric" in values:
+        metric = str(values["gate_metric"])
+        raw = values.get(metric)
+        return metric, (float(raw) if raw is not None else None)
+    if "speedup" in values:
+        return "speedup", float(values["speedup"])
+    return None
+
+
+def load_metrics(payload: dict) -> Dict[str, Tuple[str, Optional[float]]]:
+    """Extract ``section -> (metric, value)`` from a benchmark payload."""
+    metrics = {}
     for section, values in payload.items():
         if section in METADATA_KEYS or not isinstance(values, dict):
             continue
-        if "speedup" in values:
-            speedups[section] = float(values["speedup"])
-    return speedups
+        gated_metric = section_metric(values)
+        if gated_metric is not None:
+            metrics[section] = gated_metric
+    return metrics
+
+
+def load_speedups(payload: dict) -> Dict[str, float]:
+    """Extract ``section -> speedup`` from a benchmark payload."""
+    return {
+        section: value
+        for section, (metric, value) in load_metrics(payload).items()
+        if metric == "speedup" and value is not None
+    }
 
 
 def gated_sections(payload: dict) -> set:
@@ -80,6 +120,10 @@ def gated_sections(payload: dict) -> set:
     }
 
 
+def _unit(metric: str) -> str:
+    return "x" if metric == "speedup" else f" {metric}"
+
+
 def compare(
     baseline: dict, current: dict, tolerance: float
 ) -> Tuple[List[str], List[str]]:
@@ -90,17 +134,24 @@ def compare(
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
-    baseline_speedups = load_speedups(baseline)
-    current_speedups = load_speedups(current)
+    baseline_metrics = load_metrics(baseline)
     gated = gated_sections(current)
     failures: List[str] = []
     report: List[str] = []
-    for section, base in sorted(baseline_speedups.items()):
+    for section, (metric, base) in sorted(baseline_metrics.items()):
+        if base is None:
+            # The committed baseline itself recorded a machine gate for this
+            # section — nothing to compare against; keep it visible.
+            report.append(f"skip {section}: baseline carries no {metric} value")
+            continue
+        unit = _unit(metric)
         floor = base * (1.0 - tolerance)
-        got = current_speedups.get(section)
+        values = current.get(section)
+        got = None
+        if isinstance(values, dict) and values.get(metric) is not None:
+            got = float(values[metric])
         if section in gated and got is None:
             reason = ""
-            values = current.get(section)
             if isinstance(values, dict):
                 reason = str(values.get("gate_reason", ""))
             report.append(
@@ -110,31 +161,37 @@ def compare(
             continue
         if got is None:
             failures.append(
-                f"{section}: missing from the current run (baseline {base:.3f}x) — "
+                f"{section}: missing from the current run (baseline {base:.3f}{unit}) — "
                 f"a deleted benchmark must be removed from the baseline explicitly"
             )
-            report.append(f"FAIL {section}: missing (baseline {base:.3f}x)")
+            report.append(f"FAIL {section}: missing (baseline {base:.3f}{unit})")
         elif got < floor:
             failures.append(
-                f"{section}: {got:.3f}x is below the gate "
-                f"({base:.3f}x baseline - {100 * tolerance:.0f}% tolerance = "
-                f"{floor:.3f}x floor)"
+                f"{section}: {got:.3f}{unit} is below the gate "
+                f"({base:.3f}{unit} baseline - {100 * tolerance:.0f}% tolerance = "
+                f"{floor:.3f}{unit} floor)"
             )
-            report.append(f"FAIL {section}: {got:.3f}x < floor {floor:.3f}x")
+            report.append(f"FAIL {section}: {got:.3f}{unit} < floor {floor:.3f}{unit}")
         else:
             report.append(
-                f"ok   {section}: {got:.3f}x (floor {floor:.3f}x, baseline {base:.3f}x)"
+                f"ok   {section}: {got:.3f}{unit} (floor {floor:.3f}{unit}, "
+                f"baseline {base:.3f}{unit})"
             )
-    for section in sorted(set(current_speedups) - set(baseline_speedups)):
+    current_metrics = load_metrics(current)
+    for section in sorted(set(current_metrics) - set(baseline_metrics)):
+        metric, value = current_metrics[section]
+        if value is None:
+            continue
         report.append(
-            f"new  {section}: {current_speedups[section]:.3f}x (not in baseline, ungated)"
+            f"new  {section}: {value:.3f}{_unit(metric)} (not in baseline, ungated)"
         )
     return failures, report
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Fail when BENCH_engine.json regresses against the baseline."
+        description="Fail when BENCH_engine.json or BENCH_slo.json regresses "
+        "against the committed baselines."
     )
     parser.add_argument(
         "--baseline", type=Path, default=DEFAULT_BASELINE, help="committed snapshot"
@@ -143,10 +200,28 @@ def main(argv=None) -> int:
         "--current", type=Path, default=DEFAULT_CURRENT, help="freshly emitted results"
     )
     parser.add_argument(
+        "--slo-baseline",
+        type=Path,
+        default=DEFAULT_SLO_BASELINE,
+        help="committed SLO snapshot",
+    )
+    parser.add_argument(
+        "--slo-current",
+        type=Path,
+        default=DEFAULT_SLO_CURRENT,
+        help="freshly emitted SLO harness results",
+    )
+    parser.add_argument(
+        "--require-slo",
+        action="store_true",
+        help="fail (exit 2) when the SLO results file is missing instead of "
+        "skipping the SLO gate",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=float(os.environ.get("BENCH_TOLERANCE", "0.2")),
-        help="allowed fractional degradation of each speedup (default 0.2; "
+        help="allowed fractional degradation of each gated metric (default 0.2; "
         "0 fails on any degradation)",
     )
     args = parser.parse_args(argv)
@@ -155,13 +230,41 @@ def main(argv=None) -> int:
         if not path.exists():
             print(f"perf gate: {label} file not found: {path}", file=sys.stderr)
             return 2
-    baseline = json.loads(args.baseline.read_text())
-    current = json.loads(args.current.read_text())
-    failures, report = compare(baseline, current, args.tolerance)
 
-    print(f"perf gate: {args.current} vs {args.baseline} (tolerance {args.tolerance})")
-    for line in report:
-        print(f"  {line}")
+    pairs = [(args.baseline, args.current)]
+    if args.slo_current.exists():
+        if not args.slo_baseline.exists():
+            print(
+                f"perf gate: slo baseline file not found: {args.slo_baseline}",
+                file=sys.stderr,
+            )
+            return 2
+        pairs.append((args.slo_baseline, args.slo_current))
+    elif args.require_slo:
+        print(
+            f"perf gate: slo current file not found: {args.slo_current} "
+            f"(--require-slo)",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        print(
+            f"perf gate: no SLO results at {args.slo_current}; skipping the "
+            f"SLO gate (pass --require-slo to make this an error)"
+        )
+
+    failures: List[str] = []
+    for baseline_path, current_path in pairs:
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(current_path.read_text())
+        pair_failures, report = compare(baseline, current, args.tolerance)
+        failures.extend(pair_failures)
+        print(
+            f"perf gate: {current_path} vs {baseline_path} "
+            f"(tolerance {args.tolerance})"
+        )
+        for line in report:
+            print(f"  {line}")
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)
         for failure in failures:

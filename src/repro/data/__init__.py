@@ -1,7 +1,7 @@
 """Datasets: containers, streams, semi-synthetic benchmarks and the synthetic generator."""
 
 from .dataset import CausalDataset, train_val_test_split, minibatches
-from .streams import DomainSplit, DomainStream
+from .streams import ChunkedPopulation, DomainSplit, DomainStream
 from .topics import TopicCorpus, TopicCorpusGenerator, TopicModel
 from .semisynthetic import (
     SemiSyntheticBenchmark,
@@ -24,6 +24,7 @@ __all__ = [
     "CausalDataset",
     "train_val_test_split",
     "minibatches",
+    "ChunkedPopulation",
     "DomainSplit",
     "DomainStream",
     "TopicCorpus",

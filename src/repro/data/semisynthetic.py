@@ -19,11 +19,12 @@ of the topic-model substrate in :mod:`repro.data.topics`:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Literal, Optional, Tuple
+from typing import Dict, Iterator, Literal, Optional, Tuple
 
 import numpy as np
 
 from .dataset import CausalDataset
+from .streams import ChunkedPopulation
 from .topics import TopicCorpusGenerator, TopicModel
 
 __all__ = ["ShiftScenario", "SemiSyntheticConfig", "SemiSyntheticBenchmark", "news_config", "blogcatalog_config"]
@@ -115,6 +116,24 @@ class _SimulatedPopulation:
     propensities: np.ndarray
 
 
+@dataclass
+class _OutcomeMechanism:
+    """The bounded calibration state needed to label *new* documents.
+
+    Everything a chunk draw needs — the topic-word matrix documents are
+    generated from, the fitted topic model that re-estimates ``z(x)``, and
+    the two outcome centroids — is O(topics x vocab), independent of how
+    many units are ever streamed.  Holding this instead of the population
+    is what lets :meth:`SemiSyntheticBenchmark.iter_chunks` produce a
+    million rows without a million-row resident array.
+    """
+
+    topic_word: np.ndarray
+    topic_model: TopicModel
+    centroid_control: np.ndarray
+    centroid_treated: np.ndarray
+
+
 class SemiSyntheticBenchmark:
     """Builds sequential-domain causal datasets from a topic-structured corpus.
 
@@ -131,23 +150,39 @@ class SemiSyntheticBenchmark:
         self.config = config
         self.seed = seed
         self._population: Optional[_SimulatedPopulation] = None
+        self._mechanism: Optional[_OutcomeMechanism] = None
+        self._summary: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------ #
     # population simulation
     # ------------------------------------------------------------------ #
-    def _simulate_population(self) -> _SimulatedPopulation:
-        if self._population is not None:
-            return self._population
+    def _corpus_generator(self) -> TopicCorpusGenerator:
         config = self.config
-        rng = np.random.default_rng(self.seed)
-
-        generator = TopicCorpusGenerator(
+        return TopicCorpusGenerator(
             n_topics=config.n_topics,
             vocab_size=config.vocab_size,
             doc_length=config.doc_length,
             topic_concentration=config.topic_concentration,
             word_concentration=config.word_concentration,
         )
+
+    def _simulate_population(self) -> _SimulatedPopulation:
+        if self._population is not None:
+            return self._population
+        return self._build(keep_population=True)
+
+    def _build(self, keep_population: bool) -> _SimulatedPopulation:
+        """Simulate the calibration population (draw order is load-bearing).
+
+        Always fills the mechanism and summary caches; retains the full
+        population container only when ``keep_population`` — the chunked
+        path builds transiently, extracts the bounded mechanism, and lets
+        the big arrays go.
+        """
+        config = self.config
+        rng = np.random.default_rng(self.seed)
+
+        generator = self._corpus_generator()
         corpus = generator.generate(config.n_units, rng)
 
         topic_model = TopicModel(
@@ -175,7 +210,7 @@ class SemiSyntheticBenchmark:
         outcomes = np.where(treatments == 1, mu1, mu0) + noise
 
         dominant = np.argmax(z, axis=1)
-        self._population = _SimulatedPopulation(
+        population = _SimulatedPopulation(
             counts=corpus.counts,
             topic_proportions=z,
             dominant_topics=dominant,
@@ -185,7 +220,89 @@ class SemiSyntheticBenchmark:
             outcomes=outcomes,
             propensities=propensities,
         )
-        return self._population
+        self._mechanism = _OutcomeMechanism(
+            topic_word=corpus.topic_word,
+            topic_model=topic_model,
+            centroid_control=centroid_control,
+            centroid_treated=centroid_treated,
+        )
+        self._summary = self._summarise(population)
+        if keep_population:
+            self._population = population
+        return population
+
+    def mechanism(self) -> _OutcomeMechanism:
+        """The bounded outcome mechanism (calibrating transiently if needed)."""
+        if self._mechanism is None:
+            self._build(keep_population=self._population is not None)
+        return self._mechanism
+
+    def release_population(self) -> None:
+        """Drop the resident full population; mechanism and summary survive.
+
+        Chunk iteration and :meth:`population_summary` keep working from the
+        bounded calibration state; a later :meth:`generate_domain_pair`
+        rebuilds the identical population from the seed.
+        """
+        self._population = None
+
+    # ------------------------------------------------------------------ #
+    # chunked streaming
+    # ------------------------------------------------------------------ #
+    def _labelled_chunk(self, key: int, rows: int) -> CausalDataset:
+        """Draw and label ``rows`` fresh documents as chunk ``key``.
+
+        A pure function of ``(self.seed, key, rows)``: documents come from
+        the calibrated topic-word matrix, topic proportions from the fitted
+        model, outcomes/treatments from the stored centroids — the same
+        Sec. IV-A mechanism as the monolithic population, never touching it.
+        """
+        if rows < 1:
+            raise ValueError("rows must be at least 1")
+        config = self.config
+        mechanism = self.mechanism()
+        rng = np.random.default_rng([self.seed, 1009, key])
+        corpus = self._corpus_generator().generate_with_topics(
+            rows, rng, mechanism.topic_word
+        )
+        z = mechanism.topic_model.transform(corpus.counts, rng=rng)
+
+        affinity_control = z @ mechanism.centroid_control
+        affinity_treated = z @ mechanism.centroid_treated
+        mu0 = config.outcome_scale * affinity_control
+        mu1 = config.outcome_scale * (affinity_control + affinity_treated)
+        logits = config.selection_bias * (affinity_treated - affinity_control)
+        propensities = 1.0 / (1.0 + np.exp(-logits))
+        treatments = (rng.random(rows) < propensities).astype(np.int64)
+        noise = rng.normal(0.0, config.noise_std, size=rows)
+        outcomes = np.where(treatments == 1, mu1, mu0) + noise
+
+        return CausalDataset(
+            covariates=corpus.counts,
+            treatments=treatments,
+            outcomes=outcomes,
+            mu0=mu0,
+            mu1=mu1,
+            domain=0,
+            name=f"{config.name}/chunk{key}",
+        )
+
+    def chunked(self) -> ChunkedPopulation:
+        """This benchmark as a :class:`~repro.data.streams.ChunkedPopulation`."""
+        return ChunkedPopulation(
+            self._labelled_chunk, min_rows=1, name=f"{self.config.name}/chunked"
+        )
+
+    def iter_chunks(
+        self, chunk_rows: int, n_chunks: Optional[int] = None, start_key: int = 0
+    ) -> Iterator[CausalDataset]:
+        """Stream the population as deterministic ``chunk_rows``-sized chunks.
+
+        Peak memory is one chunk plus the bounded mechanism — a million-row
+        stream never exists as a single array.  Replaying the same seed and
+        keys reproduces every chunk bitwise.
+        """
+        return self.chunked().iter_chunks(chunk_rows, n_chunks, start_key=start_key)
 
     # ------------------------------------------------------------------ #
     # domain construction
@@ -269,9 +386,8 @@ class SemiSyntheticBenchmark:
     # ------------------------------------------------------------------ #
     # diagnostics
     # ------------------------------------------------------------------ #
-    def population_summary(self) -> Dict[str, float]:
-        """Return summary statistics of the simulated population."""
-        population = self._simulate_population()
+    @staticmethod
+    def _summarise(population: _SimulatedPopulation) -> Dict[str, float]:
         return {
             "n_units": float(len(population.outcomes)),
             "treated_fraction": float(np.mean(population.treatments)),
@@ -280,3 +396,14 @@ class SemiSyntheticBenchmark:
             "outcome_std": float(np.std(population.outcomes)),
             "mean_propensity": float(np.mean(population.propensities)),
         }
+
+    def population_summary(self) -> Dict[str, float]:
+        """Summary statistics of the simulated population.
+
+        Fast path: the summary is cached at calibration time, so callers that
+        only need the scalars (sweep reports, the chunked SLO path) never
+        force — or re-force — the full population to stay resident.
+        """
+        if self._summary is None:
+            self._build(keep_population=self._population is not None)
+        return dict(self._summary)

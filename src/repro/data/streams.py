@@ -7,18 +7,24 @@ packages that protocol: it holds the per-domain train/val/test splits, yields
 only the training data of the current domain to the learner, and keeps the
 held-out test sets around for evaluation of *all seen* domains (which the
 evaluation, unlike the learner, is allowed to use).
+
+:class:`ChunkedPopulation` is the streaming counterpart for populations too
+large to materialise: it wraps a deterministic ``chunk_fn(key, rows)`` (the
+``iter_chunks`` factories of the synthetic and semi-synthetic generators) and
+serves fixed-size labelled chunks or bare covariate rows keyed by an integer
+— the contract the SLO load harness replays million-row tapes against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .dataset import CausalDataset, train_val_test_split
 
-__all__ = ["DomainSplit", "DomainStream"]
+__all__ = ["ChunkedPopulation", "DomainSplit", "DomainStream"]
 
 
 @dataclass
@@ -33,6 +39,76 @@ class DomainSplit:
     def name(self) -> str:
         """Name of the underlying domain dataset."""
         return self.train.name
+
+
+class ChunkedPopulation:
+    """A population served as deterministic fixed-size chunks, never whole.
+
+    Parameters
+    ----------
+    chunk_fn:
+        ``chunk_fn(key, rows) -> CausalDataset`` — a pure function of its
+        arguments (and whatever seeds the factory closed over), so the same
+        key always reproduces the same chunk bitwise.  Generator minimums
+        (e.g. the synthetic generator's 10-unit floor) are the factory's
+        business: :meth:`rows_for` over-asks and slices, so any ``rows >= 1``
+        is valid here.
+    min_rows:
+        Smallest row count ``chunk_fn`` accepts; smaller requests are padded
+        up to it and sliced back down.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(
+        self,
+        chunk_fn: Callable[[int, int], CausalDataset],
+        min_rows: int = 10,
+        name: str = "chunked",
+    ) -> None:
+        if min_rows < 1:
+            raise ValueError("min_rows must be at least 1")
+        self._chunk_fn = chunk_fn
+        self.min_rows = min_rows
+        self.name = name
+
+    def chunk(self, key: int, rows: int) -> CausalDataset:
+        """Labelled chunk ``key`` with exactly ``rows`` rows."""
+        if rows < 1:
+            raise ValueError("rows must be at least 1")
+        dataset = self._chunk_fn(key, max(rows, self.min_rows))
+        if len(dataset.outcomes) < rows:
+            raise ValueError(
+                f"chunk_fn returned {len(dataset.outcomes)} rows; needed {rows}"
+            )
+        if len(dataset.outcomes) == rows:
+            return dataset
+        return CausalDataset(
+            covariates=dataset.covariates[:rows],
+            treatments=dataset.treatments[:rows],
+            outcomes=dataset.outcomes[:rows],
+            mu0=dataset.mu0[:rows],
+            mu1=dataset.mu1[:rows],
+            domain=dataset.domain,
+            name=dataset.name,
+        )
+
+    def rows_for(self, key: int, rows: int) -> np.ndarray:
+        """Covariate rows of chunk ``key`` (the query-traffic fast path)."""
+        return self.chunk(key, rows).covariates
+
+    def iter_chunks(
+        self, chunk_rows: int, n_chunks: Optional[int] = None, start_key: int = 0
+    ) -> Iterator[CausalDataset]:
+        """Yield successive ``chunk_rows``-sized chunks; O(1 chunk) memory."""
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be at least 1")
+        if n_chunks is not None and n_chunks < 1:
+            raise ValueError("n_chunks must be at least 1 (or None for unbounded)")
+        key = start_key
+        while n_chunks is None or key < start_key + n_chunks:
+            yield self.chunk(key, chunk_rows)
+            key += 1
 
 
 class DomainStream:

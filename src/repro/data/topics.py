@@ -111,6 +111,26 @@ class TopicCorpusGenerator:
         topic_word = rng.dirichlet(
             np.full(self.vocab_size, self.word_concentration), size=self.n_topics
         )
+        return self.generate_with_topics(n_documents, rng, topic_word)
+
+    def generate_with_topics(
+        self, n_documents: int, rng: np.random.Generator, topic_word: np.ndarray
+    ) -> TopicCorpus:
+        """Generate documents from a *given* topic-word matrix.
+
+        This is the streaming building block: a calibration corpus fixes
+        ``topic_word`` once, after which arbitrarily many document chunks can
+        be drawn from the same topics without regenerating (or retaining)
+        the original corpus — each chunk is a pure function of its ``rng``.
+        """
+        if n_documents <= 0:
+            raise ValueError("n_documents must be positive")
+        topic_word = np.asarray(topic_word, dtype=np.float64)
+        if topic_word.shape != (self.n_topics, self.vocab_size):
+            raise ValueError(
+                f"topic_word must have shape ({self.n_topics}, {self.vocab_size}); "
+                f"got {tuple(topic_word.shape)}"
+            )
         mixtures = rng.dirichlet(
             np.full(self.n_topics, self.topic_concentration), size=n_documents
         )

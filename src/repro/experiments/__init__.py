@@ -10,6 +10,7 @@ from .multiproc import (
 )
 from .parallel import derive_seed, effective_workers, parallel_map, seeded_tasks
 from .profiles import PAPER, QUICK, SMOKE, ExperimentProfile
+from .slo import SloSuiteResult, run_slo_suite
 from .runner import (
     StrategyResult,
     StreamResult,
@@ -42,6 +43,8 @@ __all__ = [
     "MultiprocFleetResult",
     "MultiprocStreamReport",
     "run_multiproc_fleet",
+    "SloSuiteResult",
+    "run_slo_suite",
     "derive_seed",
     "effective_workers",
     "parallel_map",

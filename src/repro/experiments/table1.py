@@ -11,8 +11,8 @@ and returns both the structured results and a formatted text report.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..data.blogcatalog import BlogCatalogBenchmark
@@ -61,11 +61,15 @@ class Table1Result:
         raise KeyError(f"no result for strategy '{strategy}' on ({dataset}, {scenario})")
 
 
-# maxsize=2 covers both Table I corpora of one run while bounding residency:
-# a paper-scale population holds a ~5000 x 3477 counts matrix, so hoarding
-# more would pin hundreds of MB.  _benchmark.cache_clear() releases them.
-@lru_cache(maxsize=2)
-def _cached_benchmark(key: str, scale: float, seed: int) -> SemiSyntheticBenchmark:
+#: Cache bound: both Table I corpora of one run, and no more.  A paper-scale
+#: population holds a ~5000 x 3477 counts matrix, so hoarding more would pin
+#: hundreds of MB.
+_BENCHMARK_CACHE_SIZE = 2
+
+_benchmark_cache: "OrderedDict[Tuple[str, float, int], SemiSyntheticBenchmark]" = OrderedDict()
+
+
+def _make_benchmark(key: str, scale: float, seed: int) -> SemiSyntheticBenchmark:
     if key == "news":
         return NewsBenchmark(scale=scale, seed=seed)
     if key == "blogcatalog":
@@ -76,10 +80,30 @@ def _cached_benchmark(key: str, scale: float, seed: int) -> SemiSyntheticBenchma
 def _benchmark(dataset: str, profile: ExperimentProfile, seed: int) -> SemiSyntheticBenchmark:
     # Process-local cache: cells of one dataset share the simulated population
     # (it is read-only once built), whether they run serially or in a worker.
-    return _cached_benchmark(dataset.lower(), profile.corpus_scale, seed)
+    # Unlike a plain lru_cache, eviction actively releases the evicted
+    # benchmark's population — the bounded mechanism/summary survive on the
+    # object, so anything still holding it keeps its fast paths.
+    key = (dataset.lower(), profile.corpus_scale, seed)
+    benchmark = _benchmark_cache.get(key)
+    if benchmark is not None:
+        _benchmark_cache.move_to_end(key)
+        return benchmark
+    benchmark = _make_benchmark(*key)
+    _benchmark_cache[key] = benchmark
+    while len(_benchmark_cache) > _BENCHMARK_CACHE_SIZE:
+        _, evicted = _benchmark_cache.popitem(last=False)
+        evicted.release_population()
+    return benchmark
 
 
-_benchmark.cache_clear = _cached_benchmark.cache_clear
+def _clear_benchmarks() -> None:
+    """Release every cached population and empty the cache."""
+    while _benchmark_cache:
+        _, evicted = _benchmark_cache.popitem(last=False)
+        evicted.release_population()
+
+
+_benchmark.cache_clear = _clear_benchmarks
 
 
 def _table1_cell(task: tuple) -> List[StrategyResult]:
@@ -153,4 +177,9 @@ def run_table1(
     output = Table1Result(profile=profile.name)
     for cell, results in zip(cells, cell_results):
         output.results[cell] = results
+    # The sweep is done with the raw populations; drop them (mechanism and
+    # summary stay cached) so a following chunked/SLO phase in the same
+    # process never holds two copies of a corpus resident.
+    for benchmark in _benchmark_cache.values():
+        benchmark.release_population()
     return output

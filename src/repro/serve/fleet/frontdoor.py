@@ -668,6 +668,20 @@ class MultiprocGateway:
         """Liveness probe of one worker (its pid and served streams)."""
         return self._control(index, {"op": "ping"}, timeout=timeout)
 
+    def set_worker_delay(self, index: int, delay_ms: float, timeout: float = 10.0) -> dict:
+        """Install (or clear, with 0) a straggler delay on one worker.
+
+        Chaos control for the SLO harness: the worker stalls each predict by
+        ``delay_ms`` before batching, making it a slow shard while every
+        other worker keeps its latency — the injection is per-process, so
+        the blast radius is exactly the worker's own streams.
+        """
+        if delay_ms < 0:
+            raise ValueError("delay_ms must be non-negative")
+        return self._control(
+            index, {"op": "chaos", "delay_ms": float(delay_ms)}, timeout=timeout
+        )
+
     def kill_worker(self, index: int) -> None:
         """SIGKILL one worker (failure injection); its queries fail typed."""
         self.manager.kill(index)

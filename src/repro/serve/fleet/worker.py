@@ -31,6 +31,11 @@ Ops (header ``"op"`` field):
     other stream keeps serving; replies ``reloaded`` with the new version.
 ``ping`` / ``stats`` / ``shutdown``
     Liveness, micro-batcher counters, graceful exit.
+``chaos``
+    Failure injection for the SLO harness: ``{"op": "chaos", "delay_ms": X}``
+    installs a per-query straggler delay (0 clears it); replies ``chaos_set``.
+    The delay runs through an injectable hook so tests can observe it
+    without sleeping.
 
 Any per-request failure is answered with an ``error`` frame carrying the
 exception type name and message; the connection — and every other stream —
@@ -43,7 +48,8 @@ import contextlib
 import os
 import socket
 import threading
-from typing import Dict, Optional, Tuple
+import time
+from typing import Callable, Dict, Optional, Tuple
 
 from ..registry import ModelRegistry
 from ..service import PredictionService
@@ -93,6 +99,11 @@ class WorkerServer:
         and must match the in-process reference for bitwise parity.
     max_payload:
         Per-frame payload ceiling enforced before allocation.
+    delay_hook:
+        Called with the installed straggler delay (seconds) before each
+        predict submit while a ``chaos`` delay is active.  Defaults to
+        ``time.sleep``; injectable so tests can assert the straggler path
+        without wall-clock waits.
     """
 
     def __init__(
@@ -103,6 +114,7 @@ class WorkerServer:
         max_wait_ms: float = 0.0,
         max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES,
         mmap_mode: Optional[str] = "r",
+        delay_hook: Callable[[float], None] = time.sleep,
     ) -> None:
         self.registry = ModelRegistry(registry_root)
         self.max_payload = max_payload
@@ -128,6 +140,13 @@ class WorkerServer:
         self._conn_lock = threading.Lock()
         self._connections: list = []  # guarded-by: _conn_lock
         self._threads: list = []
+        self._delay_hook = delay_hook
+        # Straggler injection (seconds); written by chaos control frames,
+        # read by every predict path.  A torn read is impossible for a
+        # Python float attribute swap, so no lock — the worst race is one
+        # query seeing the delay a frame early or late, which is exactly
+        # the tolerance a chaos schedule has anyway.
+        self._chaos_delay_s = 0.0
 
     # ------------------------------------------------------------------ #
     # serving loop
@@ -227,6 +246,14 @@ class WorkerServer:
                         totals["largest_batch"], stats.largest_batch
                     )
                 connection.send({"op": "stats", "id": request_id, **totals})
+            elif op == "chaos":
+                delay_ms = float(header.get("delay_ms", 0.0))
+                if delay_ms < 0:
+                    raise ValueError("delay_ms must be non-negative")
+                self._chaos_delay_s = delay_ms / 1000.0
+                connection.send(
+                    {"op": "chaos_set", "id": request_id, "delay_ms": delay_ms}
+                )
             elif op == "shutdown":
                 connection.send({"op": "bye", "id": request_id})
                 self.shutdown()
@@ -261,6 +288,14 @@ class WorkerServer:
                 f"got shape {tuple(rows.shape)}"
             )
         request_id = header["id"]
+        delay = self._chaos_delay_s
+        if delay > 0:
+            # Straggler injection: stall on the connection thread, *before*
+            # the micro-batcher, so the slow shard delays only its own
+            # streams' queries — co-batched tenants on other workers are
+            # untouched, which is the isolation property the SLO harness
+            # measures.
+            self._delay_hook(delay)
         pending = service.submit(rows[0])
 
         def respond(done) -> None:

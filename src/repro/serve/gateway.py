@@ -95,7 +95,14 @@ class Overloaded(RuntimeError):
     Shed queries never reach a service, a batcher, or a traffic observer.
     """
 
-    def __init__(self, stream: str, shard_index: int, in_flight: int, capacity: int) -> None:
+    def __init__(
+        self,
+        stream: str,
+        shard_index: int,
+        in_flight: int,
+        capacity: int,
+        retry_after_s: "Optional[float]" = None,
+    ) -> None:
         super().__init__(
             f"shard {shard_index} is overloaded: {in_flight}/{capacity} queries "
             f"in flight (stream '{stream}')"
@@ -104,6 +111,10 @@ class Overloaded(RuntimeError):
         self.shard_index = shard_index
         self.in_flight = in_flight
         self.capacity = capacity
+        #: Uniform back-off hint across every shed type (RateLimited carries a
+        #: real estimate); queue pressure has no honest ETA, so None here —
+        #: load harnesses read the field, never the type, to decide a retry.
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,60 @@
+"""SLO harness: million-row load generation, chaos injection and reporting.
+
+The serving stack (in-process gateway, out-of-process fleet) proves bitwise
+parity and failure isolation on O(1k) uniform queries.  This package turns
+that into *production-shaped* evidence:
+
+* :mod:`.tape` — :class:`TrafficTape`: a seeded, replayable schedule of
+  heavy-tailed, hot-key-skewed, bursty, diurnally ramped multi-tenant
+  traffic; every tick is a pure function of ``(seed, index)``.
+* :mod:`.quantiles` — O(1)-memory latency accumulators (seeded reservoir +
+  merging t-digest-style sketch) so million-row runs never hold a latency
+  array.
+* :mod:`.runner` — :class:`LoadRunner`: replays a tape against a gateway
+  through N client threads with an injected monotonic clock, recording a
+  typed shed/error taxonomy and a deterministic bitwise-verifiable response
+  sample.
+* :mod:`.chaos` — :class:`FaultSchedule` of typed mid-replay injections
+  (worker kill, slow-shard straggler, registry outage) with
+  recovery-time-to-SLO measured per fault.
+* :mod:`.report` — assembles ``BENCH_slo.json`` for the CI perf gate.
+"""
+
+from .chaos import (
+    FAULT_KINDS,
+    Fault,
+    FaultReport,
+    FaultSchedule,
+    FleetChaosOps,
+    RegistryOutageFault,
+    StragglerFault,
+    WorkerKillFault,
+    default_fault_schedule,
+)
+from .quantiles import LatencyAccumulator, QuantileDigest, ReservoirSample
+from .report import build_slo_report, write_slo_report
+from .runner import LoadReport, LoadRunner, SloTargets
+from .tape import TapeConfig, TapeTick, TrafficTape
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultReport",
+    "FaultSchedule",
+    "FleetChaosOps",
+    "LatencyAccumulator",
+    "LoadReport",
+    "LoadRunner",
+    "QuantileDigest",
+    "RegistryOutageFault",
+    "ReservoirSample",
+    "SloTargets",
+    "StragglerFault",
+    "TapeConfig",
+    "TapeTick",
+    "TrafficTape",
+    "WorkerKillFault",
+    "build_slo_report",
+    "default_fault_schedule",
+    "write_slo_report",
+]

@@ -1,0 +1,366 @@
+"""Typed mid-replay fault injection with recovery-time-to-SLO measurement.
+
+A :class:`FaultSchedule` pins faults to tape tick indices, so *when* chaos
+strikes is as replayable as the traffic itself: two runs of the same tape and
+schedule inject the same faults at the same ticks.  Three fault kinds cover
+the fleet's failure surface:
+
+* :class:`WorkerKillFault` — SIGKILL one fleet worker mid-replay, then
+  restart it; queries routed there shed as ``WorkerUnavailable`` until the
+  respawn completes.
+* :class:`StragglerFault` — turn one worker into a slow shard via the
+  injectable delay hook in :class:`~repro.serve.fleet.worker.WorkerServer`;
+  latency SLOs degrade without any error signal.
+* :class:`RegistryOutageFault` — hide a stream's registry manifest (atomic
+  ``os.replace`` aside) so hot-swap ``reload`` fails *typed* while serving
+  continues from the loaded model, then restore it.
+
+Faults talk to the system through a small ops adapter
+(:class:`FleetChaosOps` for the multiprocess fleet), which also measures
+**recovery time to SLO** after each clear: probe queries on the injected
+monotonic clock until the stream answers under the latency budget a
+configured number of consecutive times.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultReport",
+    "FaultSchedule",
+    "FleetChaosOps",
+    "RegistryOutageFault",
+    "StragglerFault",
+    "WorkerKillFault",
+    "default_fault_schedule",
+]
+
+FAULT_KINDS: Tuple[str, ...] = ("worker_kill", "straggler", "registry_outage")
+
+_OUTAGE_SUFFIX = ".outage"
+
+
+@dataclass
+class FaultReport:
+    """What one fault did to the system and how long recovery took."""
+
+    kind: str
+    stream: str
+    injected_tick: int
+    injected_at_s: float
+    cleared_tick: Optional[int] = None
+    cleared_at_s: Optional[float] = None
+    #: Injected-clock seconds from clear until the stream was back under the
+    #: latency budget; None means recovery never happened within budget.
+    recovery_s: Optional[float] = None
+    probes: int = 0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_s is not None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "stream": self.stream,
+            "injected_tick": self.injected_tick,
+            "cleared_tick": self.cleared_tick,
+            "injected_at_s": self.injected_at_s,
+            "cleared_at_s": self.cleared_at_s,
+            "recovery_s": self.recovery_s,
+            "recovered": self.recovered,
+            "probes": self.probes,
+            "details": dict(self.details),
+        }
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled injection: active from ``at_tick`` for ``duration_ticks``."""
+
+    stream: str
+    at_tick: int
+    duration_ticks: int = 8
+
+    kind: str = "fault"
+
+    def __post_init__(self) -> None:
+        if self.at_tick < 0:
+            raise ValueError("at_tick must be non-negative")
+        if self.duration_ticks < 1:
+            raise ValueError("duration_ticks must be at least 1")
+
+    @property
+    def clear_tick(self) -> int:
+        return self.at_tick + self.duration_ticks
+
+    def inject(self, ops) -> Dict[str, object]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def clear(self, ops) -> Dict[str, object]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class WorkerKillFault(Fault):
+    """SIGKILL the worker owning ``stream``; restart it at the clear tick."""
+
+    kind: str = "worker_kill"
+
+    def inject(self, ops) -> Dict[str, object]:
+        worker = ops.kill_stream_worker(self.stream)
+        return {"worker": worker}
+
+    def clear(self, ops) -> Dict[str, object]:
+        worker, port = ops.restart_stream_worker(self.stream)
+        return {"worker": worker, "port": port}
+
+
+@dataclass(frozen=True)
+class StragglerFault(Fault):
+    """Make the worker owning ``stream`` a slow shard for the fault window."""
+
+    delay_ms: float = 50.0
+    kind: str = "straggler"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.delay_ms <= 0:
+            raise ValueError("delay_ms must be positive")
+
+    def inject(self, ops) -> Dict[str, object]:
+        worker = ops.set_stream_delay(self.stream, self.delay_ms)
+        return {"worker": worker, "delay_ms": self.delay_ms}
+
+    def clear(self, ops) -> Dict[str, object]:
+        worker = ops.set_stream_delay(self.stream, 0.0)
+        return {"worker": worker, "delay_cleared": True}
+
+
+@dataclass(frozen=True)
+class RegistryOutageFault(Fault):
+    """Hide ``stream``'s registry manifest so hot-swap reloads fail typed."""
+
+    kind: str = "registry_outage"
+
+    def inject(self, ops) -> Dict[str, object]:
+        ops.hide_registry(self.stream)
+        # The outage must be *observable* as a typed failure, not a hang or a
+        # crash: a reload attempted during the outage has to raise the
+        # fleet's typed error while serving continues from the loaded model.
+        reload_failed_typed = ops.reload_fails_typed(self.stream)
+        return {"reload_failed_typed": reload_failed_typed}
+
+    def clear(self, ops) -> Dict[str, object]:
+        ops.restore_registry(self.stream)
+        version = ops.reload_stream(self.stream)
+        return {"reloaded_version": version}
+
+
+class FaultSchedule:
+    """An ordered set of faults addressed by tape tick index."""
+
+    def __init__(self, faults: Sequence[Fault]) -> None:
+        self.faults: Tuple[Fault, ...] = tuple(
+            sorted(faults, key=lambda f: (f.at_tick, f.kind, f.stream))
+        )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def events(self) -> List[Tuple[int, str, Fault]]:
+        """``(tick, action, fault)`` triples, sorted; inject before clear."""
+        events: List[Tuple[int, int, str, Fault]] = []
+        for fault in self.faults:
+            events.append((fault.at_tick, 0, "inject", fault))
+            events.append((fault.clear_tick, 1, "clear", fault))
+        events.sort(key=lambda e: (e[0], e[1]))
+        return [(tick, action, fault) for tick, _, action, fault in events]
+
+    def fault_ticks(self) -> List[Tuple[int, str, str]]:
+        """``(tick, action, kind)`` — the replay-determinism fingerprint."""
+        return [(tick, action, fault.kind) for tick, action, fault in self.events()]
+
+
+def default_fault_schedule(
+    n_ticks: int,
+    victim_stream: str,
+    registry_stream: Optional[str] = None,
+    straggler_delay_ms: float = 50.0,
+) -> FaultSchedule:
+    """One fault of each kind, spread across the tape (~25% / 55% / 80%).
+
+    ``victim_stream`` takes the kill and the straggler;
+    ``registry_stream`` (default: the victim) takes the manifest outage.
+    """
+    if n_ticks < 20:
+        raise ValueError("default schedule needs at least 20 ticks of tape")
+    registry_stream = registry_stream if registry_stream is not None else victim_stream
+    window = max(2, n_ticks // 16)
+    return FaultSchedule(
+        [
+            WorkerKillFault(
+                stream=victim_stream, at_tick=n_ticks // 4, duration_ticks=window
+            ),
+            StragglerFault(
+                stream=victim_stream,
+                at_tick=(n_ticks * 11) // 20,
+                duration_ticks=window,
+                delay_ms=straggler_delay_ms,
+            ),
+            RegistryOutageFault(
+                stream=registry_stream,
+                at_tick=(n_ticks * 4) // 5,
+                duration_ticks=window,
+            ),
+        ]
+    )
+
+
+class FleetChaosOps:
+    """Chaos operations against a :class:`~repro.serve.fleet.MultiprocGateway`.
+
+    Parameters
+    ----------
+    gateway:
+        The running multiprocess gateway under test.
+    registry_root:
+        Filesystem root of the model registry (for manifest outages).
+    probe_rows:
+        ``{stream: covariate row}`` used by recovery probes.
+    clock, sleep:
+        Injected monotonic clock and sleeper (RPR002-clean).
+    consecutive_ok:
+        Probes must succeed under the latency budget this many times in a
+        row before a stream counts as recovered.
+    """
+
+    def __init__(
+        self,
+        gateway,
+        registry_root: os.PathLike,
+        probe_rows: Dict[str, np.ndarray],
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        consecutive_ok: int = 3,
+        probe_interval_s: float = 0.05,
+        probe_timeout_s: float = 10.0,
+    ) -> None:
+        if consecutive_ok < 1:
+            raise ValueError("consecutive_ok must be at least 1")
+        self.gateway = gateway
+        self.registry_root = Path(registry_root)
+        self.probe_rows = probe_rows
+        self.clock = clock
+        self.sleep = sleep
+        self.consecutive_ok = consecutive_ok
+        self.probe_interval_s = probe_interval_s
+        self.probe_timeout_s = probe_timeout_s
+
+    # ------------------------------------------------------------------ #
+    # worker faults
+    # ------------------------------------------------------------------ #
+    def kill_stream_worker(self, stream: str) -> int:
+        worker = self.gateway.worker_for(stream)
+        self.gateway.kill_worker(worker)
+        return worker
+
+    def restart_stream_worker(self, stream: str) -> Tuple[int, int]:
+        worker = self.gateway.worker_for(stream)
+        port = self.gateway.restart_worker(worker)
+        manager = getattr(self.gateway, "manager", None)
+        if manager is not None:
+            # Recovery probes start right after the clear; waiting for the
+            # respawned worker's port keeps the measured recovery time about
+            # the serving path, not about process spawn raciness.
+            manager.wait_port(worker)
+        return worker, port
+
+    def set_stream_delay(self, stream: str, delay_ms: float) -> int:
+        worker = self.gateway.worker_for(stream)
+        self.gateway.set_worker_delay(worker, delay_ms)
+        return worker
+
+    # ------------------------------------------------------------------ #
+    # registry faults
+    # ------------------------------------------------------------------ #
+    def _manifest(self, stream: str) -> Path:
+        return self.registry_root / stream / "manifest.json"
+
+    def hide_registry(self, stream: str) -> None:
+        manifest = self._manifest(stream)
+        if not manifest.exists():
+            raise FileNotFoundError(f"no manifest for stream {stream!r} at {manifest}")
+        os.replace(manifest, manifest.with_name(manifest.name + _OUTAGE_SUFFIX))
+
+    def restore_registry(self, stream: str) -> None:
+        manifest = self._manifest(stream)
+        hidden = manifest.with_name(manifest.name + _OUTAGE_SUFFIX)
+        if not hidden.exists():
+            raise FileNotFoundError(f"no hidden manifest for stream {stream!r}")
+        os.replace(hidden, manifest)
+
+    def reload_fails_typed(self, stream: str) -> bool:
+        """True iff a reload during the outage raises the fleet's typed error."""
+        from ..serve.fleet import FleetError
+
+        try:
+            self.gateway.reload(stream)
+        except FleetError:
+            return True
+        except Exception:
+            return False
+        return False
+
+    def reload_stream(self, stream: str) -> int:
+        return self.gateway.reload(stream)
+
+    # ------------------------------------------------------------------ #
+    # recovery measurement
+    # ------------------------------------------------------------------ #
+    def probe_recovery(
+        self,
+        stream: str,
+        latency_budget_s: float,
+        recovery_budget_s: float,
+    ) -> Tuple[Optional[float], int]:
+        """Injected-clock seconds until ``stream`` is back under SLO.
+
+        Issues probe queries until ``consecutive_ok`` succeed in a row with
+        latency under ``latency_budget_s``; returns ``(recovery_s, probes)``
+        where recovery is measured from the first probe.  ``(None, probes)``
+        when the stream never recovers within ``recovery_budget_s``.
+        """
+        row = self.probe_rows[stream]
+        started = self.clock()
+        streak = 0
+        probes = 0
+        while self.clock() - started <= recovery_budget_s:
+            probes += 1
+            probe_start = self.clock()
+            try:
+                self.gateway.predict_one(stream, row, timeout=self.probe_timeout_s)
+            except Exception:
+                streak = 0
+            else:
+                if self.clock() - probe_start <= latency_budget_s:
+                    streak += 1
+                else:
+                    streak = 0
+            if streak >= self.consecutive_ok:
+                return self.clock() - started, probes
+            self.sleep(self.probe_interval_s)
+        return None, probes

@@ -1,0 +1,267 @@
+"""O(1)-memory streaming quantile accumulators for million-row load runs.
+
+Recording every per-query latency of a million-row replay would cost a
+million floats and a post-hoc sort — exactly the kind of hidden O(n) the SLO
+harness exists to forbid.  Two bounded sketches cover the needs:
+
+* :class:`ReservoirSample` — algorithm-R uniform sample with a seeded
+  generator, so the *sampling decisions* of a replay are deterministic even
+  though the sampled latencies are wall-clock values.
+* :class:`QuantileDigest` — a merging t-digest-style sketch: values buffer
+  until capacity, then sorted-merge into centroids whose maximum weight
+  shrinks toward the distribution's ends (the arcsine scale function), so
+  p99/p999 stay sharp while the middle compresses.  Memory is bounded by
+  ``max_centroids`` regardless of stream length.
+
+:class:`LatencyAccumulator` bundles both plus count/sum under one lock-free
+(single-writer per instance) interface; the load runner shards one
+accumulator per client thread and merges at the end, so the hot path never
+contends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LatencyAccumulator", "QuantileDigest", "ReservoirSample"]
+
+
+class ReservoirSample:
+    """Uniform fixed-capacity sample of an unbounded stream (algorithm R).
+
+    The generator is seeded, so *which* stream positions are kept is a pure
+    function of ``(seed, stream length)`` — replay-stable sampling over
+    replay-variable values.
+    """
+
+    def __init__(self, capacity: int = 1024, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._rng = np.random.default_rng([seed, 23])
+        self._values: List[float] = []
+        self._seen = 0
+
+    def add(self, value: float) -> None:
+        self._seen += 1
+        if len(self._values) < self.capacity:
+            self._values.append(float(value))
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._values[slot] = float(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must lie in [0, 1]")
+        if not self._values:
+            return float("nan")
+        return float(np.quantile(np.array(self._values), q))
+
+
+class QuantileDigest:
+    """Merging t-digest-style sketch with the arcsine scale function.
+
+    Values accumulate in a buffer; at ``2 * max_centroids`` the buffer and
+    the existing centroids are sorted-merged, greedily packing adjacent
+    points into centroids as long as the pack stays within the scale
+    function's weight budget — tight at the tails (quantile resolution where
+    the SLOs live), loose in the middle.  Centroid count and buffer are both
+    bounded, so memory is O(``max_centroids``) for any stream length.
+    """
+
+    def __init__(self, max_centroids: int = 256) -> None:
+        if max_centroids < 8:
+            raise ValueError("max_centroids must be at least 8")
+        self.max_centroids = max_centroids
+        self._means: List[float] = []
+        self._weights: List[float] = []
+        self._buffer: List[float] = []
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+    def add(self, value: float) -> None:
+        value = float(value)
+        self._buffer.append(value)
+        self._count += 1
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if len(self._buffer) >= 2 * self.max_centroids:
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "QuantileDigest") -> None:
+        """Fold another digest in (client-thread shards -> one report)."""
+        for mean, weight in zip(other._means, other._weights):
+            self._merge_point(mean, weight)
+        self._buffer.extend(other._buffer)
+        self._count += other._count
+        if other._count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        self._compress()
+
+    def _merge_point(self, mean: float, weight: float) -> None:
+        self._means.append(float(mean))
+        self._weights.append(float(weight))
+
+    # ------------------------------------------------------------------ #
+    # compression
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _scale_limit(q: float, total: float, compression: float) -> float:
+        """Max centroid weight allowed around quantile ``q`` (arcsine scale).
+
+        ``4 * total * sqrt(q * (1 - q)) / compression`` — the k1-scale bound
+        of the original t-digest: centroids may hold a big slice of the
+        middle but only a sliver of each tail, and (unlike the quadratic
+        ``q * (1 - q)`` variant) the number of centroids it admits is
+        O(``compression``) independent of stream length, because
+        ``∫ dq / sqrt(q(1-q)) = π`` converges.
+        """
+        return max(1.0, 4.0 * total * math.sqrt(q * (1.0 - q)) / compression)
+
+    def _compress(self) -> None:
+        if not self._buffer and len(self._means) <= self.max_centroids:
+            return
+        points: List[Tuple[float, float]] = list(zip(self._means, self._weights))
+        points.extend((value, 1.0) for value in self._buffer)
+        self._buffer = []
+        if not points:
+            return
+        points.sort(key=lambda p: p[0])
+        total = sum(weight for _, weight in points)
+        means: List[float] = []
+        weights: List[float] = []
+        acc_mean, acc_weight = points[0]
+        consumed = 0.0
+        for mean, weight in points[1:]:
+            q = (consumed + acc_weight / 2.0) / total
+            limit = self._scale_limit(q, total, float(self.max_centroids))
+            if acc_weight + weight <= limit:
+                acc_mean = (acc_mean * acc_weight + mean * weight) / (
+                    acc_weight + weight
+                )
+                acc_weight += weight
+            else:
+                means.append(acc_mean)
+                weights.append(acc_weight)
+                consumed += acc_weight
+                acc_mean, acc_weight = mean, weight
+        means.append(acc_mean)
+        weights.append(acc_weight)
+        self._means = means
+        self._weights = weights
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def n_centroids(self) -> int:
+        return len(self._means)
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile estimate; exact at q=0 and q=1."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must lie in [0, 1]")
+        self._compress()
+        if self._count == 0:
+            return float("nan")
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
+        total = float(sum(self._weights))
+        target = q * total
+        cumulative = 0.0
+        previous_mean, previous_cum = self._min, 0.0
+        for mean, weight in zip(self._means, self._weights):
+            centre = cumulative + weight / 2.0
+            if target <= centre:
+                span = centre - previous_cum
+                if span <= 0:
+                    return mean
+                frac = (target - previous_cum) / span
+                return previous_mean + frac * (mean - previous_mean)
+            previous_mean, previous_cum = mean, centre
+            cumulative += weight
+        return self._max
+
+
+class LatencyAccumulator:
+    """Count/sum/digest/reservoir bundle for one client thread's latencies.
+
+    Single-writer by construction (each load-runner client owns one); the
+    runner merges the shards after the threads join, so the record path
+    takes no lock at all.
+    """
+
+    def __init__(
+        self, max_centroids: int = 256, reservoir_capacity: int = 1024, seed: int = 0
+    ) -> None:
+        self.digest = QuantileDigest(max_centroids=max_centroids)
+        self.reservoir = ReservoirSample(capacity=reservoir_capacity, seed=seed)
+        self.count = 0
+        self.total_s = 0.0
+
+    def record(self, latency_s: float) -> None:
+        self.count += 1
+        self.total_s += latency_s
+        self.digest.add(latency_s)
+        self.reservoir.add(latency_s)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else float("nan")
+
+    @staticmethod
+    def merged(shards: Sequence["LatencyAccumulator"]) -> "LatencyAccumulator":
+        """Fold per-thread shards into one accumulator for reporting."""
+        if not shards:
+            return LatencyAccumulator()
+        merged = LatencyAccumulator(
+            max_centroids=shards[0].digest.max_centroids,
+            reservoir_capacity=shards[0].reservoir.capacity,
+        )
+        for shard in shards:
+            merged.digest.merge(shard.digest)
+            merged.reservoir.extend(shard.reservoir.values())
+            merged.count += shard.count
+            merged.total_s += shard.total_s
+        return merged
+
+    def quantiles_ms(self, qs: Sequence[float] = (0.5, 0.99, 0.999)) -> Dict[str, float]:
+        """The SLO quantiles in milliseconds, keyed ``p50``/``p99``/``p999``."""
+        out: Dict[str, float] = {}
+        for q in qs:
+            label = f"p{q * 100:g}".replace(".", "")
+            out[label] = self.digest.quantile(q) * 1000.0
+        return out

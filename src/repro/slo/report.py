@@ -1,0 +1,137 @@
+"""Assemble ``BENCH_slo.json`` from a load run for the CI perf gate.
+
+The SLO report speaks the same dialect as ``BENCH_engine.json`` so one gate
+script (``benchmarks/check_regression.py``) enforces both files: metadata
+keys at the top level, one dict per gated section.  Where the engine file
+gates ``speedup`` ratios, SLO sections declare their metric explicitly via
+``"gate_metric"`` (always bigger-is-better — rates, fractions, boolean
+outcomes as 0/1); latency quantiles are reported but *not* gated, because
+absolute milliseconds on shared CI runners gate nothing but the weather.
+
+Machine-gating follows the engine convention exactly: when the machine
+cannot express the measured property (e.g. a multiprocess fleet on a 1-core
+runner), a section keeps its ``gate_metric`` declaration but *omits the
+metric value* and carries ``"gated": true`` plus a ``gate_reason`` — the
+gate skips it loudly instead of failing on an honest limitation.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..utils.files import atomic_write
+from .runner import LoadReport
+
+__all__ = ["build_slo_report", "write_slo_report"]
+
+
+def _gate_section(
+    metric: str,
+    value: Optional[float],
+    gated: bool,
+    gate_reason: str,
+    **extra,
+) -> Dict[str, object]:
+    section: Dict[str, object] = {"gate_metric": metric}
+    if gated:
+        section["gated"] = True
+        section["gate_reason"] = gate_reason
+    else:
+        section[metric] = value
+    section.update(extra)
+    return section
+
+
+def build_slo_report(
+    load: LoadReport,
+    mode: str,
+    total_rows: int,
+    verified_samples: int = 0,
+    mismatched_samples: int = 0,
+    gated: bool = False,
+    gate_reason: str = "",
+    tape_fingerprint: str = "",
+    note: str = "",
+) -> Dict[str, object]:
+    """One ``BENCH_slo.json`` payload from a finished :class:`LoadReport`.
+
+    ``gated=True`` marks every gateable section machine-gated (the suite ran
+    in a degraded mode — e.g. no second core for a real fleet — and its
+    numbers must not be compared against multi-core floors).
+    """
+    quantiles = load.latency.quantiles_ms()
+    faults = [report.as_dict() for report in load.fault_reports]
+    recovered = sum(1 for report in load.fault_reports if report.recovered)
+    recovered_fraction = recovered / len(faults) if faults else 1.0
+    sampled = verified_samples + mismatched_samples
+    payload: Dict[str, object] = {
+        "generated_by": "PYTHONPATH=src python examples/slo_harness.py",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "note": note
+        or (
+            "SLO harness trajectory: gate_metric sections are enforced by "
+            "benchmarks/check_regression.py against "
+            "benchmarks/baseline/BENCH_slo_baseline.json; latency quantiles "
+            "are informational (absolute ms gate nothing on shared runners)."
+        ),
+        "slo_latency": {
+            "mode": mode,
+            "queries": load.queries,
+            "total_rows": total_rows,
+            "mean_ms": load.latency.mean_s * 1000.0 if load.latency.count else None,
+            **{f"{label}_ms": value for label, value in quantiles.items()},
+            "tape_fingerprint": tape_fingerprint,
+        },
+        "slo_throughput": _gate_section(
+            "throughput_qps",
+            load.throughput_qps,
+            gated,
+            gate_reason,
+            ok=load.ok,
+            elapsed_s=load.elapsed_s,
+            workload=f"{mode} replay, {load.queries} queries over {load.ticks} ticks",
+        ),
+        "slo_availability": _gate_section(
+            "ok_fraction",
+            load.ok_fraction,
+            gated,
+            gate_reason,
+            shed_rate=load.shed_rate,
+            retry_hints=load.retry_hints,
+            taxonomy=dict(load.taxonomy),
+            workload="fraction of tape queries answered (shed + failed excluded)",
+        ),
+        "slo_recovery": _gate_section(
+            "recovered_fraction",
+            recovered_fraction if faults else None,
+            gated or not faults,
+            gate_reason if gated else ("no faults injected" if not faults else ""),
+            faults=faults,
+            workload="chaos faults whose stream returned to SLO within budget",
+        ),
+        # Bitwise parity is machine-independent — the gateway must answer
+        # exactly on one core or sixty-four — so this section never inherits
+        # the multi-core machine gate; it only gates when nothing was sampled.
+        "slo_verification": _gate_section(
+            "verified",
+            1.0 if sampled and mismatched_samples == 0 else 0.0,
+            sampled == 0,
+            "no samples verified" if sampled == 0 else "",
+            verified_samples=verified_samples,
+            mismatched_samples=mismatched_samples,
+            workload="bitwise check of sampled responses against direct model output",
+        ),
+    }
+    return payload
+
+
+def write_slo_report(payload: Dict[str, object], path) -> Path:
+    """Atomically write the report (no torn JSON under a mid-run kill)."""
+    path = Path(path)
+    with atomic_write(path) as tmp:
+        Path(tmp).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path

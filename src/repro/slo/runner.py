@@ -1,0 +1,449 @@
+"""Replay a :class:`~repro.slo.tape.TrafficTape` against a serving gateway.
+
+:class:`LoadRunner` is transport-agnostic: anything exposing
+``predict_one(stream, row, timeout=...)`` works — the in-process
+:class:`~repro.serve.gateway.ServingGateway` and the spawned
+:class:`~repro.serve.fleet.MultiprocGateway` both do.  The runner
+
+* drives the tape from one driver thread into a bounded queue and drains it
+  with ``n_clients`` client threads (the queue bound caps look-ahead, so row
+  chunks are generated just-in-time — a million-row tape never has more
+  than ``queue depth`` chunks resident);
+* measures per-query latency on an **injected monotonic clock** (RPR002: no
+  wall-clock reads; replace ``clock``/``sleep`` to run on virtual time);
+* classifies every failure into a typed **shed/error taxonomy** — shed
+  errors are read uniformly through their ``retry_after_s`` field, never by
+  special-casing types;
+* accumulates latency into per-thread O(1)-memory sketches
+  (:class:`~repro.slo.quantiles.LatencyAccumulator`), merged after join;
+* keeps a deterministic **response sample**: which ``(tick, row)`` positions
+  are sampled is a pure function of ``(sample_seed, tick index)``, so two
+  replays of the same tape sample the same queries and their responses can
+  be compared bitwise (and verified against direct model references);
+* executes an optional :class:`~repro.slo.chaos.FaultSchedule` at its tick
+  boundaries, measuring recovery-time-to-SLO per fault through the provided
+  chaos ops.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..serve.fleet import (
+    QuotaExceeded,
+    RateLimited,
+    RemoteError,
+    WorkerUnavailable,
+)
+from ..serve.gateway import Overloaded
+from .chaos import FaultReport, FaultSchedule
+from .quantiles import LatencyAccumulator
+from .tape import TapeTick, TrafficTape
+
+__all__ = ["LoadReport", "LoadRunner", "SloTargets", "TAXONOMY"]
+
+#: Every bucket a query can land in.  ``shed`` buckets are admission-control
+#: rejections (the system said no, on purpose); the rest are failures.
+TAXONOMY: Tuple[str, ...] = (
+    "ok",
+    "overloaded",
+    "rate_limited",
+    "quota",
+    "worker_unavailable",
+    "remote_error",
+    "timeout",
+    "error",
+)
+
+SHED_BUCKETS: Tuple[str, ...] = ("overloaded", "rate_limited", "quota")
+
+
+@dataclass(frozen=True)
+class SloTargets:
+    """The service-level objectives a run is judged against."""
+
+    p99_ms: float = 250.0
+    p999_ms: float = 1000.0
+    max_shed_rate: float = 0.5
+    #: Per-fault budget: recovery probes give up after this much injected-
+    #: clock time without the stream returning to SLO.
+    recovery_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.p99_ms <= 0 or self.p999_ms <= 0:
+            raise ValueError("latency targets must be positive")
+        if not 0.0 <= self.max_shed_rate <= 1.0:
+            raise ValueError("max_shed_rate must lie in [0, 1]")
+        if self.recovery_s <= 0:
+            raise ValueError("recovery_s must be positive")
+
+
+@dataclass
+class LoadReport:
+    """Everything one replay measured."""
+
+    ticks: int = 0
+    queries: int = 0
+    taxonomy: Dict[str, int] = field(default_factory=dict)
+    per_tenant: Dict[str, int] = field(default_factory=dict)
+    #: Shed errors whose ``retry_after_s`` carried a real hint (uniform field
+    #: read — RateLimited populates it, Overloaded honestly reports None).
+    retry_hints: int = 0
+    latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    elapsed_s: float = 0.0
+    #: ``(tick index, row index) -> (mu0, mu1, ite, model_version)`` for the
+    #: deterministic response sample (successful sampled queries only).
+    samples: Dict[Tuple[int, int], Tuple[float, float, float, Optional[int]]] = field(
+        default_factory=dict
+    )
+    fault_reports: List[FaultReport] = field(default_factory=list)
+    targets: SloTargets = field(default_factory=SloTargets)
+
+    @property
+    def ok(self) -> int:
+        return self.taxonomy.get("ok", 0)
+
+    @property
+    def shed(self) -> int:
+        return sum(self.taxonomy.get(bucket, 0) for bucket in SHED_BUCKETS)
+
+    @property
+    def failed(self) -> int:
+        return self.queries - self.ok - self.shed
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.queries if self.queries else 0.0
+
+    @property
+    def ok_fraction(self) -> float:
+        return self.ok / self.queries if self.queries else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def quantile_ms(self, q: float) -> float:
+        return self.latency.digest.quantile(q) * 1000.0
+
+    @property
+    def all_faults_recovered(self) -> bool:
+        return all(report.recovered for report in self.fault_reports)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat scalar view (reporting and logs)."""
+        quantiles = self.latency.quantiles_ms()
+        return {
+            "ticks": self.ticks,
+            "queries": self.queries,
+            "ok": self.ok,
+            "shed": self.shed,
+            "failed": self.failed,
+            "shed_rate": self.shed_rate,
+            "ok_fraction": self.ok_fraction,
+            "throughput_qps": self.throughput_qps,
+            "elapsed_s": self.elapsed_s,
+            "mean_ms": self.latency.mean_s * 1000.0 if self.latency.count else float("nan"),
+            **{f"{k}_ms": v for k, v in quantiles.items()},
+            "faults": len(self.fault_reports),
+            "faults_recovered": sum(1 for r in self.fault_reports if r.recovered),
+        }
+
+
+RowSource = Callable[[int, int], np.ndarray]
+
+
+class LoadRunner:
+    """Replay one tape against one gateway under an optional fault schedule.
+
+    Parameters
+    ----------
+    gateway:
+        Anything with ``predict_one(stream, row, timeout=...) -> Prediction``.
+    tape:
+        The :class:`TrafficTape` to replay.
+    row_sources:
+        ``{tenant: source}`` where a source is either a
+        :class:`~repro.data.streams.ChunkedPopulation`-like object (has
+        ``rows_for(key, rows)``) or a bare ``(key, rows) -> ndarray``
+        callable.  Must cover every tape tenant.
+    n_clients:
+        Client threads draining the tick queue.
+    clock, sleep:
+        Injected monotonic time source and sleeper (RPR002) — swap both to
+        replay on virtual time.
+    pace, time_scale:
+        When ``pace`` is true the driver honours the tape's inter-arrival
+        schedule (compressed by ``time_scale``); default is max-throughput
+        replay.
+    sample_per_tick, sample_seed:
+        Deterministic response sampling: up to ``sample_per_tick`` row
+        positions per tick, chosen purely from ``(sample_seed, tick index)``.
+    faults, chaos_ops:
+        Optional :class:`FaultSchedule` executed at tick boundaries through
+        the chaos ops adapter (required when faults are given).
+    query_timeout_s:
+        Per-query result timeout.
+    queue_depth:
+        Tick look-ahead bound (memory ceiling for in-flight chunks).
+    """
+
+    def __init__(
+        self,
+        gateway,
+        tape: TrafficTape,
+        row_sources: Dict[str, object],
+        n_clients: int = 4,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        pace: bool = False,
+        time_scale: float = 1.0,
+        sample_per_tick: int = 0,
+        sample_seed: int = 0,
+        faults: Optional[FaultSchedule] = None,
+        chaos_ops=None,
+        query_timeout_s: float = 120.0,
+        queue_depth: int = 64,
+        targets: Optional[SloTargets] = None,
+        reservoir_capacity: int = 1024,
+        max_centroids: int = 256,
+    ) -> None:
+        if n_clients < 1:
+            raise ValueError("n_clients must be at least 1")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if sample_per_tick < 0:
+            raise ValueError("sample_per_tick must be non-negative")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        missing = [t for t in tape.tenants if t not in row_sources]
+        if missing:
+            raise ValueError(f"row_sources missing tape tenants: {missing}")
+        if faults is not None and len(faults) and chaos_ops is None:
+            raise ValueError("a fault schedule requires chaos_ops")
+        self.gateway = gateway
+        self.tape = tape
+        self.row_sources: Dict[str, RowSource] = {
+            tenant: self._as_source(source) for tenant, source in row_sources.items()
+        }
+        self.n_clients = n_clients
+        self.clock = clock
+        self.sleep = sleep
+        self.pace = pace
+        self.time_scale = time_scale
+        self.sample_per_tick = sample_per_tick
+        self.sample_seed = sample_seed
+        self.faults = faults if faults is not None else FaultSchedule([])
+        self.chaos_ops = chaos_ops
+        self.query_timeout_s = query_timeout_s
+        self.queue_depth = queue_depth
+        self.targets = targets if targets is not None else SloTargets()
+        self.reservoir_capacity = reservoir_capacity
+        self.max_centroids = max_centroids
+
+    @staticmethod
+    def _as_source(source) -> RowSource:
+        rows_for = getattr(source, "rows_for", None)
+        if callable(rows_for):
+            return rows_for
+        if callable(source):
+            return source
+        raise TypeError(
+            "a row source must expose rows_for(key, rows) or be callable"
+        )
+
+    # ------------------------------------------------------------------ #
+    # taxonomy
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def classify(error: BaseException) -> str:
+        """Taxonomy bucket of one failure (shed types first, then faults)."""
+        if isinstance(error, Overloaded):
+            return "overloaded"
+        if isinstance(error, RateLimited):
+            return "rate_limited"
+        if isinstance(error, QuotaExceeded):
+            return "quota"
+        if isinstance(error, WorkerUnavailable):
+            return "worker_unavailable"
+        if isinstance(error, RemoteError):
+            return "remote_error"
+        if isinstance(error, TimeoutError):
+            return "timeout"
+        return "error"
+
+    def _sampled_rows(self, tick: TapeTick) -> frozenset:
+        if self.sample_per_tick <= 0:
+            return frozenset()
+        rng = np.random.default_rng([self.sample_seed, 29, tick.index])
+        picks = rng.integers(0, tick.rows, size=min(self.sample_per_tick, tick.rows))
+        return frozenset(int(i) for i in picks)
+
+    # ------------------------------------------------------------------ #
+    # replay
+    # ------------------------------------------------------------------ #
+    def run(self) -> LoadReport:
+        """Replay the tape; returns the merged :class:`LoadReport`."""
+        ticks_q: "queue.Queue[Optional[TapeTick]]" = queue.Queue(maxsize=self.queue_depth)
+        shards = [
+            LatencyAccumulator(
+                max_centroids=self.max_centroids,
+                reservoir_capacity=self.reservoir_capacity,
+                seed=client,
+            )
+            for client in range(self.n_clients)
+        ]
+        taxonomies: List[Dict[str, int]] = [
+            {bucket: 0 for bucket in TAXONOMY} for _ in range(self.n_clients)
+        ]
+        tenant_counts: List[Dict[str, int]] = [dict() for _ in range(self.n_clients)]
+        samples: List[Dict[Tuple[int, int], Tuple[float, float, float, Optional[int]]]] = [
+            dict() for _ in range(self.n_clients)
+        ]
+        retry_hints = [0] * self.n_clients
+        queries = [0] * self.n_clients
+
+        def client_loop(client: int) -> None:
+            accumulator = shards[client]
+            taxonomy = taxonomies[client]
+            counts = tenant_counts[client]
+            sampled = samples[client]
+            while True:
+                tick = ticks_q.get()
+                if tick is None:
+                    break
+                rows = self.row_sources[tick.tenant](tick.chunk_key, tick.rows)
+                wanted = self._sampled_rows(tick)
+                counts[tick.tenant] = counts.get(tick.tenant, 0) + tick.rows
+                for i in range(tick.rows):
+                    queries[client] += 1
+                    start = self.clock()
+                    try:
+                        prediction = self.gateway.predict_one(
+                            tick.tenant, rows[i], timeout=self.query_timeout_s
+                        )
+                    except Exception as error:
+                        bucket = self.classify(error)
+                        taxonomy[bucket] += 1
+                        if bucket in SHED_BUCKETS:
+                            # Uniform field read across every shed type; the
+                            # value may honestly be None (queue pressure has
+                            # no ETA) but the access never special-cases.
+                            if error.retry_after_s is not None:
+                                retry_hints[client] += 1
+                        continue
+                    accumulator.record(self.clock() - start)
+                    taxonomy["ok"] += 1
+                    if i in wanted:
+                        sampled[(tick.index, i)] = (
+                            prediction.mu0,
+                            prediction.mu1,
+                            prediction.ite,
+                            prediction.model_version,
+                        )
+
+        threads = [
+            threading.Thread(target=client_loop, args=(c,), name=f"slo-client-{c}")
+            for c in range(self.n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+
+        report = LoadReport(targets=self.targets)
+        events = self.faults.events()
+        event_cursor = 0
+        started = self.clock()
+        n_ticks = 0
+        try:
+            for tick in self.tape.ticks():
+                # Fire every fault event due at or before this tick, in
+                # order, on the driver thread — clients keep draining the
+                # queue, so load continues through the fault window.
+                while (
+                    event_cursor < len(events)
+                    and events[event_cursor][0] <= tick.index
+                ):
+                    _, action, fault = events[event_cursor]
+                    event_cursor += 1
+                    self._run_fault_event(action, fault, tick.index, report)
+                if self.pace:
+                    delay = tick.at_s / self.time_scale - (self.clock() - started)
+                    if delay > 0:
+                        self.sleep(delay)
+                ticks_q.put(tick)
+                n_ticks += 1
+            # Events scheduled past the last tick still fire (a schedule may
+            # clear a fault at n_ticks).
+            while event_cursor < len(events):
+                _, action, fault = events[event_cursor]
+                event_cursor += 1
+                self._run_fault_event(action, fault, n_ticks, report)
+        finally:
+            for _ in threads:
+                ticks_q.put(None)
+            for thread in threads:
+                thread.join()
+        report.elapsed_s = self.clock() - started
+
+        report.ticks = n_ticks
+        report.queries = sum(queries)
+        report.retry_hints = sum(retry_hints)
+        merged_taxonomy = {bucket: 0 for bucket in TAXONOMY}
+        for taxonomy in taxonomies:
+            for bucket, count in taxonomy.items():
+                merged_taxonomy[bucket] += count
+        report.taxonomy = merged_taxonomy
+        merged_tenants: Dict[str, int] = {}
+        for counts in tenant_counts:
+            for tenant, count in counts.items():
+                merged_tenants[tenant] = merged_tenants.get(tenant, 0) + count
+        report.per_tenant = merged_tenants
+        report.latency = LatencyAccumulator.merged(shards)
+        for sampled in samples:
+            report.samples.update(sampled)
+        return report
+
+    def _run_fault_event(
+        self, action: str, fault, at_tick: int, report: LoadReport
+    ) -> None:
+        if action == "inject":
+            details = fault.inject(self.chaos_ops)
+            report.fault_reports.append(
+                FaultReport(
+                    kind=fault.kind,
+                    stream=fault.stream,
+                    injected_tick=at_tick,
+                    injected_at_s=self.clock(),
+                    details=details or {},
+                )
+            )
+            return
+        fault_report = next(
+            (
+                r
+                for r in reversed(report.fault_reports)
+                if r.kind == fault.kind and r.stream == fault.stream
+            ),
+            None,
+        )
+        details = fault.clear(self.chaos_ops)
+        if fault_report is None:  # pragma: no cover - schedule always injects first
+            return
+        fault_report.cleared_tick = at_tick
+        fault_report.cleared_at_s = self.clock()
+        if fault_report.details is not None and details:
+            fault_report.details.update(details)
+        if self.chaos_ops is not None:
+            recovery_s, probes = self.chaos_ops.probe_recovery(
+                fault.stream,
+                latency_budget_s=self.targets.p99_ms / 1000.0,
+                recovery_budget_s=self.targets.recovery_s,
+            )
+            fault_report.recovery_s = recovery_s
+            fault_report.probes = probes

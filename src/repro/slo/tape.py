@@ -1,0 +1,230 @@
+"""Seeded, replayable multi-tenant traffic schedules with production shape.
+
+A :class:`TrafficTape` generalises the :mod:`repro.data.drift` tape: instead
+of fixed-size uniform ticks it draws, per tick,
+
+* a **heavy-tailed inter-arrival gap** (normalised Pareto around the
+  configured mean — most ticks arrive back-to-back, a few after long idles);
+* a **heavy-tailed row count** (the same shape: most queries are small, the
+  tail is what breaks capacity planning);
+* a **tenant** under Zipf hot-key skew (rank 0 of the tenant list is the
+  hot key);
+* **burst windows** (every ``burst_every`` ticks, ``burst_length`` ticks run
+  ``burst_multiplier`` x denser and heavier) and a **diurnal ramp**
+  (sinusoidal volume modulation with period ``diurnal_period``).
+
+Every tick is a pure function of ``(seed, tick index)`` plus an additive
+prefix sum of gaps, so iterating the tape twice — in the same process or
+years apart — replays the identical schedule; the tape holds O(1) state and
+never materialises its ticks unless a test asks for :meth:`schedule`.
+
+Row *content* is deliberately not the tape's business: a tick carries a
+``chunk_key`` that a deterministic chunk source (e.g.
+:class:`~repro.data.streams.ChunkedPopulation`) turns into the tick's rows,
+keeping million-row replays O(chunk) in memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TapeConfig", "TapeTick", "TrafficTape"]
+
+
+@dataclass(frozen=True)
+class TapeConfig:
+    """Shape of one traffic tape.
+
+    Attributes
+    ----------
+    n_ticks:
+        Number of ticks on the tape.
+    mean_rows_per_tick:
+        Mean of the heavy-tailed per-tick row count.
+    mean_interarrival_s:
+        Mean of the heavy-tailed gap between consecutive ticks (seconds on
+        the tape's own timeline; the runner may replay faster than real time).
+    tail_shape:
+        Pareto shape of both heavy tails.  Values just above 1 are very
+        heavy; large values degenerate toward constant draws.
+    hot_key_skew:
+        Zipf exponent over tenant ranks; 0 is uniform traffic, 1–2 gives a
+        pronounced hot tenant.
+    burst_every, burst_length, burst_multiplier:
+        Every ``burst_every`` ticks a window of ``burst_length`` ticks runs
+        ``burst_multiplier`` x heavier and denser.  ``burst_every=0``
+        disables bursts.
+    diurnal_period, diurnal_amplitude:
+        Sinusoidal volume modulation with the given period in ticks and
+        relative amplitude; ``diurnal_period=0`` disables the ramp.
+    max_rows_per_tick:
+        Hard clip on the heavy tail so one tick cannot exceed a worker's
+        payload budget.
+    """
+
+    n_ticks: int = 256
+    mean_rows_per_tick: int = 64
+    mean_interarrival_s: float = 0.01
+    tail_shape: float = 1.5
+    hot_key_skew: float = 1.1
+    burst_every: int = 64
+    burst_length: int = 8
+    burst_multiplier: float = 4.0
+    diurnal_period: int = 128
+    diurnal_amplitude: float = 0.5
+    max_rows_per_tick: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.n_ticks < 1:
+            raise ValueError("n_ticks must be at least 1")
+        if self.mean_rows_per_tick < 1:
+            raise ValueError("mean_rows_per_tick must be at least 1")
+        if self.mean_interarrival_s < 0:
+            raise ValueError("mean_interarrival_s must be non-negative")
+        if self.tail_shape <= 1.0:
+            raise ValueError("tail_shape must exceed 1 (finite-mean tail)")
+        if self.hot_key_skew < 0:
+            raise ValueError("hot_key_skew must be non-negative")
+        if self.burst_every < 0 or self.burst_length < 0:
+            raise ValueError("burst_every and burst_length must be non-negative")
+        if self.burst_multiplier < 1.0:
+            raise ValueError("burst_multiplier must be at least 1")
+        if self.diurnal_period < 0:
+            raise ValueError("diurnal_period must be non-negative")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must lie in [0, 1)")
+        if self.max_rows_per_tick < 1:
+            raise ValueError("max_rows_per_tick must be at least 1")
+
+
+@dataclass(frozen=True)
+class TapeTick:
+    """One scheduled arrival: ``rows`` queries for ``tenant`` at ``at_s``."""
+
+    index: int
+    #: Scheduled offset from replay start, on the tape's own timeline.
+    at_s: float
+    tenant: str
+    rows: int
+    #: Key the tenant's deterministic chunk source resolves to row content.
+    chunk_key: int
+    #: Whether the tick sits in a burst window (diagnostics only).
+    burst: bool
+
+
+class TrafficTape:
+    """Deterministic production-shaped traffic schedule over named tenants.
+
+    Parameters
+    ----------
+    tenants:
+        Tenant (stream) names; position is the hot-key rank — index 0 is the
+        hottest under Zipf skew.
+    config:
+        Tape shape (:class:`TapeConfig`).
+    seed:
+        Tape seed; with the tenants and config it fully determines every
+        tick.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[str],
+        config: Optional[TapeConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if not tenants:
+            raise ValueError("a tape needs at least one tenant")
+        if len(set(tenants)) != len(tenants):
+            raise ValueError("tenant names must be unique")
+        self.tenants: Tuple[str, ...] = tuple(tenants)
+        self.config = config if config is not None else TapeConfig()
+        self.seed = seed
+        skew = self.config.hot_key_skew
+        weights = np.array(
+            [1.0 / float(rank + 1) ** skew for rank in range(len(self.tenants))]
+        )
+        self._tenant_probs = weights / weights.sum()
+
+    def __len__(self) -> int:
+        return self.config.n_ticks
+
+    # ------------------------------------------------------------------ #
+    # schedule generation
+    # ------------------------------------------------------------------ #
+    def _heavy_factor(self, rng: np.random.Generator) -> float:
+        """Unit-mean heavy-tailed factor (classical Pareto, clipped)."""
+        shape = self.config.tail_shape
+        factor = (1.0 + rng.pareto(shape)) * (shape - 1.0) / shape
+        return min(factor, 50.0)
+
+    def _burst(self, index: int) -> bool:
+        config = self.config
+        if config.burst_every <= 0 or config.burst_length <= 0:
+            return False
+        return index % config.burst_every < config.burst_length
+
+    def _ramp(self, index: int) -> float:
+        config = self.config
+        if config.diurnal_period <= 0:
+            return 1.0
+        phase = 2.0 * math.pi * index / config.diurnal_period
+        return 1.0 + config.diurnal_amplitude * math.sin(phase)
+
+    def ticks(self) -> Iterator[TapeTick]:
+        """Yield the schedule tick by tick; O(1) memory, bitwise replayable."""
+        config = self.config
+        at_s = 0.0
+        for index in range(config.n_ticks):
+            rng = np.random.default_rng([self.seed, 11, index])
+            burst = self._burst(index)
+            intensity = self._ramp(index) * (config.burst_multiplier if burst else 1.0)
+
+            gap = config.mean_interarrival_s * self._heavy_factor(rng) / intensity
+            at_s += gap
+
+            rows = config.mean_rows_per_tick * self._heavy_factor(rng) * intensity
+            rows = int(min(max(round(rows), 1), config.max_rows_per_tick))
+
+            tenant_index = int(rng.choice(len(self.tenants), p=self._tenant_probs))
+            yield TapeTick(
+                index=index,
+                at_s=at_s,
+                tenant=self.tenants[tenant_index],
+                rows=rows,
+                chunk_key=index,
+                burst=burst,
+            )
+
+    def schedule(self) -> List[TapeTick]:
+        """The full materialised schedule (tests and small tapes only)."""
+        return list(self.ticks())
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+    def total_rows(self) -> int:
+        """Total queries on the tape (one pass over the schedule)."""
+        return sum(tick.rows for tick in self.ticks())
+
+    def tenant_rows(self) -> Dict[str, int]:
+        """Per-tenant row totals (hot-key skew made visible)."""
+        totals = {tenant: 0 for tenant in self.tenants}
+        for tick in self.ticks():
+            totals[tick.tenant] += tick.rows
+        return totals
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the full schedule — equal iff the replay is identical."""
+        digest = hashlib.sha256()
+        for tick in self.ticks():
+            digest.update(
+                f"{tick.index}|{tick.at_s!r}|{tick.tenant}|{tick.rows}|"
+                f"{tick.chunk_key}|{tick.burst}\n".encode()
+            )
+        return digest.hexdigest()

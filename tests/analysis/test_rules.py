@@ -190,6 +190,48 @@ class TestWallClock:
             ["RPR002"],
         )
 
+    def test_time_time_in_slo_flagged(self):
+        # The SLO harness records latency on the *injected* monotonic clock;
+        # wall clock reads would make replays irreproducible.
+        findings = check(
+            "src/repro/slo/fixture.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            ["RPR002"],
+        )
+        assert len(findings) == 1
+
+    def test_monotonic_in_slo_clean(self):
+        assert not check(
+            "src/repro/slo/fixture.py",
+            """
+            import time
+
+            def tick():
+                return time.monotonic()
+            """,
+            ["RPR002"],
+        )
+
+    def test_perf_counter_in_slo_flagged(self):
+        # slo modules are not stats/bench stems: timing belongs to the
+        # injected clock protocol, never an ad-hoc perf_counter.
+        findings = check(
+            "src/repro/slo/fixture.py",
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            ["RPR002"],
+        )
+        assert len(findings) == 1
+
 
 # --------------------------------------------------------------------------- #
 # RPR003 — lock-discipline

@@ -1,0 +1,99 @@
+"""Tests for the end-to-end SLO suite driver."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.slo import _sized_tape, run_slo_suite
+
+GATEABLE_SECTIONS = (
+    "slo_throughput",
+    "slo_availability",
+    "slo_recovery",
+    "slo_verification",
+)
+
+FAST = dict(
+    total_rows=200,
+    mean_rows_per_tick=16,
+    n_clients=2,
+    epochs=2,
+    sample_per_tick=1,
+)
+
+
+class TestSizedTape:
+    def test_clears_the_floor_and_is_deterministic(self):
+        first = _sized_tape(["a", "b"], 5_000, 64, seed=9)
+        second = _sized_tape(["a", "b"], 5_000, 64, seed=9)
+        assert first.total_rows() >= 5_000
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_bigger_floor_means_more_ticks(self):
+        small = _sized_tape(["a"], 1_000, 32, seed=0)
+        large = _sized_tape(["a"], 20_000, 32, seed=0)
+        assert len(large) > len(small)
+        assert large.total_rows() >= 20_000
+
+
+class TestValidation:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            run_slo_suite(mode="carrier-pigeon", **FAST)
+
+    def test_rejects_degenerate_fleet_shapes(self):
+        with pytest.raises(ValueError, match="at least 2 streams"):
+            run_slo_suite(mode="inproc", n_streams=1, **FAST)
+
+    def test_rejects_empty_tape(self):
+        with pytest.raises(ValueError, match="total_rows"):
+            run_slo_suite(total_rows=0, mode="inproc")
+
+
+class TestInprocSuite:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("slo") / "BENCH_slo.json"
+        return run_slo_suite(mode="inproc", seed=3, out_path=out, **FAST)
+
+    def test_replays_the_whole_tape_without_loss(self, result):
+        assert result.mode == "inproc"
+        assert result.tape_rows >= FAST["total_rows"]
+        assert result.load.queries == result.tape_rows
+        assert result.load.ok == result.tape_rows  # no faults in-process
+
+    def test_sampled_responses_are_bitwise_exact(self, result):
+        assert result.verified_samples > 0
+        assert result.mismatched_samples == 0
+        assert result.sample_parity
+
+    def test_report_carries_every_gateable_section(self, result):
+        for section in GATEABLE_SECTIONS:
+            assert section in result.report, section
+            assert "gate_metric" in result.report[section], section
+        # Latency is informational only — absolute ms never gates.
+        assert "gate_metric" not in result.report["slo_latency"]
+        assert result.report["slo_verification"]["verified"] == 1.0
+        assert result.report["slo_availability"]["ok_fraction"] == 1.0
+
+    def test_report_is_written_as_valid_json(self, result):
+        payload = json.loads(result.report_path.read_text())
+        assert set(payload) >= {"generated_by", "python", "machine", "note"}
+        assert payload["slo_latency"]["tape_fingerprint"] == result.tape_fingerprint
+
+
+class TestHonestGating:
+    def test_multiproc_falls_back_to_inproc_on_one_core(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        result = run_slo_suite(mode="multiproc", seed=5, **FAST)
+        assert result.mode == "inproc"
+        assert result.gated
+        assert "cores" in result.gate_reason
+        # Machine-dependent sections gate; bitwise parity never does.
+        assert result.report["slo_throughput"].get("gated") is True
+        assert result.report["slo_throughput"]["gate_reason"] == result.gate_reason
+        assert "gated" not in result.report["slo_verification"]
+        assert result.report["slo_verification"]["verified"] == 1.0

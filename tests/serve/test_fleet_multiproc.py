@@ -244,6 +244,51 @@ class TestWorkerProtocol:
             assert header["op"] == "reloaded" and header["model_version"] == 0
 
 
+class TestWorkerChaos:
+    """The SLO harness's straggler fault rides on the worker's chaos op."""
+
+    @pytest.fixture
+    def slow_worker(self, setup):
+        delays = []
+        server = WorkerServer(
+            setup.root,
+            (setup.names[0],),
+            max_batch=len(setup.bank),
+            delay_hook=delays.append,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server, delays
+        server.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_chaos_delay_is_applied_through_the_injected_hook(self, setup, slow_worker):
+        server, delays = slow_worker
+        rows = setup.bank[:1]
+        with connect(server) as sock:
+            header, _ = roundtrip(sock, {"op": "chaos", "id": 1, "delay_ms": 40.0})
+            assert header["op"] == "chaos_set" and header["delay_ms"] == 40.0
+            header, payload = roundtrip(
+                sock, predict_header(setup, 2, rows), rows.tobytes()
+            )
+            assert header["op"] == "result"
+            assert delays == [pytest.approx(0.04)]
+            # Bitwise identity survives the straggler window: only latency
+            # degrades, never the answer.
+            mu0 = np.frombuffer(payload, dtype=np.float64)[0]
+            assert mu0 == setup.reference.y0_hat[0]
+            # Clearing the delay stops the hook firing.
+            roundtrip(sock, {"op": "chaos", "id": 3, "delay_ms": 0.0})
+            roundtrip(sock, predict_header(setup, 4, rows), rows.tobytes())
+            assert len(delays) == 1
+
+    def test_negative_delay_answers_typed_error(self, setup, slow_worker):
+        server, _ = slow_worker
+        with connect(server) as sock:
+            header, _ = roundtrip(sock, {"op": "chaos", "id": 1, "delay_ms": -5.0})
+            assert header["op"] == "error" and header["error"] == "ValueError"
+
+
 # --------------------------------------------------------------------------- #
 # multiprocess gateway (spawned workers)
 # --------------------------------------------------------------------------- #
@@ -310,6 +355,19 @@ class TestMultiprocGateway:
         assert info.value.retry_after_s > 0.0
         # The cached first row is exempt from the bucket.
         assert setup.matches(gateway.predict_one(name, setup.bank[9], timeout=60.0), 9)
+
+    def test_set_worker_delay_round_trips_and_validates(self, setup, gateway):
+        with pytest.raises(ValueError, match="delay_ms"):
+            gateway.set_worker_delay(0, -1.0)
+        ack = gateway.set_worker_delay(0, 5.0)
+        assert ack["delay_ms"] == 5.0
+        try:
+            name = setup.names[0]
+            index = 11
+            response = gateway.predict_one(name, setup.bank[index], timeout=60.0)
+            assert setup.matches(response, index)  # slow, never wrong
+        finally:
+            assert gateway.set_worker_delay(0, 0.0)["delay_ms"] == 0.0
 
     def test_unrouted_stream_fails_with_remote_keyerror(self, setup, gateway):
         # Digest routing maps any name to *some* worker; the worker itself

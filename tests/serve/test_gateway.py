@@ -232,6 +232,7 @@ class TestLoadShedding:
             assert excinfo.value.stream == "s"
             assert excinfo.value.shard_index == 0
             assert excinfo.value.capacity == 2
+            assert excinfo.value.retry_after_s is None
             stub.release.set()
             for pending in pendings:
                 pending.result(timeout=30.0)
@@ -240,6 +241,15 @@ class TestLoadShedding:
             stats = gateway.stats()
             assert stats.shed == 1
             assert stats.answered == 3
+
+    def test_retry_after_hint_defaults_to_unknown(self):
+        """Every shed type exposes ``retry_after_s`` so load harnesses read
+        one field instead of special-casing error types; queue pressure has
+        no honest ETA, so the gateway sheds with ``None``."""
+        error = Overloaded("s", 0, 4, 4)
+        assert error.retry_after_s is None
+        hinted = Overloaded("s", 0, 4, 4, retry_after_s=0.25)
+        assert hinted.retry_after_s == 0.25
 
     def test_shed_queries_never_reach_any_monitor_window(self):
         """The PR-4 observer contract extends through the gateway: a query

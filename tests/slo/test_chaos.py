@@ -1,0 +1,211 @@
+"""Tests for fault schedules and the fleet chaos ops adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.fleet import RemoteError
+from repro.slo import (
+    FAULT_KINDS,
+    FaultSchedule,
+    FleetChaosOps,
+    RegistryOutageFault,
+    StragglerFault,
+    WorkerKillFault,
+    default_fault_schedule,
+)
+
+
+class VirtualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSchedule:
+    def test_faults_sort_by_tick(self):
+        schedule = FaultSchedule(
+            [
+                StragglerFault(stream="a", at_tick=50, delay_ms=10.0),
+                WorkerKillFault(stream="a", at_tick=10),
+            ]
+        )
+        assert [fault.at_tick for fault in schedule] == [10, 50]
+
+    def test_events_interleave_inject_before_clear(self):
+        schedule = FaultSchedule(
+            [
+                WorkerKillFault(stream="a", at_tick=10, duration_ticks=30),
+                StragglerFault(stream="a", at_tick=20, delay_ms=5.0, duration_ticks=5),
+            ]
+        )
+        assert [(tick, action) for tick, action, _ in schedule.events()] == [
+            (10, "inject"),
+            (20, "inject"),
+            (25, "clear"),
+            (40, "clear"),
+        ]
+
+    def test_default_schedule_covers_every_fault_kind(self):
+        schedule = default_fault_schedule(200, "victim")
+        assert sorted(fault.kind for fault in schedule) == sorted(FAULT_KINDS)
+        assert all(fault.clear_tick < 200 for fault in schedule)
+        assert len({fault.at_tick for fault in schedule}) == 3
+
+    def test_default_schedule_needs_enough_tape(self):
+        with pytest.raises(ValueError, match="20 ticks"):
+            default_fault_schedule(10, "victim")
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError, match="at_tick"):
+            WorkerKillFault(stream="a", at_tick=-1)
+        with pytest.raises(ValueError, match="duration_ticks"):
+            WorkerKillFault(stream="a", at_tick=0, duration_ticks=0)
+        with pytest.raises(ValueError, match="delay_ms"):
+            StragglerFault(stream="a", at_tick=0, delay_ms=0.0)
+
+
+class FakeGateway:
+    """Worker bookkeeping + scripted reload/predict outcomes for ops tests."""
+
+    def __init__(self) -> None:
+        self.killed = []
+        self.restarted = []
+        self.delays = {}
+        self.reload_error: BaseException | None = None
+        self.predict_latency_s = 0.0
+        self.predict_error: BaseException | None = None
+
+    def worker_for(self, stream):
+        return 1
+
+    def kill_worker(self, index):
+        self.killed.append(index)
+
+    def restart_worker(self, index):
+        self.restarted.append(index)
+        return 5000 + index
+
+    def set_worker_delay(self, index, delay_ms):
+        self.delays[index] = delay_ms
+
+    def reload(self, stream):
+        if self.reload_error is not None:
+            raise self.reload_error
+        return 0
+
+    def predict_one(self, stream, row, timeout=None):
+        if self.predict_error is not None:
+            raise self.predict_error
+        return object()
+
+
+def make_ops(gateway, tmp_path, clock=None, **kwargs):
+    clock = clock if clock is not None else VirtualClock()
+    return FleetChaosOps(
+        gateway,
+        tmp_path,
+        probe_rows={"s": np.zeros(4)},
+        clock=clock,
+        sleep=clock.sleep,
+        **kwargs,
+    )
+
+
+class TestFleetChaosOps:
+    def test_worker_faults_route_to_the_streams_worker(self, tmp_path):
+        gateway = FakeGateway()
+        ops = make_ops(gateway, tmp_path)
+        assert WorkerKillFault(stream="s", at_tick=0).inject(ops) == {"worker": 1}
+        assert gateway.killed == [1]
+        details = WorkerKillFault(stream="s", at_tick=0).clear(ops)
+        assert details == {"worker": 1, "port": 5001}
+        StragglerFault(stream="s", at_tick=0, delay_ms=25.0).inject(ops)
+        assert gateway.delays == {1: 25.0}
+        StragglerFault(stream="s", at_tick=0, delay_ms=25.0).clear(ops)
+        assert gateway.delays == {1: 0.0}
+
+    def test_registry_outage_hides_and_restores_the_manifest(self, tmp_path):
+        manifest = tmp_path / "s" / "manifest.json"
+        manifest.parent.mkdir()
+        manifest.write_text("{}")
+        gateway = FakeGateway()
+        ops = make_ops(gateway, tmp_path)
+
+        gateway.reload_error = RemoteError("FileNotFoundError", "no manifest")
+        details = RegistryOutageFault(stream="s", at_tick=0).inject(ops)
+        assert not manifest.exists(), "manifest must be hidden during the outage"
+        assert details == {"reload_failed_typed": True}
+
+        gateway.reload_error = None
+        details = RegistryOutageFault(stream="s", at_tick=0).clear(ops)
+        assert manifest.exists(), "manifest must be restored after the outage"
+        assert details == {"reloaded_version": 0}
+
+    def test_untyped_reload_failure_is_not_reported_as_typed(self, tmp_path):
+        manifest = tmp_path / "s" / "manifest.json"
+        manifest.parent.mkdir()
+        manifest.write_text("{}")
+        gateway = FakeGateway()
+        gateway.reload_error = RuntimeError("untyped crash")
+        ops = make_ops(gateway, tmp_path)
+        details = RegistryOutageFault(stream="s", at_tick=0).inject(ops)
+        assert details == {"reload_failed_typed": False}
+
+    def test_hide_without_manifest_is_an_error(self, tmp_path):
+        ops = make_ops(FakeGateway(), tmp_path)
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            ops.hide_registry("s")
+
+    def test_probe_recovery_measures_time_to_consecutive_successes(self, tmp_path):
+        clock = VirtualClock()
+        ops = make_ops(
+            FakeGateway(), tmp_path, clock=clock, consecutive_ok=3,
+            probe_interval_s=0.1,
+        )
+        recovery_s, probes = ops.probe_recovery(
+            "s", latency_budget_s=1.0, recovery_budget_s=60.0
+        )
+        assert probes == 3
+        assert recovery_s is not None and recovery_s < 1.0
+
+    def test_probe_recovery_restarts_the_streak_after_a_failure(self, tmp_path):
+        clock = VirtualClock()
+        gateway = FakeGateway()
+        ops = make_ops(
+            gateway, tmp_path, clock=clock, consecutive_ok=2, probe_interval_s=0.1
+        )
+        calls = [0]
+        original = gateway.predict_one
+
+        def flaky(stream, row, timeout=None):
+            calls[0] += 1
+            if calls[0] <= 2:
+                raise RemoteError("boom", "still down")
+            return original(stream, row, timeout)
+
+        gateway.predict_one = flaky
+        recovery_s, probes = ops.probe_recovery(
+            "s", latency_budget_s=1.0, recovery_budget_s=60.0
+        )
+        assert probes == 4  # two failures, then two consecutive successes
+        assert recovery_s is not None
+
+    def test_probe_recovery_gives_up_at_the_budget(self, tmp_path):
+        clock = VirtualClock()
+        gateway = FakeGateway()
+        gateway.predict_error = RemoteError("boom", "never recovers")
+        ops = make_ops(
+            gateway, tmp_path, clock=clock, consecutive_ok=2, probe_interval_s=0.5
+        )
+        recovery_s, probes = ops.probe_recovery(
+            "s", latency_budget_s=1.0, recovery_budget_s=3.0
+        )
+        assert recovery_s is None
+        assert probes > 0

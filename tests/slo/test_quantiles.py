@@ -1,0 +1,107 @@
+"""Tests for the O(1)-memory latency sketches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.slo import LatencyAccumulator, QuantileDigest, ReservoirSample
+
+
+class TestReservoir:
+    def test_keeps_everything_under_capacity(self):
+        reservoir = ReservoirSample(capacity=10, seed=0)
+        reservoir.extend(range(7))
+        assert sorted(reservoir.values()) == list(map(float, range(7)))
+
+    def test_bounded_and_deterministic_over_a_long_stream(self):
+        first = ReservoirSample(capacity=32, seed=5)
+        second = ReservoirSample(capacity=32, seed=5)
+        for value in range(10_000):
+            first.add(value)
+            second.add(value)
+        assert len(first) == 32 and first.seen == 10_000
+        assert first.values() == second.values()
+
+    def test_seed_changes_the_kept_sample(self):
+        streams = []
+        for seed in (1, 2):
+            reservoir = ReservoirSample(capacity=16, seed=seed)
+            reservoir.extend(range(2000))
+            streams.append(reservoir.values())
+        assert streams[0] != streams[1]
+
+
+class TestDigest:
+    def test_memory_is_bounded_for_long_streams(self):
+        rng = np.random.default_rng(0)
+        digest = QuantileDigest(max_centroids=64)
+        digest.extend(rng.exponential(size=50_000))
+        assert digest.n_centroids <= 2 * 64
+        assert digest.count == 50_000
+
+    def test_quantiles_are_sharp_at_the_tails(self):
+        rng = np.random.default_rng(1)
+        values = rng.lognormal(0.0, 1.0, 100_000)
+        digest = QuantileDigest()
+        digest.extend(values)
+        for q, budget in ((0.5, 0.02), (0.99, 0.02), (0.999, 0.05)):
+            true = float(np.quantile(values, q))
+            assert abs(digest.quantile(q) - true) / true < budget, q
+
+    def test_extremes_are_exact(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=5_000)
+        digest = QuantileDigest(max_centroids=16)
+        digest.extend(values)
+        assert digest.quantile(0.0) == values.min()
+        assert digest.quantile(1.0) == values.max()
+
+    def test_merge_matches_single_digest_closely(self):
+        """Per-thread shards merged at the end ~= one digest over the stream."""
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(0.0, 1.0, 40_000)
+        shards = [QuantileDigest(max_centroids=64) for _ in range(4)]
+        for index, value in enumerate(values):
+            shards[index % 4].add(value)
+        merged = QuantileDigest(max_centroids=64)
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.count == 40_000
+        for q in (0.5, 0.99):
+            true = float(np.quantile(values, q))
+            assert abs(merged.quantile(q) - true) / true < 0.05, q
+
+    def test_empty_digest_returns_nan(self):
+        assert np.isnan(QuantileDigest().quantile(0.5))
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="q must lie"):
+            QuantileDigest().quantile(1.5)
+
+
+class TestAccumulator:
+    def test_quantile_labels_and_mean(self):
+        accumulator = LatencyAccumulator()
+        for value in (0.001, 0.002, 0.003):
+            accumulator.record(value)
+        quantiles = accumulator.quantiles_ms()
+        assert set(quantiles) == {"p50", "p99", "p999"}
+        assert quantiles["p50"] == pytest.approx(2.0, rel=0.5)
+        assert accumulator.mean_s == pytest.approx(0.002)
+        assert accumulator.count == 3
+
+    def test_merged_sums_counts_and_folds_digests(self):
+        shards = [LatencyAccumulator(seed=i) for i in range(3)]
+        rng = np.random.default_rng(4)
+        for shard in shards:
+            for value in rng.exponential(scale=0.01, size=500):
+                shard.record(float(value))
+        merged = LatencyAccumulator.merged(shards)
+        assert merged.count == 1500
+        assert merged.total_s == pytest.approx(sum(s.total_s for s in shards))
+        assert merged.digest.count == 1500
+
+    def test_merged_of_nothing_is_empty(self):
+        merged = LatencyAccumulator.merged([])
+        assert merged.count == 0 and np.isnan(merged.mean_s)

@@ -1,0 +1,236 @@
+"""Tests for the load runner: taxonomy, determinism, pacing, fault wiring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+import pytest
+
+from repro.serve.fleet import (
+    QuotaExceeded,
+    RateLimited,
+    RemoteError,
+    WorkerUnavailable,
+)
+from repro.serve.gateway import Overloaded
+from repro.slo import Fault, FaultSchedule, LoadRunner, SloTargets, TapeConfig, TrafficTape
+
+
+class StubPrediction:
+    def __init__(self, row: np.ndarray) -> None:
+        self.mu0 = float(row.sum())
+        self.mu1 = float(row.sum() * 2.0)
+        self.ite = self.mu1 - self.mu0
+        self.model_version = 0
+
+
+class StubGateway:
+    """Answers deterministically; raises a scripted error for some tenants."""
+
+    def __init__(self, errors: Optional[Dict[str, BaseException]] = None) -> None:
+        self.errors = errors or {}
+        self.calls = 0
+
+    def predict_one(self, stream, row, timeout=None):
+        self.calls += 1
+        error = self.errors.get(stream)
+        if error is not None:
+            raise error
+        return StubPrediction(row)
+
+
+class VirtualClock:
+    """Injected monotonic clock: sleeping advances it, reading never does."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def rows(key: int, count: int) -> np.ndarray:
+    rng = np.random.default_rng([13, 37, key])
+    return rng.normal(size=(count, 4))
+
+
+def tape(tenants, n_ticks=30, seed=0) -> TrafficTape:
+    return TrafficTape(
+        tenants, TapeConfig(n_ticks=n_ticks, mean_rows_per_tick=4), seed=seed
+    )
+
+
+class TestTaxonomy:
+    def test_classify_covers_every_typed_error(self):
+        cases = {
+            "overloaded": Overloaded("s", 0, 4, 4),
+            "rate_limited": RateLimited("s", 10.0, 0.25),
+            "quota": QuotaExceeded("s", 100, 100),
+            "worker_unavailable": WorkerUnavailable(1, "dead socket"),
+            "remote_error": RemoteError("ValueError", "boom"),
+            "timeout": TimeoutError("slow"),
+            "error": RuntimeError("anything else"),
+        }
+        for bucket, error in cases.items():
+            assert LoadRunner.classify(error) == bucket
+
+    def test_shed_errors_are_read_through_one_field_not_special_cased(self):
+        """Overloaded (hint None) and RateLimited (hint set) go through the
+        identical ``retry_after_s`` read — only real hints are counted."""
+        t = tape(["ok", "shed", "limited"], n_ticks=40)
+        gateway = StubGateway(
+            errors={
+                "shed": Overloaded("shed", 0, 4, 4),
+                "limited": RateLimited("limited", 10.0, 0.25),
+            }
+        )
+        report = LoadRunner(
+            gateway, t, {name: rows for name in t.tenants}, n_clients=2
+        ).run()
+        taxonomy = report.taxonomy
+        assert taxonomy["overloaded"] > 0 and taxonomy["rate_limited"] > 0
+        assert report.retry_hints == taxonomy["rate_limited"]
+        assert report.shed == taxonomy["overloaded"] + taxonomy["rate_limited"]
+        assert report.queries == t.total_rows()
+        assert report.ok == taxonomy["ok"] > 0
+
+    def test_untyped_errors_count_as_failures_not_shed(self):
+        t = tape(["ok", "broken"])
+        gateway = StubGateway(errors={"broken": RuntimeError("boom")})
+        report = LoadRunner(gateway, t, {name: rows for name in t.tenants}).run()
+        assert report.failed == report.taxonomy["error"] > 0
+        assert report.shed_rate == 0.0
+
+
+class TestDeterminism:
+    def test_sampled_responses_are_bitwise_identical_across_replays(self):
+        t = tape(["a", "b"], n_ticks=25)
+
+        def run():
+            return LoadRunner(
+                StubGateway(),
+                t,
+                {name: rows for name in t.tenants},
+                n_clients=3,
+                sample_per_tick=2,
+                sample_seed=17,
+            ).run()
+
+        first, second = run(), run()
+        assert first.samples and set(first.samples) == set(second.samples)
+        assert first.samples == second.samples  # bitwise tuple equality
+
+    def test_sample_positions_depend_only_on_seed_and_tick(self):
+        t = tape(["a"], n_ticks=10)
+        kwargs = dict(n_clients=1, sample_per_tick=1)
+        base = LoadRunner(
+            StubGateway(), t, {"a": rows}, sample_seed=1, **kwargs
+        ).run()
+        reseeded = LoadRunner(
+            StubGateway(), t, {"a": rows}, sample_seed=2, **kwargs
+        ).run()
+        assert set(base.samples) != set(reseeded.samples)
+
+    def test_per_tenant_counts_match_the_tape(self):
+        t = tape(["a", "b"], n_ticks=40)
+        report = LoadRunner(StubGateway(), t, {name: rows for name in t.tenants}).run()
+        assert report.per_tenant == t.tenant_rows()
+
+
+class TestPacing:
+    def test_paced_replay_honours_the_tape_timeline_on_the_injected_clock(self):
+        clock = VirtualClock()
+        t = tape(["a"], n_ticks=15)
+        last_at = t.schedule()[-1].at_s
+        report = LoadRunner(
+            StubGateway(),
+            t,
+            {"a": rows},
+            n_clients=1,
+            clock=clock,
+            sleep=clock.sleep,
+            pace=True,
+        ).run()
+        assert report.elapsed_s >= last_at
+
+    def test_time_scale_compresses_the_timeline(self):
+        clock = VirtualClock()
+        t = tape(["a"], n_ticks=15)
+        last_at = t.schedule()[-1].at_s
+        report = LoadRunner(
+            StubGateway(),
+            t,
+            {"a": rows},
+            n_clients=1,
+            clock=clock,
+            sleep=clock.sleep,
+            pace=True,
+            time_scale=10.0,
+        ).run()
+        assert report.elapsed_s >= last_at / 10.0
+        assert report.elapsed_s < last_at
+
+
+@dataclass(frozen=True)
+class RecordingFault(Fault):
+    kind: str = "recording"
+
+    def inject(self, ops):
+        ops.injected.append(self.stream)
+        return {"injected": True}
+
+    def clear(self, ops):
+        ops.cleared.append(self.stream)
+        return {"cleared": True}
+
+
+class RecordingOps:
+    def __init__(self) -> None:
+        self.injected = []
+        self.cleared = []
+        self.probed = []
+
+    def probe_recovery(self, stream, latency_budget_s, recovery_budget_s):
+        self.probed.append((stream, latency_budget_s, recovery_budget_s))
+        return 0.5, 3
+
+
+class TestFaultWiring:
+    def test_faults_fire_once_and_recovery_is_measured(self):
+        t = tape(["a"], n_ticks=30)
+        ops = RecordingOps()
+        schedule = FaultSchedule(
+            [RecordingFault(stream="a", at_tick=5, duration_ticks=4)]
+        )
+        targets = SloTargets(p99_ms=100.0, recovery_s=30.0)
+        report = LoadRunner(
+            StubGateway(),
+            t,
+            {"a": rows},
+            faults=schedule,
+            chaos_ops=ops,
+            targets=targets,
+        ).run()
+        assert ops.injected == ["a"] and ops.cleared == ["a"]
+        assert ops.probed == [("a", 0.1, 30.0)]
+        (fault,) = report.fault_reports
+        assert fault.kind == "recording" and fault.stream == "a"
+        assert fault.injected_tick == 5 and fault.cleared_tick == 9
+        assert fault.recovery_s == 0.5 and fault.probes == 3 and fault.recovered
+        assert fault.details == {"injected": True, "cleared": True}
+
+    def test_schedule_without_ops_is_rejected(self):
+        t = tape(["a"])
+        schedule = FaultSchedule([RecordingFault(stream="a", at_tick=1)])
+        with pytest.raises(ValueError, match="chaos_ops"):
+            LoadRunner(StubGateway(), t, {"a": rows}, faults=schedule)
+
+    def test_missing_tenant_source_is_rejected(self):
+        t = tape(["a", "b"])
+        with pytest.raises(ValueError, match="missing tape tenants"):
+            LoadRunner(StubGateway(), t, {"a": rows})

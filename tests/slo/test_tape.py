@@ -1,0 +1,127 @@
+"""Tests for the traffic tape: replay determinism and production shape.
+
+The load-bearing property is **replayability**: two iterations of the same
+tape — and the chunk row streams and fault schedules keyed off it — must be
+identical, or the SLO harness's bitwise verification and recovery
+measurements stop meaning anything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.streams import ChunkedPopulation
+from repro.data.synthetic import SyntheticDomainGenerator, SyntheticConfig
+from repro.slo import TapeConfig, TrafficTape, default_fault_schedule
+
+
+def small_tape(seed: int = 7, **overrides) -> TrafficTape:
+    config = dict(n_ticks=120, mean_rows_per_tick=16)
+    config.update(overrides)
+    return TrafficTape(["hot", "warm", "cold"], TapeConfig(**config), seed=seed)
+
+
+class TestReplayDeterminism:
+    def test_two_iterations_yield_identical_schedules(self):
+        tape = small_tape()
+        assert tape.schedule() == tape.schedule()
+
+    def test_two_instances_yield_identical_schedules(self):
+        assert small_tape().schedule() == small_tape().schedule()
+        assert small_tape().fingerprint() == small_tape().fingerprint()
+
+    def test_seed_changes_the_schedule(self):
+        assert small_tape(seed=7).fingerprint() != small_tape(seed=8).fingerprint()
+
+    def test_per_tenant_row_streams_replay_identically(self):
+        """A tick's chunk key must resolve to the same rows on every replay."""
+        generator = SyntheticDomainGenerator(
+            SyntheticConfig(
+                n_confounders=2,
+                n_instruments=1,
+                n_irrelevant=1,
+                n_adjustment=2,
+                n_units=50,
+            ),
+            seed=3,
+        )
+        source = ChunkedPopulation(
+            lambda key, rows: generator.generate_domain(
+                0, n_units=rows, repetition=1 + key
+            ),
+            min_rows=10,
+        )
+        tape = small_tape()
+        for tick in list(tape.ticks())[:10]:
+            first = source.rows_for(tick.chunk_key, tick.rows)
+            again = source.rows_for(tick.chunk_key, tick.rows)
+            assert first.shape == (tick.rows, 6)
+            np.testing.assert_array_equal(first, again)
+
+    def test_fault_schedule_fires_at_identical_ticks(self):
+        tape = small_tape()
+        first = default_fault_schedule(len(tape), "hot")
+        second = default_fault_schedule(len(tape), "hot")
+        assert first.fault_ticks() == second.fault_ticks()
+        # inject strictly before the matching clear, for every fault
+        actions = {}
+        for tick, action, kind in first.fault_ticks():
+            actions.setdefault(kind, []).append((tick, action))
+        for kind, events in actions.items():
+            assert [a for _, a in events] == ["inject", "clear"], kind
+            assert events[0][0] < events[1][0], kind
+
+
+class TestProductionShape:
+    def test_hot_key_skew_orders_tenant_volume(self):
+        schedule = small_tape(seed=11, n_ticks=1000).schedule()
+        ticks = {name: 0 for name in ("hot", "warm", "cold")}
+        for tick in schedule:
+            ticks[tick.tenant] += 1
+        assert ticks["hot"] > ticks["warm"] > ticks["cold"], ticks
+
+    def test_zero_skew_is_roughly_uniform(self):
+        rows = small_tape(seed=11, hot_key_skew=0.0, n_ticks=600).tenant_rows()
+        counts = sorted(rows.values())
+        assert counts[0] > 0 and counts[-1] < 3 * counts[0], rows
+
+    def test_burst_windows_and_quiet_ticks_both_occur(self):
+        schedule = small_tape().schedule()
+        assert any(tick.burst for tick in schedule)
+        assert any(not tick.burst for tick in schedule)
+
+    def test_burst_ticks_are_denser_and_heavier_on_average(self):
+        schedule = small_tape(seed=1, n_ticks=400).schedule()
+        burst_rows = np.mean([t.rows for t in schedule if t.burst])
+        quiet_rows = np.mean([t.rows for t in schedule if not t.burst])
+        assert burst_rows > quiet_rows
+
+    def test_rows_are_clipped_to_the_payload_budget(self):
+        schedule = small_tape(seed=2, max_rows_per_tick=40).schedule()
+        assert all(1 <= tick.rows <= 40 for tick in schedule)
+
+    def test_arrival_times_are_monotone(self):
+        schedule = small_tape().schedule()
+        offsets = [tick.at_s for tick in schedule]
+        assert all(b >= a for a, b in zip(offsets, offsets[1:]))
+
+    def test_total_rows_matches_schedule(self):
+        tape = small_tape()
+        assert tape.total_rows() == sum(t.rows for t in tape.schedule())
+
+
+class TestValidation:
+    def test_tail_shape_must_exceed_one(self):
+        with pytest.raises(ValueError, match="tail_shape"):
+            TapeConfig(tail_shape=1.0)
+
+    def test_tenants_must_be_unique_and_nonempty(self):
+        with pytest.raises(ValueError, match="unique"):
+            TrafficTape(["a", "a"], TapeConfig())
+        with pytest.raises(ValueError, match="tenant"):
+            TrafficTape([], TapeConfig())
+
+    def test_diurnal_amplitude_below_one(self):
+        with pytest.raises(ValueError, match="diurnal_amplitude"):
+            TapeConfig(diurnal_amplitude=1.0)

@@ -21,6 +21,15 @@ def payload(**speedups) -> dict:
     return {"generated_by": "test", "python": "3.x", **sections}
 
 
+def slo_payload(**metrics) -> dict:
+    """Sections in the SLO dialect: an explicit ``gate_metric`` per section."""
+    sections = {
+        name: {"gate_metric": f"{name}_rate", f"{name}_rate": value, "workload": "w"}
+        for name, value in metrics.items()
+    }
+    return {"generated_by": "test", "python": "3.x", **sections}
+
+
 class TestCompare:
     def test_passes_when_nothing_degrades(self):
         failures, report = check_regression.compare(
@@ -121,16 +130,74 @@ class TestGatedSections:
         assert check_regression.gated_sections(current) == set()
 
 
+class TestGateMetric:
+    """Sections that declare their gated metric via ``"gate_metric"``."""
+
+    def test_pass_fail_and_missing(self):
+        failures, report = check_regression.compare(
+            slo_payload(avail=1.0), slo_payload(avail=0.9), tolerance=0.2
+        )
+        assert failures == []
+        assert any("avail_rate" in line for line in report)  # unit names the metric
+        failures, _ = check_regression.compare(
+            slo_payload(avail=1.0), slo_payload(avail=0.5), tolerance=0.2
+        )
+        assert len(failures) == 1 and "avail" in failures[0]
+        failures, _ = check_regression.compare(
+            slo_payload(avail=1.0), slo_payload(other=1.0), tolerance=0.2
+        )
+        assert len(failures) == 1 and "missing" in failures[0]
+
+    def test_machine_gated_section_omits_the_value_and_is_skipped(self):
+        current = {
+            "generated_by": "test",
+            "avail": {"gate_metric": "avail_rate", "gated": True, "gate_reason": "1 core"},
+        }
+        failures, report = check_regression.compare(
+            slo_payload(avail=1.0), current, tolerance=0.2
+        )
+        assert failures == []
+        assert any(line.startswith("skip avail") and "1 core" in line for line in report)
+
+    def test_value_wins_over_the_gated_flag(self):
+        current = slo_payload(avail=0.1)
+        current["avail"]["gated"] = True
+        failures, _ = check_regression.compare(
+            slo_payload(avail=1.0), current, tolerance=0.2
+        )
+        assert len(failures) == 1 and "avail" in failures[0]
+
+    def test_baseline_without_a_value_is_skipped_loudly(self):
+        baseline = {
+            "generated_by": "test",
+            "avail": {"gate_metric": "avail_rate", "gated": True, "gate_reason": "1 core"},
+        }
+        failures, report = check_regression.compare(
+            baseline, slo_payload(avail=1.0), tolerance=0.2
+        )
+        assert failures == []
+        assert any("baseline carries no avail_rate" in line for line in report)
+
+
 class TestMain:
     def _write(self, path: Path, data: dict) -> Path:
         path.write_text(json.dumps(data))
         return path
 
+    def _args(self, tmp_path, baseline) -> list:
+        # Hermetic defaults: point --slo-current at a path that cannot exist
+        # so a BENCH_slo.json at the repo root never leaks into these tests.
+        return [
+            "--baseline", str(baseline),
+            "--slo-current", str(tmp_path / "absent_slo.json"),
+            "--tolerance", "0.2",
+        ]
+
     def test_end_to_end_pass_and_fail(self, tmp_path, capsys):
         baseline = self._write(tmp_path / "base.json", payload(a=2.0))
         good = self._write(tmp_path / "good.json", payload(a=2.1))
         bad = self._write(tmp_path / "bad.json", payload(a=1.0))
-        args = ["--baseline", str(baseline), "--tolerance", "0.2"]
+        args = self._args(tmp_path, baseline)
         assert check_regression.main(args + ["--current", str(good)]) == 0
         assert "perf gate passed" in capsys.readouterr().out
         assert check_regression.main(args + ["--current", str(bad)]) == 1
@@ -139,10 +206,58 @@ class TestMain:
     def test_missing_file_is_a_distinct_error(self, tmp_path, capsys):
         baseline = self._write(tmp_path / "base.json", payload(a=2.0))
         code = check_regression.main(
-            ["--baseline", str(baseline), "--current", str(tmp_path / "nope.json")]
+            self._args(tmp_path, baseline) + ["--current", str(tmp_path / "nope.json")]
         )
         assert code == 2
         assert "not found" in capsys.readouterr().err
+
+    def test_missing_slo_file_is_a_skip_by_default(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", payload(a=2.0))
+        current = self._write(tmp_path / "cur.json", payload(a=2.0))
+        args = self._args(tmp_path, baseline) + ["--current", str(current)]
+        assert check_regression.main(args) == 0
+        assert "skipping the SLO gate" in capsys.readouterr().out
+
+    def test_require_slo_turns_the_skip_into_an_error(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", payload(a=2.0))
+        current = self._write(tmp_path / "cur.json", payload(a=2.0))
+        args = self._args(tmp_path, baseline) + ["--current", str(current)]
+        assert check_regression.main(args + ["--require-slo"]) == 2
+        assert "slo current file not found" in capsys.readouterr().err
+
+    def test_slo_pair_is_gated_when_present(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", payload(a=2.0))
+        current = self._write(tmp_path / "cur.json", payload(a=2.0))
+        slo_base = self._write(tmp_path / "slo_base.json", slo_payload(avail=1.0))
+        args = [
+            "--baseline", str(baseline),
+            "--current", str(current),
+            "--slo-baseline", str(slo_base),
+            "--tolerance", "0.2",
+        ]
+        good = self._write(tmp_path / "slo_good.json", slo_payload(avail=1.0))
+        assert check_regression.main(args + ["--slo-current", str(good)]) == 0
+        out = capsys.readouterr().out
+        assert "slo_good.json" in out and "perf gate passed" in out
+        # An SLO regression fails the run even though the engine pair passes.
+        bad = self._write(tmp_path / "slo_bad.json", slo_payload(avail=0.2))
+        assert check_regression.main(args + ["--slo-current", str(bad)]) == 1
+        assert "avail" in capsys.readouterr().err
+
+    def test_slo_current_without_a_baseline_is_an_error(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", payload(a=2.0))
+        current = self._write(tmp_path / "cur.json", payload(a=2.0))
+        slo_current = self._write(tmp_path / "slo.json", slo_payload(avail=1.0))
+        code = check_regression.main(
+            [
+                "--baseline", str(baseline),
+                "--current", str(current),
+                "--slo-baseline", str(tmp_path / "no_base.json"),
+                "--slo-current", str(slo_current),
+            ]
+        )
+        assert code == 2
+        assert "slo baseline file not found" in capsys.readouterr().err
 
     def test_repo_baseline_is_well_formed(self):
         """The committed baseline must parse and gate at least the original
@@ -162,3 +277,21 @@ class TestMain:
             "gateway_multiproc",
         } <= set(speedups)
         assert all(value > 0 for value in speedups.values())
+
+    def test_repo_slo_baseline_is_well_formed(self):
+        """The committed SLO floor must declare a metric per section, and the
+        contract metrics (recovery, bitwise parity) must demand perfection."""
+        root = Path(__file__).resolve().parents[1]
+        baseline = json.loads(
+            (root / "benchmarks/baseline/BENCH_slo_baseline.json").read_text()
+        )
+        metrics = check_regression.load_metrics(baseline)
+        assert {
+            "slo_throughput",
+            "slo_availability",
+            "slo_recovery",
+            "slo_verification",
+        } <= set(metrics)
+        assert all(value is not None for _, value in metrics.values())
+        assert metrics["slo_recovery"] == ("recovered_fraction", 1.0)
+        assert metrics["slo_verification"] == ("verified", 1.0)
