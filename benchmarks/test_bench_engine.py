@@ -431,6 +431,70 @@ def test_bench_parallel_table1(engine_bench):
     )
 
 
+@pytest.mark.benchmark(group="engine")
+def test_bench_meta_learner_table1(engine_bench):
+    """Table I over registry-built meta-learners, serial vs process pool.
+
+    The estimator API promises that meta-learners (here the S-learner and the
+    crossfit R-learner) drop into the Table I executor exactly like the paper
+    strategies: cells fan out over the same ``parallel_map`` and the parallel
+    table must be bit-identical to the serial one.  The R-learner is the
+    expensive column — nuisance crossfitting multiplies the fits per cell —
+    which is exactly why the pool speedup is worth tracking separately from
+    ``parallel_table1``.  Same single-core policy: parity is asserted with a
+    forced pool and the section records ``"gated": true`` instead of timing
+    noise (``check_regression.py`` skips gated sections).
+    """
+    kwargs = dict(
+        datasets=("news",),
+        scenarios=("substantial", "none"),
+        strategies=("S-learner", "R-learner"),
+        seed=0,
+    )
+    from repro.experiments.table1 import _benchmark
+
+    _benchmark("news", SMOKE, 0)._simulate_population()
+    cpu_count = os.cpu_count() or 1
+    workload = "smoke Table I, 2 cells (news x substantial/none), S-learner + R-learner"
+    if cpu_count < 2:
+        serial = run_table1(SMOKE, workers=1, **kwargs)
+        parallel = run_table1(SMOKE, workers=2, force_parallel=True, **kwargs)
+        assert serial.rows() == parallel.rows(), "meta-learner Table I diverged from serial"
+        engine_bench(
+            "meta_learner_table1",
+            gated=True,
+            gate_reason=f"cpu_count={cpu_count} cannot express 2-worker parallelism",
+            workers=2,
+            cpu_count=cpu_count,
+            workload=workload,
+        )
+        print(f"\nmeta-learner table1: gated on {cpu_count}-cpu machine (parity asserted)")
+        return
+
+    start = time.perf_counter()
+    serial = run_table1(SMOKE, workers=1, **kwargs)
+    serial_time = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_table1(SMOKE, workers=2, **kwargs)
+    parallel_time = time.perf_counter() - start
+    assert serial.rows() == parallel.rows(), "meta-learner Table I diverged from serial"
+
+    speedup = serial_time / parallel_time
+    engine_bench(
+        "meta_learner_table1",
+        serial_s=round(serial_time, 4),
+        parallel_s=round(parallel_time, 4),
+        speedup=round(speedup, 3),
+        workers=2,
+        cpu_count=cpu_count,
+        workload=workload,
+    )
+    print(
+        f"\nmeta-learner table1: serial {serial_time:.2f}s -> workers=2 "
+        f"{parallel_time:.2f}s ({speedup:.2f}x on {cpu_count} cpu)"
+    )
+
+
 # --------------------------------------------------------------------------- #
 # serving throughput
 # --------------------------------------------------------------------------- #

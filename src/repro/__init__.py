@@ -4,7 +4,8 @@ Public API highlights
 ---------------------
 * :class:`repro.core.CERL` — the continual causal-effect learner (the paper's contribution).
 * :class:`repro.core.BaselineCausalModel` — the CFR-style selective & balanced learner.
-* :func:`repro.core.make_strategy` — build CFR-A / CFR-B / CFR-C / CERL by name.
+* :func:`repro.core.make_estimator` — build any registered estimator by name
+  (CFR-A/B/C, CERL, and the S/T/X/R meta-learner zoo).
 * :mod:`repro.data` — News, BlogCatalog and synthetic multi-domain benchmarks
   (including the drift scenario generators).
 * :mod:`repro.experiments` — drivers that regenerate the paper's tables and figures.
@@ -17,6 +18,8 @@ from .core import (
     BaselineCausalModel,
     ContinualConfig,
     ModelConfig,
+    estimator_names,
+    make_estimator,
     make_strategy,
 )
 from .data import (
@@ -35,6 +38,8 @@ __all__ = [
     "BaselineCausalModel",
     "ContinualConfig",
     "ModelConfig",
+    "estimator_names",
+    "make_estimator",
     "make_strategy",
     "CausalDataset",
     "DomainStream",

@@ -16,8 +16,9 @@ RPR001      rng-discipline: no legacy ``np.random.*`` global-state API
             outside ``repro.data`` fixtures — seeded Generators must flow
             from parameters.
 RPR002      wall-clock: ``time.time``/``datetime.now`` banned in
-            serve/monitor/engine (deterministic paths); ``perf_counter``
-            only in stats/bench modules.  ``time.monotonic`` is allowed —
+            serve/monitor/engine/slo and the estimator zoo
+            (``core/learners``, ``core/api``) — the deterministic paths;
+            ``perf_counter`` only in stats/bench modules.  ``time.monotonic`` is allowed —
             it feeds deadlines and TTLs through injectable clocks, never
             response values.
 RPR003      lock-discipline: attributes registered via ``# guarded-by:``
@@ -116,6 +117,10 @@ RESTRICTED_CLOCKS = {"time.perf_counter", "time.perf_counter_ns", "time.process_
 #: ``time.time``/``perf_counter`` there would make replayed tapes
 #: unreproducible in exactly the runs that gate CI.
 DETERMINISTIC_PACKAGES = {"serve", "monitor", "engine", "slo"}
+#: Individual modules whose package head is shared with out-of-scope code:
+#: the estimator zoo and registry promise bitwise retrain determinism, so
+#: they are wall-clock-free even though most of ``core`` is unscoped.
+DETERMINISTIC_MODULES = {("core", "learners"), ("core", "api")}
 
 
 class WallClock(ContextVisitor):
@@ -125,7 +130,10 @@ class WallClock(ContextVisitor):
 
     @classmethod
     def in_scope(cls, mod: SourceModule) -> bool:
-        return bool(mod.package_parts) and mod.package_parts[0] in DETERMINISTIC_PACKAGES
+        parts = mod.package_parts
+        if not parts:
+            return False
+        return parts[0] in DETERMINISTIC_PACKAGES or parts[:2] in DETERMINISTIC_MODULES
 
     def _is_stats_module(self) -> bool:
         stem = self.mod.path.stem

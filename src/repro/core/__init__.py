@@ -1,4 +1,8 @@
-"""Core causal-effect learners: the baseline model, CFR strategies and CERL."""
+"""Core causal-effect learners: baseline model, CFR strategies, CERL, meta-learners.
+
+The estimator surface (protocol, registry, factory) lives in
+:mod:`repro.core.api`; the meta-learner zoo in :mod:`repro.core.learners`.
+"""
 
 from .config import ContinualConfig, ModelConfig
 from .evaluation import evaluate_datasets
@@ -7,16 +11,33 @@ from .outcome import OutcomeHeads
 from .transform import FeatureTransform
 from .baseline import BaselineCausalModel, EarlyStopping, TrainingHistory
 from .cerl import CERL
+from .api import (
+    ESTIMATORS,
+    ContinualEstimator,
+    EstimatorRegistry,
+    EstimatorSpec,
+    estimator_names,
+    estimator_specs,
+    make_estimator,
+)
 from .strategies import (
     STRATEGY_NAMES,
     CFRStrategyA,
     CFRStrategyB,
     CFRStrategyC,
-    ContinualEstimator,
     make_strategy,
 )
+from .learners import RLearner, SLearner, TLearner, XLearner
 from .classic import LogisticPropensityModel, RidgeTLearner, ipw_ate, naive_ate
-from .persistence import load_cerl, load_modules, module_checkpointer, save_cerl, save_modules
+from .persistence import (
+    load_cerl,
+    load_estimator,
+    load_modules,
+    module_checkpointer,
+    save_cerl,
+    save_estimator,
+    save_modules,
+)
 
 __all__ = [
     "LogisticPropensityModel",
@@ -25,6 +46,8 @@ __all__ = [
     "naive_ate",
     "save_cerl",
     "load_cerl",
+    "save_estimator",
+    "load_estimator",
     "save_modules",
     "load_modules",
     "module_checkpointer",
@@ -38,10 +61,20 @@ __all__ = [
     "EarlyStopping",
     "TrainingHistory",
     "CERL",
+    "ESTIMATORS",
+    "EstimatorRegistry",
+    "EstimatorSpec",
+    "estimator_names",
+    "estimator_specs",
+    "make_estimator",
     "STRATEGY_NAMES",
     "CFRStrategyA",
     "CFRStrategyB",
     "CFRStrategyC",
     "ContinualEstimator",
     "make_strategy",
+    "SLearner",
+    "TLearner",
+    "XLearner",
+    "RLearner",
 ]

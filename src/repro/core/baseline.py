@@ -262,6 +262,10 @@ class BaselineCausalModel:
             y0_hat=self._unscale_outcomes(y0), y1_hat=self._unscale_outcomes(y1)
         )
 
+    def predict_ite(self, covariates: np.ndarray) -> np.ndarray:
+        """Canonical ITE point estimate (``predict(x).ite_hat``)."""
+        return self.predict(covariates).ite_hat
+
     def extract_representations(self, covariates: np.ndarray) -> np.ndarray:
         """Return the learned representations ``g_w(x)`` of raw covariates."""
         self._check_fitted()

@@ -76,6 +76,8 @@ class CERL:
         weights, memory budget and selection strategy, warm starting.
     """
 
+    name = "CERL"
+
     def __init__(
         self,
         n_features: int,
@@ -425,6 +427,10 @@ class CERL:
         return EffectEstimate(
             y0_hat=self._unscale_outcomes(y0), y1_hat=self._unscale_outcomes(y1)
         )
+
+    def predict_ite(self, covariates: np.ndarray) -> np.ndarray:
+        """Canonical ITE point estimate (``predict(x).ite_hat``)."""
+        return self.predict(covariates).ite_hat
 
     def evaluate(self, dataset: CausalDataset) -> Dict[str, float]:
         """Evaluate the current model on one dataset with known counterfactuals."""

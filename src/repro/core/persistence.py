@@ -1,12 +1,26 @@
-"""Checkpointing of CERL learners between domains.
+"""Checkpointing of estimators between domains.
 
 In the deployment scenario the paper motivates (data arrive over days or from
 different subsidiaries), the learner must be persisted between arrivals: the
 whole point of CERL is that *only* the model and the representation memory are
 kept, never the raw data.  This module serialises exactly that state — the
-configurations, the current encoder/heads parameters, the covariate/outcome
-scalers and the memory buffer — into a single ``.npz`` archive, and restores a
-fully functional :class:`~repro.core.cerl.CERL` from it.
+configurations, the current module parameters, the scalers and (for CERL) the
+memory buffer — into a single ``.npz`` archive, and restores a fully
+functional estimator from it.
+
+Two layers:
+
+* :func:`save_cerl` / :func:`load_cerl` — the historical CERL-specific format
+  (kept verbatim for back-compat; archives written before the estimator API
+  carry no kind marker and load as CERL).
+* :func:`save_estimator` / :func:`load_estimator` — the generic path the
+  model registry uses.  CERL round-trips through the CERL codec; every other
+  registered estimator provides ``state_arrays()`` / ``load_state_arrays()``
+  hooks, and the archive's ``meta_json`` records its registry name as
+  ``estimator_kind`` so :func:`load_estimator` can rebuild it through
+  :func:`repro.core.api.make_estimator` — which is what lets the serving
+  stack version and hot-swap any registered estimator without knowing its
+  type.
 """
 
 from __future__ import annotations
@@ -25,7 +39,15 @@ from .config import ContinualConfig, ModelConfig
 from .outcome import OutcomeHeads
 from .representation import RepresentationNetwork
 
-__all__ = ["save_cerl", "load_cerl", "save_modules", "load_modules", "module_checkpointer"]
+__all__ = [
+    "save_cerl",
+    "load_cerl",
+    "save_estimator",
+    "load_estimator",
+    "save_modules",
+    "load_modules",
+    "module_checkpointer",
+]
 
 _FORMAT_VERSION = 1
 
@@ -188,14 +210,23 @@ def load_cerl(path: Union[str, Path], mmap_mode: Optional[str] = None) -> CERL:
         Predictions are bit-identical either way; on POSIX a held mapping
         survives the archive being atomically replaced on disk.
     """
-    path = Path(path)
-    archive = _read_archive(path, mmap_mode)
+    archive, meta = _open_checkpoint(path, mmap_mode)
+    return _load_cerl_from(archive, meta)
+
+
+def _open_checkpoint(path: Union[str, Path], mmap_mode: Optional[str]) -> tuple:
+    """Read an archive and its validated ``meta_json`` header."""
+    archive = _read_archive(Path(path), mmap_mode)
     meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported checkpoint format {meta.get('format_version')!r}; "
             f"expected {_FORMAT_VERSION}"
         )
+    return archive, meta
+
+
+def _load_cerl_from(archive: dict, meta: dict) -> CERL:
     model_config = ModelConfig(**meta["model_config"])
     continual_config = ContinualConfig(**meta["continual_config"])
     learner = CERL(meta["n_features"], model_config, continual_config)
@@ -250,3 +281,76 @@ def _extract(archive: dict, prefix: str) -> dict:
         for key, value in archive.items()
         if key.startswith(prefix)
     }
+
+
+# --------------------------------------------------------------------------- #
+# generic estimator checkpoints (the model-registry path)
+# --------------------------------------------------------------------------- #
+def save_estimator(learner, path: Union[str, Path], compressed: bool = True) -> Path:
+    """Serialise any registered estimator to ``path`` (``.npz`` archive).
+
+    CERL goes through :func:`save_cerl` unchanged (same archive layout as
+    every checkpoint written before the estimator API existed).  Any other
+    estimator must expose ``state_arrays()`` / ``load_state_arrays()`` plus
+    the protocol attributes (``name``, ``n_features``, ``domains_seen``,
+    ``model_config``); its archive records the registry name as
+    ``estimator_kind`` so :func:`load_estimator` can rebuild it by name.
+
+    ``compressed=False`` keeps members memory-mappable on load, exactly as
+    for :func:`save_cerl`.
+    """
+    if isinstance(learner, CERL):
+        return save_cerl(learner, path, compressed=compressed)
+    if not hasattr(learner, "state_arrays") or not hasattr(learner, "load_state_arrays"):
+        raise TypeError(
+            f"{type(learner).__name__} does not implement the estimator "
+            "checkpoint hooks (state_arrays/load_state_arrays)"
+        )
+    if learner.domains_seen == 0:
+        raise RuntimeError(
+            "cannot save an estimator that has not observed any domain"
+        )
+    path = _npz_path(path)
+
+    continual_config = getattr(learner, "continual_config", None)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "estimator_kind": learner.name,
+        "n_features": learner.n_features,
+        "domains_seen": learner.domains_seen,
+        "model_config": asdict(learner.model_config),
+        "continual_config": asdict(continual_config) if continual_config else None,
+    }
+    arrays = {
+        "meta_json": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    }
+    arrays.update(learner.state_arrays())
+    _atomic_savez(path, arrays, compressed=compressed)
+    return path
+
+
+def load_estimator(path: Union[str, Path], mmap_mode: Optional[str] = None):
+    """Restore any estimator saved with :func:`save_estimator`.
+
+    The archive's ``estimator_kind`` selects the registry builder; archives
+    without a kind marker predate the estimator API and load as CERL.
+    ``mmap_mode`` behaves exactly as for :func:`load_cerl` (module parameters
+    are copied into layers; large flat arrays are adopted as mapped views).
+    """
+    archive, meta = _open_checkpoint(path, mmap_mode)
+    kind = meta.get("estimator_kind", "CERL")
+    if kind.strip().upper() == "CERL":
+        return _load_cerl_from(archive, meta)
+
+    from .api import make_estimator
+
+    model_config = ModelConfig(**meta["model_config"])
+    continual_config = (
+        ContinualConfig(**meta["continual_config"])
+        if meta.get("continual_config")
+        else None
+    )
+    learner = make_estimator(kind, meta["n_features"], model_config, continual_config)
+    learner.load_state_arrays(archive)
+    learner.domains_seen = int(meta["domains_seen"])
+    return learner

@@ -10,24 +10,30 @@ to incrementally available data:
 * **CFR-C** — keep all raw data, and retrain from scratch on the union every
   time a new domain arrives.  The resource-unconstrained ideal.
 
-All strategies (and :class:`~repro.core.cerl.CERL`) expose the same
-``observe`` / ``predict`` / ``evaluate`` protocol so the experiment harness
+All strategies (and :class:`~repro.core.cerl.CERL`) implement the
+:class:`repro.core.api.ContinualEstimator` protocol so the experiment harness
 can treat them uniformly.  None of them owns a training loop: each observe
 call delegates to :class:`~repro.core.baseline.BaselineCausalModel`, whose
 optimisation runs on the shared :class:`repro.engine.Trainer`.
+
+The estimator surface (protocol, registry, ``make_estimator``) lives in
+:mod:`repro.core.api`; :func:`make_strategy` and :data:`STRATEGY_NAMES` are
+kept here as deprecated aliases for the paper-strategy subset.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+import warnings
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..data.dataset import CausalDataset
 from ..metrics import EffectEstimate
+from .api import ContinualEstimator, estimator_names
 from .baseline import BaselineCausalModel
-from .cerl import CERL
 from .config import ContinualConfig, ModelConfig
+from .persistence import _extract, _flatten_state
 
 __all__ = [
     "ContinualEstimator",
@@ -38,29 +44,9 @@ __all__ = [
     "STRATEGY_NAMES",
 ]
 
-STRATEGY_NAMES = ("CFR-A", "CFR-B", "CFR-C", "CERL")
-
-
-@runtime_checkable
-class ContinualEstimator(Protocol):
-    """Protocol shared by CERL and the three CFR adaptation strategies."""
-
-    def observe(
-        self,
-        dataset: CausalDataset,
-        epochs: Optional[int] = None,
-        val_dataset: Optional[CausalDataset] = None,
-    ) -> object:
-        """Consume the next available domain."""
-
-    def predict(self, covariates: np.ndarray) -> EffectEstimate:
-        """Predict potential outcomes for raw covariates."""
-
-    def evaluate(self, dataset: CausalDataset) -> Dict[str, float]:
-        """Evaluate effect-estimation metrics on a labelled dataset."""
-
-    def evaluate_many(self, datasets: Sequence[CausalDataset]) -> List[Dict[str, float]]:
-        """Evaluate several datasets with one batched forward pass."""
+#: Deprecated alias: the paper-strategy subset of the estimator registry.
+#: Derived (not duplicated) so it can never drift from the registry.
+STRATEGY_NAMES = estimator_names(tag="paper")
 
 
 class _CFRStrategyBase:
@@ -74,9 +60,48 @@ class _CFRStrategyBase:
         self.model = BaselineCausalModel(n_features, self.config)
         self.domains_seen = 0
 
+    @property
+    def model_config(self) -> ModelConfig:
+        """Alias for :attr:`config` (the generic checkpoint path reads it)."""
+        return self.config
+
     def predict(self, covariates: np.ndarray) -> EffectEstimate:
         """Predict potential outcomes with the currently held model."""
         return self.model.predict(covariates)
+
+    def predict_ite(self, covariates: np.ndarray) -> np.ndarray:
+        """Canonical ITE point estimate."""
+        return self.model.predict(covariates).ite_hat
+
+    def state_arrays(self) -> dict:
+        """Model state for the generic checkpoint format.
+
+        Only the *model* is persisted — network parameters and scalers.
+        CFR-C's raw-data hoard is deliberately not serialised: the registry
+        stores models, never raw data, so a restored CFR-C retrains only on
+        domains observed after the restore (documented resource accounting).
+        """
+        arrays = _flatten_state("encoder/", self.model.encoder.state_dict())
+        arrays.update(_flatten_state("heads/", self.model.heads.state_dict()))
+        if self.model.encoder.scaler.is_fitted:
+            arrays["scaler/covariates/mean"] = self.model.encoder.scaler.mean_
+            arrays["scaler/covariates/std"] = self.model.encoder.scaler.std_
+        if self.model.outcome_scaler.is_fitted:
+            arrays["scaler/outcomes/mean"] = self.model.outcome_scaler.mean_
+            arrays["scaler/outcomes/std"] = self.model.outcome_scaler.std_
+        return arrays
+
+    def load_state_arrays(self, archive: dict) -> None:
+        """Restore the held model from :meth:`state_arrays` output."""
+        self.model.encoder.load_state_dict(_extract(archive, "encoder/"))
+        self.model.heads.load_state_dict(_extract(archive, "heads/"))
+        if "scaler/covariates/mean" in archive:
+            self.model.encoder.scaler.mean_ = archive["scaler/covariates/mean"]
+            self.model.encoder.scaler.std_ = archive["scaler/covariates/std"]
+        if "scaler/outcomes/mean" in archive:
+            self.model.outcome_scaler.mean_ = archive["scaler/outcomes/mean"]
+            self.model.outcome_scaler.std_ = archive["scaler/outcomes/std"]
+        self.model._fitted = True
 
     def evaluate(self, dataset: CausalDataset) -> Dict[str, float]:
         """Evaluate the currently held model on a labelled dataset."""
@@ -184,24 +209,17 @@ def make_strategy(
     model_config: Optional[ModelConfig] = None,
     continual_config: Optional[ContinualConfig] = None,
 ) -> ContinualEstimator:
-    """Build a strategy or CERL learner by its paper name.
+    """Deprecated: use :func:`repro.core.api.make_estimator` instead.
 
-    Parameters
-    ----------
-    name:
-        One of ``"CFR-A"``, ``"CFR-B"``, ``"CFR-C"``, ``"CERL"`` (case-insensitive).
-    n_features:
-        Covariate dimensionality.
-    model_config, continual_config:
-        Optional configurations; ``continual_config`` is only used by CERL.
+    Kept as a back-compat shim for the PR-1-era factory; it delegates to the
+    estimator registry (so it now also accepts the meta-learner names) and
+    emits a :class:`DeprecationWarning`.
     """
-    key = name.strip().upper()
-    if key == "CFR-A":
-        return CFRStrategyA(n_features, model_config)
-    if key == "CFR-B":
-        return CFRStrategyB(n_features, model_config)
-    if key == "CFR-C":
-        return CFRStrategyC(n_features, model_config)
-    if key == "CERL":
-        return CERL(n_features, model_config, continual_config)
-    raise ValueError(f"unknown strategy '{name}'; valid names: {STRATEGY_NAMES}")
+    warnings.warn(
+        "make_strategy is deprecated; use repro.core.api.make_estimator",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .api import make_estimator
+
+    return make_estimator(name, n_features, model_config, continual_config)

@@ -1,6 +1,12 @@
 """Experiment drivers regenerating the paper's tables and figures."""
 
 from .autoadapt import AutoAdaptationResult, TickTrace, run_auto_adaptation
+from .confounding import (
+    CONFOUNDING_ESTIMATORS,
+    CONFOUNDING_STRENGTHS,
+    ConfoundingSweepResult,
+    run_confounding_sweep,
+)
 from .deployment import DeploymentResult, DeploymentStage, run_continual_deployment
 from .fleet import FleetDeploymentResult, FleetStreamReport, run_fleet_deployment
 from .multiproc import (
@@ -20,8 +26,20 @@ from .runner import (
     run_two_domain_comparison,
 )
 from .reporting import format_series, format_table, summarize_two_domain_results
-from .table1 import TABLE1_SCENARIOS, TABLE1_STRATEGIES, Table1Result, run_table1
-from .table2 import TABLE2_ABLATIONS, TABLE2_STRATEGIES, Table2Result, run_table2
+from .table1 import (
+    TABLE1_ESTIMATORS,
+    TABLE1_SCENARIOS,
+    TABLE1_STRATEGIES,
+    Table1Result,
+    run_table1,
+)
+from .table2 import (
+    TABLE2_ABLATIONS,
+    TABLE2_ESTIMATORS,
+    TABLE2_STRATEGIES,
+    Table2Result,
+    run_table2,
+)
 from .figure3 import (
     MemoryCurveResult,
     SensitivityResult,
@@ -65,11 +83,17 @@ __all__ = [
     "Table1Result",
     "run_table1",
     "TABLE1_STRATEGIES",
+    "TABLE1_ESTIMATORS",
     "TABLE1_SCENARIOS",
     "Table2Result",
     "run_table2",
     "TABLE2_STRATEGIES",
+    "TABLE2_ESTIMATORS",
     "TABLE2_ABLATIONS",
+    "ConfoundingSweepResult",
+    "run_confounding_sweep",
+    "CONFOUNDING_STRENGTHS",
+    "CONFOUNDING_ESTIMATORS",
     "MemoryCurveResult",
     "SensitivityResult",
     "run_figure3_memory",

@@ -2,17 +2,19 @@
 
 :func:`run_auto_adaptation` wires the whole closed loop together:
 
-1. train a CERL learner on the base domain and save it as version 0 of a
-   stream in a :class:`~repro.serve.ModelRegistry`;
+1. train a learner (any registered estimator; CERL by default) on the base
+   domain and save it as version 0 of a stream in a
+   :class:`~repro.serve.ModelRegistry`;
 2. serve it through a :class:`~repro.serve.PredictionService`, with a
    :class:`~repro.monitor.TrafficMonitor` attached as a traffic observer and
    a permutation-calibrated :class:`~repro.monitor.DriftDetector`;
 3. replay a :class:`~repro.data.drift.DriftScenario` traffic tape through
    the service tick by tick, running one
    :meth:`~repro.monitor.AdaptationController.check` per tick;
-4. on confirmed drift the controller retrains (one CERL continual stage over
-   the buffered traffic), versions the adapted model, hot-swaps the service
-   and rebases the monitor — or rolls back when validation regresses.
+4. on confirmed drift the controller retrains (one continual ``observe``
+   stage over the buffered traffic), versions the adapted model, hot-swaps
+   the service and rebases the monitor — or rolls back when validation
+   regresses.
 
 Everything is a deterministic function of ``seed``: replaying the same tape
 yields identical detection ticks, identical registry versions and
@@ -30,7 +32,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from ..core.cerl import CERL
+from ..core.api import make_estimator
 from ..data.drift import DriftConfig, DriftScenario
 from ..data.streams import DomainStream
 from ..data.synthetic import SyntheticDomainGenerator
@@ -113,6 +115,7 @@ def run_auto_adaptation(
     policy: Optional[TriggerPolicy] = None,
     registry_root: Optional[Union[str, Path]] = None,
     stream_name: str = "autoadapt",
+    estimator: str = "CERL",
     seed: int = 0,
     epochs: Optional[int] = None,
     adapt_epochs: Optional[int] = None,
@@ -137,6 +140,10 @@ def run_auto_adaptation(
     registry_root:
         Registry directory; when omitted an ephemeral temporary directory is
         used and deleted on return (pass a path to keep the checkpoints).
+    estimator:
+        Registered estimator name to train, serve and adapt (default
+        ``"CERL"``; the controller only needs the ``observe``/``predict``
+        protocol, so any :func:`~repro.core.api.estimator_names` entry works).
     epochs, adapt_epochs:
         Epoch budgets of the base fit and of each adaptation stage
         (defaults: the profile's epochs, and ``epochs`` respectively).
@@ -177,6 +184,7 @@ def run_auto_adaptation(
             policy,
             registry_root,
             stream_name,
+            estimator,
             seed,
             epochs,
             adapt_epochs,
@@ -197,6 +205,7 @@ def _run_auto_adaptation(
     policy: Optional[TriggerPolicy],
     registry_root: Union[str, Path],
     stream_name: str,
+    estimator: str,
     seed: int,
     epochs: int,
     adapt_epochs: int,
@@ -208,7 +217,8 @@ def _run_auto_adaptation(
     stream = DomainStream([scenario.base_dataset()], seed=seed)
     train, val, probe = stream[0].train, stream[0].val, stream[0].test
 
-    learner = CERL(
+    learner = make_estimator(
+        estimator,
         stream.n_features,
         profile.model_config(seed=seed, epochs=epochs),
         profile.continual_config(memory_budget=memory_budget),

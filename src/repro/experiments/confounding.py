@@ -1,0 +1,153 @@
+"""Confounding-strength sweep: estimator zoo vs. selection-bias severity.
+
+The synthetic generator's probit propensity (Sec. IV-C) admits a single scale
+knob, :attr:`~repro.data.synthetic.SyntheticConfig.confounding_strength`:
+``0`` collapses treatment assignment to a fair coin (a randomised trial),
+``1`` is the paper's design, and larger values add selection on the baseline
+outcome surface (sicker units get treated).  Sweeping that knob across the
+registered estimators separates the methods that model selection bias (the orthogonal
+R-learner, the propensity-blended X-learner, the balancing CFR/CERL
+representations) from the plain outcome regressions (S/T) whose ATE error
+grows with the strength.
+
+The sweep reuses the Table II machinery: every (strength, estimator-set) cell
+is a pure function of its payload and fans over
+:func:`~repro.experiments.parallel.parallel_map`, so ``workers > 1`` returns
+bit-identical tables.  Column sets are derived from the estimator registry —
+registering a new estimator extends the sweep automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.api import estimator_names
+from ..data.synthetic import SyntheticConfig, SyntheticDomainGenerator
+from .parallel import parallel_map
+from .profiles import ExperimentProfile, QUICK
+from .reporting import format_table
+from .runner import StrategyResult, run_two_domain_comparison
+
+__all__ = [
+    "ConfoundingSweepResult",
+    "run_confounding_sweep",
+    "CONFOUNDING_STRENGTHS",
+    "CONFOUNDING_ESTIMATORS",
+]
+
+#: Default sweep grid: randomised trial, the paper's design, and strong bias.
+CONFOUNDING_STRENGTHS: Tuple[float, ...] = (0.0, 1.0, 2.5)
+#: Default column set: every registered estimator, in registry order.
+CONFOUNDING_ESTIMATORS: Tuple[str, ...] = estimator_names()
+
+
+@dataclass
+class ConfoundingSweepResult:
+    """Structured sweep output: one row per strength x estimator."""
+
+    profile: str
+    #: results[strength] -> list of per-strategy results, in column order.
+    results: Dict[float, List[StrategyResult]] = field(default_factory=dict)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flatten into report rows (one per strength x strategy)."""
+        rows: List[Dict[str, object]] = []
+        for strength, strategy_results in self.results.items():
+            for result in strategy_results:
+                row: Dict[str, object] = {"confounding": strength}
+                row.update(result.row())
+                rows.append(row)
+        return rows
+
+    def report(self) -> str:
+        """Formatted text table of the sweep."""
+        return format_table(
+            self.rows(),
+            title=f"Confounding-strength sweep (profile: {self.profile})",
+        )
+
+    def get(self, strength: float, strategy: str) -> StrategyResult:
+        """Look up one estimator's result at one confounding strength."""
+        for result in self.results[strength]:
+            if result.strategy == strategy:
+                return result
+        raise KeyError(f"no result for strategy '{strategy}' at strength {strength}")
+
+
+def _confounding_cell(task: tuple) -> List[StrategyResult]:
+    """Run one confounding-strength cell (all estimators, two domains).
+
+    A pure function of its payload: the generator is rebuilt from ``seed`` and
+    the strength only reshapes the propensity z-score, so the covariate draws
+    (and hence the true effects) are shared across the whole sweep — cells
+    differ *only* in how strongly treatment selects on the units.
+    """
+    profile, synthetic_config, strategies, seed, strength, budget = task
+    config = replace(synthetic_config, confounding_strength=strength)
+    generator = SyntheticDomainGenerator(config, seed=seed)
+    first_domain = generator.generate_domain(0)
+    second_domain = generator.generate_domain(1)
+    return run_two_domain_comparison(
+        first_domain,
+        second_domain,
+        strategies=strategies,
+        model_config=profile.model_config(seed=seed),
+        continual_config=profile.continual_config(memory_budget=budget),
+        seed=seed,
+    )
+
+
+def run_confounding_sweep(
+    profile: ExperimentProfile = QUICK,
+    strengths: Sequence[float] = CONFOUNDING_STRENGTHS,
+    strategies: Sequence[str] = CONFOUNDING_ESTIMATORS,
+    seed: int = 0,
+    memory_budget: Optional[int] = None,
+    synthetic_config: Optional[SyntheticConfig] = None,
+    workers: int = 1,
+    force_parallel: bool = False,
+) -> ConfoundingSweepResult:
+    """Sweep confounding strength across the registered estimators.
+
+    Parameters
+    ----------
+    profile:
+        Scale/training profile.
+    strengths:
+        Confounding strengths to sweep (``0`` = randomised trial,
+        ``1`` = the paper's design, ``>1`` = added outcome-based selection).
+    strategies:
+        Estimator names (any registered name; defaults to every registered
+        estimator, in registry order).
+    seed:
+        Seed for data generation, splits and model initialisation; shared
+        across strengths so the covariate draws are identical cell to cell.
+    memory_budget:
+        Memory budget M (defaults to the profile's Table II budget).
+    synthetic_config:
+        Override of the synthetic generator configuration; its
+        ``confounding_strength`` is replaced per cell by the sweep value.
+    workers:
+        Number of processes to fan the strength cells over.  ``1`` (the
+        default) runs serially; any value yields identical tables because
+        every cell is a pure function of its payload.
+    force_parallel:
+        Bypass the core-count clamp (determinism tests on small machines).
+    """
+    if not strengths:
+        raise ValueError("run_confounding_sweep requires at least one strength")
+    budget = memory_budget if memory_budget is not None else profile.memory_budget_table2
+    if synthetic_config is None:
+        synthetic_config = profile.synthetic_config()
+    tasks = [
+        (profile, synthetic_config, tuple(strategies), seed, float(strength), budget)
+        for strength in strengths
+    ]
+    cell_results = parallel_map(
+        _confounding_cell, tasks, workers=workers, force_parallel=force_parallel
+    )
+    output = ConfoundingSweepResult(profile=profile.name)
+    for strength, results in zip(strengths, cell_results):
+        output.results[float(strength)] = results
+    return output

@@ -1,6 +1,7 @@
 """End-to-end continual deployment: train → checkpoint → reload → verify.
 
-This driver runs the paper's deployment story as one protocol: a CERL learner
+This driver runs the paper's deployment story as one protocol: a learner (any
+registered estimator, CERL by default)
 observes a :class:`~repro.data.streams.DomainStream` domain by domain; after
 every domain advance the engine's :class:`~repro.engine.Checkpoint` callback
 (driven here at domain granularity) persists the learner into a
@@ -19,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..core.cerl import CERL
+from ..core.api import make_estimator
 from ..core.config import ContinualConfig, ModelConfig
 from ..data.dataset import CausalDataset
 from ..data.streams import DomainStream
@@ -78,6 +79,7 @@ def run_continual_deployment(
     model_config: ModelConfig,
     continual_config: ContinualConfig,
     stream_name: str = "stream",
+    estimator: str = "CERL",
     seed: int = 0,
     epochs: Optional[int] = None,
     verify: bool = True,
@@ -91,6 +93,9 @@ def run_continual_deployment(
     registry:
         Destination for the per-domain checkpoints; one version per domain
         advance under ``stream_name``.
+    estimator:
+        Registered estimator name to train and checkpoint (default
+        ``"CERL"``).
     verify:
         When ``True`` (default), after the stream is exhausted every stored
         version is reloaded from the registry and re-evaluated on the test
@@ -108,7 +113,7 @@ def run_continual_deployment(
         if isinstance(datasets, DomainStream)
         else DomainStream(datasets, seed=seed)
     )
-    learner = CERL(stream.n_features, model_config, continual_config)
+    learner = make_estimator(estimator, stream.n_features, model_config, continual_config)
 
     # The engine's Checkpoint callback drives save-on-domain-advance: one
     # "epoch" of this callback is one domain.  every=1 saves each advance;

@@ -4,10 +4,10 @@ The single-stream drivers (:mod:`.deployment`, :mod:`.autoadapt`) prove the
 serving stack for one model lineage.  :func:`run_fleet_deployment` proves the
 *multi-tenant* story the gateway exists for:
 
-1. ``n_streams`` independent streams are trained (one CERL per stream, each
-   on its own synthetic domain sequence with a derived seed) and registered
-   as version 0 of their stream in one shared
-   :class:`~repro.serve.ModelRegistry`;
+1. ``n_streams`` independent streams are trained (one learner per stream —
+   any registered estimator, CERL by default — each on its own synthetic
+   domain sequence with a derived seed) and registered as version 0 of their
+   stream in one shared :class:`~repro.serve.ModelRegistry`;
 2. a :class:`~repro.serve.ServingGateway` fronts the registry — every
    stream's service is spun up lazily by its first query, placed on its
    digest-routed shard;
@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ..core.cerl import CERL
+from ..core.api import ContinualEstimator, make_estimator
 from ..data.streams import DomainStream
 from ..data.synthetic import SyntheticDomainGenerator
 from ..serve import GatewayStats, ModelRegistry, ServingGateway
@@ -115,6 +115,7 @@ def run_fleet_deployment(
     stream_prefix: str = "stream",
     cache_capacity: int = 1024,
     max_pending_per_shard: Optional[int] = None,
+    estimator: str = "CERL",
     seed: int = 0,
     epochs: Optional[int] = None,
 ) -> FleetDeploymentResult:
@@ -135,6 +136,9 @@ def run_fleet_deployment(
         Registry directory; an ephemeral temporary directory when omitted.
     cache_capacity, max_pending_per_shard:
         Gateway knobs (see :class:`~repro.serve.ServingGateway`).
+    estimator:
+        Registered estimator name to train and serve fleet-wide (default
+        ``"CERL"``).
     seed, epochs:
         Base seed for the per-stream derived seeds, and the per-domain epoch
         budget (default: the profile's).
@@ -165,6 +169,7 @@ def run_fleet_deployment(
             stream_prefix,
             cache_capacity,
             max_pending_per_shard,
+            estimator,
             seed,
             epochs,
         )
@@ -181,6 +186,7 @@ def _run_fleet_deployment(
     stream_prefix: str,
     cache_capacity: int,
     max_pending_per_shard: Optional[int],
+    estimator: str,
     seed: int,
     epochs: int,
 ) -> FleetDeploymentResult:
@@ -189,7 +195,7 @@ def _run_fleet_deployment(
     names = [f"{stream_prefix}-{index:02d}" for index in range(n_streams)]
 
     # --- train one lineage per stream, register version 0 ----------------- #
-    learners: Dict[str, CERL] = {}
+    learners: Dict[str, ContinualEstimator] = {}
     streams: Dict[str, DomainStream] = {}
     for name in names:
         stream_seed = derive_seed(seed, "fleet", name)
@@ -198,7 +204,8 @@ def _run_fleet_deployment(
             [generator.generate_domain(0), generator.generate_domain(1)],
             seed=stream_seed,
         )
-        learner = CERL(
+        learner = make_estimator(
+            estimator,
             stream.n_features,
             profile.model_config(seed=stream_seed, epochs=epochs),
             profile.continual_config(memory_budget=profile.memory_budget_table1),

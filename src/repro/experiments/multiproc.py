@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ..core.cerl import CERL
+from ..core.api import ContinualEstimator, make_estimator
 from ..data.streams import DomainStream
 from ..data.synthetic import SyntheticDomainGenerator
 from ..serve import GatewayStats, ModelRegistry, ShardRouter
@@ -176,6 +176,7 @@ def run_multiproc_fleet(
     stream_prefix: str = "stream",
     cache_capacity: int = 1024,
     max_pending_per_worker: Optional[int] = None,
+    estimator: str = "CERL",
     seed: int = 0,
     epochs: Optional[int] = None,
 ) -> MultiprocFleetResult:
@@ -196,6 +197,9 @@ def run_multiproc_fleet(
         Registry directory; an ephemeral temporary directory when omitted.
     cache_capacity, max_pending_per_worker:
         Front-door knobs (see :class:`~repro.serve.fleet.MultiprocGateway`).
+    estimator:
+        Registered estimator name to train and serve fleet-wide (default
+        ``"CERL"``).
     seed, epochs:
         Base seed for derived per-stream seeds; per-domain epoch budget
         (default: the profile's).
@@ -227,6 +231,7 @@ def run_multiproc_fleet(
             stream_prefix,
             cache_capacity,
             max_pending_per_worker,
+            estimator,
             seed,
             epochs,
         )
@@ -242,6 +247,7 @@ def _run_multiproc_fleet(
     stream_prefix: str,
     cache_capacity: int,
     max_pending_per_worker: Optional[int],
+    estimator: str,
     seed: int,
     epochs: int,
 ) -> MultiprocFleetResult:
@@ -251,7 +257,7 @@ def _run_multiproc_fleet(
     # --- train one lineage per stream, register version 0 ----------------- #
     # Seeds derive identically to run_fleet_deployment so the two experiments
     # train byte-identical models from the same (seed, name) pair.
-    learners: Dict[str, CERL] = {}
+    learners: Dict[str, ContinualEstimator] = {}
     streams: Dict[str, DomainStream] = {}
     for name in names:
         stream_seed = derive_seed(seed, "fleet", name)
@@ -260,7 +266,8 @@ def _run_multiproc_fleet(
             [generator.generate_domain(0), generator.generate_domain(1)],
             seed=stream_seed,
         )
-        learner = CERL(
+        learner = make_estimator(
+            estimator,
             stream.n_features,
             profile.model_config(seed=stream_seed, epochs=epochs),
             profile.continual_config(memory_budget=profile.memory_budget_table1),

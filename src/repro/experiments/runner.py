@@ -19,9 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..core.api import ContinualEstimator, make_estimator
 from ..core.cerl import CERL
 from ..core.config import ContinualConfig, ModelConfig
-from ..core.strategies import ContinualEstimator, make_strategy
 from ..data.dataset import CausalDataset
 from ..data.streams import DomainStream
 from .parallel import parallel_map
@@ -107,8 +107,10 @@ def _build(
     continual_config: ContinualConfig,
 ) -> ContinualEstimator:
     if name.upper().startswith("CERL"):
+        # Ablation names like "CERL (w/o FRT)" are config variants of the one
+        # registered CERL estimator, not separate registry entries.
         return cerl_variant(name, n_features, model_config, continual_config)
-    return make_strategy(name, n_features, model_config, continual_config)
+    return make_estimator(name, n_features, model_config, continual_config)
 
 
 def run_two_domain_comparison(

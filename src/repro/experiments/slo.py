@@ -2,10 +2,10 @@
 
 :func:`run_slo_suite` is the top of the :mod:`repro.slo` stack.  One run
 
-1. trains ``n_streams`` CERL lineages (seeds derive exactly as in the fleet
-   experiments, so the models — and therefore the bitwise references — are
-   reproducible) and registers them as version 0 in a shared
-   :class:`~repro.serve.ModelRegistry`;
+1. trains ``n_streams`` lineages of any registered estimator (CERL by
+   default; seeds derive exactly as in the fleet experiments, so the models —
+   and therefore the bitwise references — are reproducible) and registers
+   them as version 0 in a shared :class:`~repro.serve.ModelRegistry`;
 2. builds a seeded :class:`~repro.slo.TrafficTape` sized to at least
    ``total_rows`` queries, and a deterministic **chunked** row source per
    stream (:meth:`~repro.data.synthetic.SyntheticDomainGenerator` via
@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..core.cerl import CERL
+from ..core.api import ContinualEstimator, make_estimator
 from ..data.streams import ChunkedPopulation, DomainStream
 from ..data.synthetic import SyntheticDomainGenerator
 from ..serve import ModelRegistry, ServingGateway
@@ -74,6 +74,7 @@ class SloSuiteResult:
     mode: str
     gated: bool
     gate_reason: str
+    estimator: str = "CERL"
     streams: List[str] = field(default_factory=list)
     tape_rows: int = 0
     tape_fingerprint: str = ""
@@ -136,6 +137,7 @@ def run_slo_suite(
     registry_root: Optional[Union[str, Path]] = None,
     stream_prefix: str = "slo",
     cache_capacity: int = 0,
+    estimator: str = "CERL",
     seed: int = 0,
     epochs: Optional[int] = None,
     targets: Optional[SloTargets] = None,
@@ -164,6 +166,10 @@ def run_slo_suite(
     cache_capacity:
         Front-door response cache (0 keeps every query on the serving path,
         which is what a latency SLO should measure).
+    estimator:
+        Registered estimator name to train and serve (default ``"CERL"``;
+        any :func:`~repro.core.api.estimator_names` entry works — the
+        serving stack never special-cases the model family).
     seed, epochs:
         Base seed for derived per-stream seeds; per-domain epoch budget.
     out_path:
@@ -204,7 +210,7 @@ def run_slo_suite(
         names = _spanning_names(stream_prefix, n_streams, n_workers)
 
         # --- train + register one lineage per stream (fleet-identical seeds) --- #
-        learners: Dict[str, CERL] = {}
+        learners: Dict[str, ContinualEstimator] = {}
         sources: Dict[str, ChunkedPopulation] = {}
         for name in names:
             stream_seed = derive_seed(seed, "fleet", name)
@@ -215,7 +221,8 @@ def run_slo_suite(
                 [generator.generate_domain(0), generator.generate_domain(1)],
                 seed=stream_seed,
             )
-            learner = CERL(
+            learner = make_estimator(
+                estimator,
                 stream.n_features,
                 profile.model_config(seed=stream_seed, epochs=epochs),
                 profile.continual_config(memory_budget=profile.memory_budget_table1),
@@ -234,7 +241,9 @@ def run_slo_suite(
             )
 
         tape = _sized_tape(names, total_rows, mean_rows_per_tick, seed)
-        result = SloSuiteResult(mode=mode, gated=gated, gate_reason=gate_reason)
+        result = SloSuiteResult(
+            mode=mode, gated=gated, gate_reason=gate_reason, estimator=estimator
+        )
         result.streams = names
         result.tape_rows = tape.total_rows()
         result.tape_fingerprint = tape.fingerprint()

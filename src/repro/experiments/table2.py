@@ -5,6 +5,11 @@ ablations — without the feature-representation transformation (w/o FRT), with
 random memory instead of herding (w/o herding) and without cosine
 normalisation (w/o cosine norm) — on two sequential synthetic domains with a
 memory budget of M = 10000, averaged over repeated simulations.
+
+The strategy column set is derived from the estimator registry (never
+duplicated as string literals), so the default table carries one column per
+registered estimator plus the CERL ablations, and registering a new estimator
+extends the table automatically.
 """
 
 from __future__ import annotations
@@ -14,15 +19,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.api import estimator_names
 from ..data.synthetic import SyntheticConfig, SyntheticDomainGenerator
 from .parallel import parallel_map
 from .profiles import ExperimentProfile, QUICK
 from .reporting import format_table
 from .runner import StrategyResult, run_two_domain_comparison
 
-__all__ = ["Table2Result", "run_table2", "TABLE2_STRATEGIES", "TABLE2_ABLATIONS"]
+__all__ = [
+    "Table2Result",
+    "run_table2",
+    "TABLE2_STRATEGIES",
+    "TABLE2_ESTIMATORS",
+    "TABLE2_ABLATIONS",
+]
 
-TABLE2_STRATEGIES: Tuple[str, ...] = ("CFR-A", "CFR-B", "CFR-C", "CERL")
+#: The paper's original column set (registry-derived, not duplicated).
+TABLE2_STRATEGIES: Tuple[str, ...] = estimator_names(tag="paper")
+#: The extended column set: every registered estimator, in registry order.
+TABLE2_ESTIMATORS: Tuple[str, ...] = estimator_names()
 TABLE2_ABLATIONS: Tuple[str, ...] = (
     "CERL (w/o FRT)",
     "CERL (w/o herding)",
@@ -101,7 +116,7 @@ def _table2_repetition(task: tuple) -> List[StrategyResult]:
 
 def run_table2(
     profile: ExperimentProfile = QUICK,
-    strategies: Sequence[str] = TABLE2_STRATEGIES,
+    strategies: Sequence[str] = TABLE2_ESTIMATORS,
     ablations: Sequence[str] = TABLE2_ABLATIONS,
     seed: int = 0,
     repetitions: Optional[int] = None,
@@ -116,7 +131,9 @@ def run_table2(
     profile:
         Scale/training profile.
     strategies, ablations:
-        Strategy names and CERL ablation names to include.
+        Estimator names (any registered name; defaults to every registered
+        estimator — pass :data:`TABLE2_STRATEGIES` for the paper's original
+        four columns) and CERL ablation names to include.
     repetitions:
         Number of independent simulation repetitions (defaults to the profile).
     memory_budget:

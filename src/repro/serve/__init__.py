@@ -4,7 +4,8 @@ Turns a trained continual learner into a long-lived deployment, per the
 paper's scenario (data arrive over days / from different subsidiaries, only
 the model and representation memory persist):
 
-* :class:`ModelRegistry` — versioned CERL checkpoints per stream
+* :class:`ModelRegistry` — versioned estimator checkpoints per stream
+  (any registered estimator: CERL, the CFR strategies, the meta-learners)
   (save on every domain advance, list/load/rollback by ``(stream,
   domain_index)``, atomic writes, format-versioned manifests);
 * :class:`PredictionService` / :class:`MicroBatcher` — single-unit ITE

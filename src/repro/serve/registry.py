@@ -31,8 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
-from ..core.cerl import CERL
-from ..core.persistence import load_cerl, save_cerl
+from ..core.api import ContinualEstimator
+from ..core.persistence import load_estimator, save_estimator
 from ..utils import atomic_write
 
 __all__ = ["ModelRegistry", "RegistryEntry"]
@@ -55,7 +55,14 @@ class RegistryEntry:
 
 
 class ModelRegistry:
-    """Directory-backed store of versioned CERL checkpoints, one per stream.
+    """Directory-backed store of versioned estimator checkpoints, one per stream.
+
+    Any registered estimator (CERL, the CFR strategies, the meta-learner zoo)
+    can be versioned: archives are written by
+    :func:`repro.core.persistence.save_estimator`, which stamps the estimator
+    kind into the metadata, and restored by
+    :func:`~repro.core.persistence.load_estimator`, which rebuilds the right
+    class — a stream's consumers never need to know which family it serves.
 
     Parameters
     ----------
@@ -75,7 +82,7 @@ class ModelRegistry:
         self,
         stream: str,
         domain_index: int,
-        learner: CERL,
+        learner: ContinualEstimator,
         metadata: Optional[Dict[str, object]] = None,
     ) -> RegistryEntry:
         """Persist ``learner`` as version ``domain_index`` of ``stream``.
@@ -97,7 +104,7 @@ class ModelRegistry:
         # Registry archives are stored uncompressed so shard workers can
         # memory-map them (load(..., mmap_mode='r')) — compressed members have
         # no byte-identical on-disk form to map.
-        path = save_cerl(
+        path = save_estimator(
             learner, directory / f"domain_{domain_index:04d}.npz", compressed=False
         )
         with self._lock:
@@ -115,7 +122,7 @@ class ModelRegistry:
             stream, manifest["versions"][str(domain_index)]
         )
 
-    def saver(self, stream: str, learner: CERL) -> Callable[[int], Path]:
+    def saver(self, stream: str, learner: ContinualEstimator) -> Callable[[int], Path]:
         """Adapter for :class:`repro.engine.Checkpoint`.
 
         Returns ``save_fn(domain_index) -> Path`` so the engine's existing
@@ -187,7 +194,7 @@ class ModelRegistry:
         stream: str,
         domain_index: Optional[int] = None,
         mmap_mode: Optional[str] = None,
-    ) -> CERL:
+    ) -> ContinualEstimator:
         """Restore the learner of one version (default: the head).
 
         ``mmap_mode='r'`` memory-maps the archive's large state zero-copy
@@ -198,7 +205,7 @@ class ModelRegistry:
         workers share one page-cache copy of each checkpoint.
 
         The archive's own format version is checked by
-        :func:`repro.core.persistence.load_cerl`; a missing file (archive
+        :func:`repro.core.persistence.load_estimator`; a missing file (archive
         deleted behind the manifest's back) raises ``FileNotFoundError``.
         """
         entry = self.entry(stream, domain_index)
@@ -207,7 +214,7 @@ class ModelRegistry:
                 f"archive for stream '{stream}' version {entry.domain_index} "
                 f"is missing on disk: {entry.path}"
             )
-        return load_cerl(entry.path, mmap_mode=mmap_mode)
+        return load_estimator(entry.path, mmap_mode=mmap_mode)
 
     # ------------------------------------------------------------------ #
     # internals

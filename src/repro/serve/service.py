@@ -1,6 +1,6 @@
 """High-throughput prediction serving over the no-graph inference fast path.
 
-A deployed CERL learner answers single-unit queries ("what is the treatment
+A deployed learner answers single-unit queries ("what is the treatment
 effect for this customer?"), but the inference substrate is fastest when it
 runs one large GEMM per layer.  :class:`MicroBatcher` bridges the two: client
 threads submit single-unit queries, a dispatcher thread coalesces whatever is
@@ -276,7 +276,7 @@ class PredictionService:
     ----------
     learner:
         Any fitted learner exposing ``predict(covariates) -> EffectEstimate``
-        (CERL, the baseline model, or a strategy wrapper).
+        (CERL, the baseline model, or any registered estimator).
     model_version:
         Version tag stamped on responses (the registry's domain index).
     max_batch, max_wait_ms:

@@ -232,6 +232,46 @@ class TestWallClock:
         )
         assert len(findings) == 1
 
+    def test_time_time_in_learner_zoo_flagged(self):
+        # core/learners promises bitwise retrain determinism; a wall-clock
+        # read there (e.g. a timing-based early stop) would break it.
+        findings = check(
+            "src/repro/core/learners.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            ["RPR002"],
+        )
+        assert len(findings) == 1
+
+    def test_time_time_in_estimator_api_flagged(self):
+        findings = check(
+            "src/repro/core/api.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            ["RPR002"],
+        )
+        assert len(findings) == 1
+
+    def test_rest_of_core_stays_out_of_scope(self):
+        assert not check(
+            "src/repro/core/classic.py",
+            """
+            import time
+
+            def now():
+                return time.time()
+            """,
+            ["RPR002"],
+        )
+
 
 # --------------------------------------------------------------------------- #
 # RPR003 — lock-discipline

@@ -20,7 +20,7 @@ from repro.core import (
     FeatureTransform,
     OutcomeHeads,
     RepresentationNetwork,
-    make_strategy,
+    make_estimator,
 )
 from repro.data import DomainStream
 from repro.nn import Tensor, no_grad
@@ -147,7 +147,7 @@ class TestEvaluateManyParity:
         assert learner.evaluate_stream(seen) == serial
 
     def test_strategy_delegates_to_model(self, tiny_domains, fast_model_config):
-        strategy = make_strategy("CFR-B", tiny_domains[0].n_features, fast_model_config)
+        strategy = make_estimator("CFR-B", tiny_domains[0].n_features, fast_model_config)
         strategy.observe(tiny_domains[0], epochs=2)
         strategy.observe(tiny_domains[1], epochs=2)
         datasets = list(tiny_domains)

@@ -12,6 +12,7 @@ from repro.core import (
     CFRStrategyC,
     ContinualEstimator,
     STRATEGY_NAMES,
+    make_estimator,
     make_strategy,
 )
 from repro.data import DomainStream
@@ -24,17 +25,22 @@ def stream(tiny_domains):
 
 class TestFactory:
     @pytest.mark.parametrize("name", STRATEGY_NAMES)
-    def test_make_strategy_builds_all_names(self, name, fast_model_config, fast_continual_config):
-        learner = make_strategy(name, 19, fast_model_config, fast_continual_config)
+    def test_make_estimator_builds_all_names(self, name, fast_model_config, fast_continual_config):
+        learner = make_estimator(name, 19, fast_model_config, fast_continual_config)
         assert isinstance(learner, ContinualEstimator)
 
     def test_case_insensitive(self, fast_model_config):
-        assert isinstance(make_strategy("cfr-a", 10, fast_model_config), CFRStrategyA)
-        assert isinstance(make_strategy("cerl", 10, fast_model_config), CERL)
+        assert isinstance(make_estimator("cfr-a", 10, fast_model_config), CFRStrategyA)
+        assert isinstance(make_estimator("cerl", 10, fast_model_config), CERL)
 
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError):
-            make_strategy("CFR-D", 10)
+            make_estimator("CFR-D", 10)
+
+    def test_make_strategy_shim_warns_and_delegates(self, fast_model_config):
+        with pytest.warns(DeprecationWarning, match="make_estimator"):
+            learner = make_strategy("CFR-A", 10, fast_model_config)
+        assert isinstance(learner, CFRStrategyA)
 
 
 class TestStrategyA:
@@ -90,7 +96,7 @@ class TestCommonProtocol:
     def test_observe_predict_evaluate_cycle(
         self, name, stream, fast_model_config, fast_continual_config
     ):
-        learner = make_strategy(name, stream.n_features, fast_model_config, fast_continual_config)
+        learner = make_estimator(name, stream.n_features, fast_model_config, fast_continual_config)
         learner.observe(stream.train_data(0), epochs=2)
         learner.observe(stream.train_data(1), epochs=2)
         previous, new = stream.previous_and_new_test(1)

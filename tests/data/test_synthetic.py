@@ -205,6 +205,64 @@ class TestDomainGeneration:
         with pytest.raises(ValueError):
             generator.generate_stream(0)
 
+class TestConfoundingStrength:
+    """The confounding_strength knob: RCT at 0, the paper at 1, biased above."""
+
+    CONFIG = dict(
+        n_confounders=6, n_instruments=3, n_irrelevant=4, n_adjustment=6, n_units=400
+    )
+
+    def _domain(self, strength, seed=13):
+        config = SyntheticConfig(confounding_strength=strength, **self.CONFIG)
+        return SyntheticDomainGenerator(config, seed=seed).generate_domain(0)
+
+    def test_default_strength_is_bitwise_identical_to_historical_draws(self):
+        baseline = SyntheticDomainGenerator(
+            SyntheticConfig(**self.CONFIG), seed=13
+        ).generate_domain(0)
+        explicit = self._domain(1.0)
+        np.testing.assert_array_equal(baseline.covariates, explicit.covariates)
+        np.testing.assert_array_equal(baseline.treatments, explicit.treatments)
+        np.testing.assert_array_equal(baseline.outcomes, explicit.outcomes)
+
+    def test_zero_strength_is_a_randomised_trial(self):
+        config = SyntheticConfig(confounding_strength=0.0, **self.CONFIG)
+        generator = SyntheticDomainGenerator(config, seed=13)
+        domain = generator.generate_domain(0)
+        np.testing.assert_allclose(generator.propensity(domain.covariates), 0.5)
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(confounding_strength=-0.5)
+
+    def test_strong_confounding_selects_sicker_units(self):
+        """Above 1, treatment assignment tilts toward high baseline outcomes."""
+        config = SyntheticConfig(confounding_strength=2.5, **self.CONFIG)
+        generator = SyntheticDomainGenerator(config, seed=13)
+        domain = generator.generate_domain(0)
+        treated_mu0 = domain.mu0[domain.treatments == 1].mean()
+        control_mu0 = domain.mu0[domain.treatments == 0].mean()
+        assert treated_mu0 > control_mu0 + 0.5
+
+    def test_naive_bias_grows_with_strength(self):
+        from repro.core import naive_ate
+
+        biases = []
+        for strength in (1.0, 2.5):
+            domain = self._domain(strength)
+            biases.append(abs(naive_ate(domain) - domain.true_ate))
+        assert biases[1] > biases[0] + 0.3
+
+    def test_covariate_draws_shared_across_strengths(self):
+        """The knob reshapes selection only — X and true effects are unchanged."""
+        weak = self._domain(1.0)
+        strong = self._domain(2.5)
+        np.testing.assert_array_equal(weak.covariates, strong.covariates)
+        np.testing.assert_array_equal(weak.mu0, strong.mu0)
+        np.testing.assert_array_equal(weak.mu1, strong.mu1)
+
+
+class TestSelectionBias:
     @given(st.integers(0, 4))
     @settings(max_examples=5, deadline=None)
     def test_selection_bias_property(self, domain_index):

@@ -85,6 +85,40 @@ class TestInprocSuite:
         assert payload["slo_latency"]["tape_fingerprint"] == result.tape_fingerprint
 
 
+class TestEstimatorGenericSuite:
+    """Any registered estimator rides the fleet + SLO harness unchanged.
+
+    The R-learner is the stress case: crossfit nuisances, several internal
+    models, its own checkpoint layout — yet the suite trains it through the
+    registry, versions it, replays the tape, and bitwise-verifies sampled
+    responses with zero special-casing in serve/monitor/slo code.
+    """
+
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("slo_rlearner") / "BENCH_slo.json"
+        return run_slo_suite(
+            mode="inproc", estimator="R-learner", seed=3, out_path=out, **FAST
+        )
+
+    def test_estimator_is_recorded(self, result):
+        assert result.estimator == "R-learner"
+
+    def test_full_tape_replayed(self, result):
+        assert result.tape_rows >= FAST["total_rows"]
+        assert result.load.ok == result.tape_rows
+
+    def test_responses_bitwise_verified(self, result):
+        assert result.verified_samples > 0
+        assert result.mismatched_samples == 0
+        assert result.sample_parity
+        assert result.report["slo_verification"]["verified"] == 1.0
+
+    def test_unknown_estimator_rejected_up_front(self):
+        with pytest.raises(ValueError, match="CFR-A"):
+            run_slo_suite(mode="inproc", estimator="Z-learner", **FAST)
+
+
 class TestHonestGating:
     def test_multiproc_falls_back_to_inproc_on_one_core(self, monkeypatch):
         monkeypatch.setattr(os, "cpu_count", lambda: 1)

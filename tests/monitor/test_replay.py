@@ -111,3 +111,23 @@ class TestScenarioGrid:
     def test_service_saw_every_tape_row(self, covariate_runs):
         stats = covariate_runs[0].service_stats
         assert stats.queries == _FAST["n_ticks"] * _FAST["rows_per_tick"]
+
+
+class TestEstimatorGenericAdaptation:
+    def test_r_learner_is_hot_swapped_on_drift(self, tmp_path):
+        """The adaptation loop versions and promotes any registered estimator.
+
+        No monitor or serve code knows what an R-learner is; the controller
+        retrains it through the registry factory and hot-swaps the service
+        head exactly as it does for CERL.
+        """
+        result = run_auto_adaptation(
+            estimator="R-learner",
+            drift=DriftConfig(kind="covariate", mode="abrupt"),
+            registry_root=tmp_path,
+            **_FAST,
+        )
+        assert result.detection_ticks
+        assert result.head_version > 0  # an R-learner checkpoint was promoted
+        assert result.registry_versions == sorted(result.registry_versions)
+        assert np.all(np.isfinite(result.final_predictions))

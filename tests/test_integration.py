@@ -12,7 +12,7 @@ from repro import (
     DomainStream,
     ModelConfig,
     NewsBenchmark,
-    make_strategy,
+    make_estimator,
 )
 from repro.experiments import SMOKE, run_two_domain_comparison
 
@@ -62,13 +62,13 @@ class TestPublicAPI:
         )
         assert {r.strategy for r in results} == {"CFR-B", "CERL"}
 
-    def test_make_strategy_five_domain_stream(self):
+    def test_make_estimator_five_domain_stream(self):
         """CERL handles a five-domain synthetic stream (Figure 4 protocol)."""
         from repro.data import SyntheticDomainGenerator
 
         generator = SyntheticDomainGenerator(SMOKE.synthetic_config(n_units=150), seed=2)
         stream = DomainStream(generator.generate_stream(5), seed=2)
-        learner = make_strategy(
+        learner = make_estimator(
             "CERL",
             stream.n_features,
             SMOKE.model_config(seed=2),
